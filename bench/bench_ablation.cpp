@@ -1,0 +1,235 @@
+/// \file bench_ablation.cpp
+/// \brief Ablation studies for the design choices DESIGN.md calls out:
+///
+///  1. DUST lookup-table resolution — build cost vs accuracy against the
+///     Gaussian closed form;
+///  2. MUNICH estimator — exact meet-in-the-middle vs Monte Carlo sample
+///     counts vs bounds-only decisions (probability RMSE + time);
+///  3. PROUD wavelet synopsis — pruning rate and decision agreement vs the
+///     exact matcher across synopsis sizes;
+///  4. UMA edge handling — renormalized (default) vs the literal Eq. 15/17
+///     denominator.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/timer.hpp"
+#include "measures/dust.hpp"
+#include "measures/munich.hpp"
+#include "uncertain/perturb.hpp"
+#include "wavelet/proud_synopsis.hpp"
+
+namespace uts::bench {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = rng.Gaussian();
+  return xs;
+}
+
+void DustResolutionAblation(const BenchConfig& config) {
+  std::printf("Ablation 1 — DUST table resolution (normal sigma=0.5, "
+              "numeric path vs closed form)\n");
+  core::TextTable table({"cells", "build_ms", "max_abs_err", "mean_abs_err"});
+  io::CsvWriter csv({"cells", "build_ms", "max_abs_err", "mean_abs_err"});
+  auto err = prob::MakeNormalError(0.5);
+  measures::DustOptions closed;
+  const auto oracle = measures::DustTable::Build(*err, *err, closed);
+  for (std::size_t cells : {128u, 512u, 2048u, 8192u}) {
+    measures::DustOptions options;
+    options.use_closed_form_normal = false;
+    options.table_size = cells;
+    core::Stopwatch watch;
+    auto built = measures::DustTable::Build(*err, *err, options);
+    const double build_ms = watch.ElapsedMillis();
+    if (!built.ok()) continue;
+    double max_err = 0.0, sum_err = 0.0;
+    int count = 0;
+    for (double d = 0.0; d <= 8.0; d += 0.01, ++count) {
+      const double e = std::fabs(built.ValueOrDie().Dust(d) -
+                                 oracle.ValueOrDie().Dust(d));
+      max_err = std::max(max_err, e);
+      sum_err += e;
+    }
+    table.AddRow({std::to_string(cells), core::TextTable::Num(build_ms, 2),
+                  core::TextTable::Num(max_err, 6),
+                  core::TextTable::Num(sum_err / count, 6)});
+    csv.AddNumericRow({static_cast<double>(cells), build_ms, max_err,
+                       sum_err / count});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  EmitCsv(config, "ablation_dust_resolution.csv", csv);
+}
+
+void MunichEstimatorAblation(const BenchConfig& config) {
+  std::printf("Ablation 2 — MUNICH estimators (length 6, 5 samples/pt, "
+              "30 pairs, eps chosen near the decision boundary)\n");
+  core::TextTable table({"estimator", "prob_rmse_vs_exact", "ms_per_pair"});
+  io::CsvWriter csv({"estimator", "prob_rmse", "ms_per_pair"});
+
+  const auto spec =
+      uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.6);
+  constexpr int kPairs = 30;
+  std::vector<uncertain::MultiSampleSeries> xs, ys;
+  std::vector<double> epsilons, exact_probs;
+  for (int p = 0; p < kPairs; ++p) {
+    const ts::TimeSeries base(RandomSeries(6, 100 + p));
+    xs.push_back(uncertain::PerturbMultiSample(base, spec, 5, 200 + p));
+    ys.push_back(uncertain::PerturbMultiSample(base, spec, 5, 300 + p));
+    const auto bounds = measures::Munich::EuclideanBounds(xs[p], ys[p]);
+    epsilons.push_back(0.5 * (bounds.lower + bounds.upper));
+    exact_probs.push_back(measures::Munich::ExactMatchProbability(
+                              xs[p], ys[p], epsilons[p])
+                              .ValueOrDie());
+  }
+
+  // Exact baseline timing.
+  {
+    core::Stopwatch watch;
+    for (int p = 0; p < kPairs; ++p) {
+      (void)measures::Munich::ExactMatchProbability(xs[p], ys[p], epsilons[p]);
+    }
+    const double ms = watch.ElapsedMillis() / kPairs;
+    table.AddRow({"exact (meet-in-the-middle)", "0.000000",
+                  core::TextTable::Num(ms, 3)});
+    csv.AddKeyedRow("exact", {0.0, ms});
+  }
+
+  for (std::size_t samples : {100u, 1000u, 10000u, 100000u}) {
+    core::Stopwatch watch;
+    double se = 0.0;
+    for (int p = 0; p < kPairs; ++p) {
+      const double est = measures::Munich::MonteCarloMatchProbability(
+          xs[p], ys[p], epsilons[p], samples, 77 + p);
+      se += (est - exact_probs[p]) * (est - exact_probs[p]);
+    }
+    const double ms = watch.ElapsedMillis() / kPairs;
+    const double rmse = std::sqrt(se / kPairs);
+    char name[48];
+    std::snprintf(name, sizeof(name), "monte-carlo %zu", samples);
+    table.AddRow({name, core::TextTable::Num(rmse, 6),
+                  core::TextTable::Num(ms, 3)});
+    csv.AddKeyedRow(name, {rmse, ms});
+  }
+
+  // Bounds-only decision: snap to {0, 0.5, 1} by certain-reject / unknown /
+  // certain-accept.
+  {
+    core::Stopwatch watch;
+    double se = 0.0;
+    for (int p = 0; p < kPairs; ++p) {
+      const auto bounds = measures::Munich::EuclideanBounds(xs[p], ys[p]);
+      double est = 0.5;
+      if (bounds.upper <= epsilons[p]) est = 1.0;
+      if (bounds.lower > epsilons[p]) est = 0.0;
+      se += (est - exact_probs[p]) * (est - exact_probs[p]);
+    }
+    const double ms = watch.ElapsedMillis() / kPairs;
+    table.AddRow({"bounds-only", core::TextTable::Num(std::sqrt(se / kPairs), 6),
+                  core::TextTable::Num(ms, 3)});
+    csv.AddKeyedRow("bounds-only", {std::sqrt(se / kPairs), ms});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  EmitCsv(config, "ablation_munich_estimators.csv", csv);
+}
+
+void ProudSynopsisAblation(const BenchConfig& config) {
+  std::printf("Ablation 3 — PROUD wavelet synopsis (tau=0.9, sigma=0.5, "
+              "length 128, 400 decisions)\n");
+  core::TextTable table(
+      {"synopsis_size", "pruned_frac", "agreement_with_exact", "ms_per_1k"});
+  io::CsvWriter csv({"synopsis_size", "pruned_frac", "agreement", "ms_per_1k"});
+
+  measures::ProudOptions popts{.tau = 0.9, .sigma = 0.5};
+  const measures::Proud exact(popts);
+  constexpr int kDecisions = 400;
+
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    wavelet::ProudSynopsisOptions sopts;
+    sopts.proud = popts;
+    sopts.synopsis_size = k;
+    const wavelet::ProudSynopsisMatcher matcher(sopts);
+    wavelet::ProudSynopsisStats stats;
+    int agree = 0;
+    core::Stopwatch watch;
+    for (int t = 0; t < kDecisions; ++t) {
+      const auto x = RandomSeries(128, 1000 + t);
+      auto y = RandomSeries(128, 5000 + t);
+      // Mix of near and far candidates around the decision boundary.
+      const double shift = (t % 4) * 0.25;
+      for (double& v : y) v = v * 0.3 + shift;
+      const auto sx = matcher.Synopsize(x);
+      const auto sy = matcher.Synopsize(y);
+      const double eps = 10.0 + (t % 8);
+      const bool fast = matcher.Matches(sx, sy, x, y, eps, &stats).ValueOrDie();
+      if (fast == exact.Matches(x, y, eps)) ++agree;
+    }
+    const double ms = watch.ElapsedMillis();
+    table.AddRow({std::to_string(k),
+                  core::TextTable::Num(double(stats.pruned) / kDecisions, 3),
+                  core::TextTable::Num(double(agree) / kDecisions, 3),
+                  core::TextTable::Num(ms * 1000.0 / kDecisions, 3)});
+    csv.AddNumericRow({static_cast<double>(k),
+                       double(stats.pruned) / kDecisions,
+                       double(agree) / kDecisions, ms * 1000.0 / kDecisions});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  EmitCsv(config, "ablation_proud_synopsis.csv", csv);
+}
+
+void UmaEdgeAblation(BenchConfig config) {
+  std::printf("Ablation 4 — UMA edge handling: renormalized window vs the "
+              "literal Eq. 15/17 denominator (mixed normal error)\n");
+  config.sweep_tau = false;
+  const auto datasets = LoadDatasets(config);
+  const auto spec =
+      uncertain::ErrorSpec::MixedSigma(prob::ErrorKind::kNormal, 0.2, 1.0, 0.4);
+
+  ts::FilterOptions renorm;
+  renorm.half_window = 2;
+  ts::FilterOptions strict = renorm;
+  strict.strict_paper_denominator = true;
+  core::FilteredMatcher renorm_matcher(core::FilterKind::kUma, renorm);
+  core::FilteredMatcher strict_matcher(core::FilterKind::kUma, strict);
+
+  auto pooled = RunPooled(datasets, spec,
+                          {&renorm_matcher, &strict_matcher}, config);
+  if (!pooled.ok()) {
+    std::fprintf(stderr, "%s\n", pooled.status().ToString().c_str());
+    return;
+  }
+  const auto& rs = pooled.ValueOrDie();
+  core::TextTable table({"edge handling", "F1"});
+  table.AddRow({"renormalized (default)",
+                core::TextTable::NumWithCi(rs[0].f1.mean, rs[0].f1.half_width)});
+  table.AddRow({"literal 2w+1 (Eq. 15/17)",
+                core::TextTable::NumWithCi(rs[1].f1.mean, rs[1].f1.half_width)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  io::CsvWriter csv({"edge_handling", "f1"});
+  csv.AddKeyedRow("renormalized", {rs[0].f1.mean});
+  csv.AddKeyedRow("literal", {rs[1].f1.mean});
+  EmitCsv(config, "ablation_uma_edges.csv", csv);
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseArgs(
+      argc, argv, "bench_ablation",
+      "Ablations: DUST table resolution, MUNICH estimators, PROUD synopsis, "
+      "UMA edge handling");
+  PrintBanner("Ablations", "design-choice studies (DESIGN.md section 3)",
+              config);
+  DustResolutionAblation(config);
+  MunichEstimatorAblation(config);
+  ProudSynopsisAblation(config);
+  UmaEdgeAblation(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace uts::bench
+
+int main(int argc, char** argv) { return uts::bench::Run(argc, argv); }

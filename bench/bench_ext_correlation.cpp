@@ -1,0 +1,72 @@
+/// \file bench_ext_correlation.cpp
+/// \brief Extension — the paper's future-work direction, instantiated.
+///
+/// Section 7: "a promising direction is to develop measures that take into
+/// account the sequential correlations inherent in time series". UMA/UEMA
+/// exploit correlation implicitly through a fixed averaging window; the
+/// AR(1) Kalman/RTS smoother models it explicitly with exactly the same
+/// inputs (observations + reported per-point σ). This harness runs the
+/// Figure 16-style comparison with the smoother added, per error family.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace uts::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseArgs(
+      argc, argv, "bench_ext_correlation",
+      "Extension: correlation-aware AR(1) smoother vs UMA/UEMA/Euclidean");
+  const auto datasets = LoadDatasets(config);
+  PrintBanner("Extension: sequential correlation",
+              "Euclidean vs UMA vs UEMA vs AR1-smoother, mixed-sigma error",
+              config);
+
+  const char* kDistNames[] = {"uniform", "normal", "exponential"};
+  const prob::ErrorKind kKinds[] = {prob::ErrorKind::kUniform,
+                                    prob::ErrorKind::kNormal,
+                                    prob::ErrorKind::kExponential};
+
+  core::EuclideanMatcher euclid;
+  auto uma = core::MakeUmaMatcher(2);
+  auto uema = core::MakeUemaMatcher(2, 1.0);
+  core::Ar1SmootherMatcher kalman;
+  std::vector<core::Matcher*> matchers{&euclid, uma.get(), uema.get(),
+                                       &kalman};
+
+  core::TextTable table(
+      {"error family", "Euclidean", "UMA(w=2)", "UEMA(w=2)", "AR1-smoother"});
+  io::CsvWriter csv(
+      {"error_family", "Euclidean", "UMA", "UEMA", "AR1_smoother"});
+
+  for (int d = 0; d < 3; ++d) {
+    const auto spec = uncertain::ErrorSpec::MixedSigma(kKinds[d], 0.2, 1.0,
+                                                       0.4);
+    auto pooled = RunPooled(datasets, spec, matchers, config);
+    if (!pooled.ok()) {
+      std::fprintf(stderr, "%s\n", pooled.status().ToString().c_str());
+      return 1;
+    }
+    const auto& rs = pooled.ValueOrDie();
+    table.AddRow({kDistNames[d],
+                  core::TextTable::NumWithCi(rs[0].f1.mean, rs[0].f1.half_width),
+                  core::TextTable::NumWithCi(rs[1].f1.mean, rs[1].f1.half_width),
+                  core::TextTable::NumWithCi(rs[2].f1.mean, rs[2].f1.half_width),
+                  core::TextTable::NumWithCi(rs[3].f1.mean, rs[3].f1.half_width)});
+    csv.AddKeyedRow(kDistNames[d], {rs[0].f1.mean, rs[1].f1.mean,
+                                    rs[2].f1.mean, rs[3].f1.mean});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Reading: if AR1-smoother beats UEMA, explicit correlation "
+              "modeling pays off over\nthe fixed-window heuristic — the "
+              "paper's conjecture, quantified.\n\n");
+  EmitCsv(config, "ext_correlation.csv", csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace uts::bench
+
+int main(int argc, char** argv) { return uts::bench::Run(argc, argv); }

@@ -1,0 +1,53 @@
+/// \file bench_fig14_decay.cpp
+/// \brief Figure 14 — F1 vs exponential decay factor λ (0..1) for UEMA with
+/// window w = 5 and w = 10, averaged over all datasets, mixed normal error.
+///
+/// Paper expectation: "λ has only a small effect on the performance of the
+/// algorithm, especially when the size of the window is small"; λ = 0 is
+/// exactly UMA.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace uts::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseArgs(
+      argc, argv, "bench_fig14_decay",
+      "Figure 14: F1 vs decay factor for UEMA (w = 5, 10)");
+  const auto datasets = LoadDatasets(config);
+  PrintBanner("Figure 14", "decay-factor sweep, mixed normal error "
+              "(20%@1.0 / 80%@0.4)", config);
+
+  const auto spec =
+      uncertain::ErrorSpec::MixedSigma(prob::ErrorKind::kNormal, 0.2, 1.0, 0.4);
+  io::CsvWriter csv({"lambda", "UEMA_w5", "UEMA_w10"});
+  core::TextTable table({"lambda", "UEMA(w=5)", "UEMA(w=10)"});
+
+  for (int i = 0; i <= 10; ++i) {
+    const double lambda = 0.1 * i;
+    auto w5 = core::MakeUemaMatcher(5, lambda);
+    auto w10 = core::MakeUemaMatcher(10, lambda);
+    std::vector<core::Matcher*> matchers{w5.get(), w10.get()};
+    auto pooled = RunPooled(datasets, spec, matchers, config);
+    if (!pooled.ok()) {
+      std::fprintf(stderr, "%s\n", pooled.status().ToString().c_str());
+      return 1;
+    }
+    const auto& rs = pooled.ValueOrDie();
+    table.AddRow({core::TextTable::Num(lambda, 1),
+                  core::TextTable::NumWithCi(rs[0].f1.mean, rs[0].f1.half_width),
+                  core::TextTable::NumWithCi(rs[1].f1.mean, rs[1].f1.half_width)});
+    csv.AddNumericRow({lambda, rs[0].f1.mean, rs[1].f1.mean});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  EmitCsv(config, "fig14_decay.csv", csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace uts::bench
+
+int main(int argc, char** argv) { return uts::bench::Run(argc, argv); }

@@ -1,0 +1,25 @@
+/// \file bench_fig16_uma_normal.cpp
+/// \brief Figure 16 — F1 per dataset for Euclidean, DUST, UMA and UEMA
+/// under mixed **normal** error (20% σ = 1.0, 80% σ = 0.4).
+///
+/// Paper expectation: "The accuracy of DUST and Euclidean is almost the
+/// same, while UMA and UEMA perform consistently better"; UEMA ≈ +4% over
+/// UMA, UMA/UEMA 4-15% over DUST on average.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uts;
+  bench::BenchConfig config = bench::ParseArgs(
+      argc, argv, "bench_fig16_uma_normal",
+      "Figure 16: per-dataset F1, UMA/UEMA vs DUST/Euclidean, normal error");
+
+  const auto spec =
+      uncertain::ErrorSpec::MixedSigma(prob::ErrorKind::kNormal, 0.2, 1.0, 0.4);
+  bench::MatcherBundle bundle = bench::MakeSectionFiveBundle();
+  return bench::RunPerDatasetFigure(
+      "Figure 16", "Euclidean/DUST/UMA/UEMA, mixed normal error", spec,
+      {bundle.euclidean.get(), bundle.dust.get(), bundle.uma.get(),
+       bundle.uema.get()},
+      config, "fig16_uma_normal.csv");
+}

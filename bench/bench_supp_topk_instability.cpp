@@ -1,0 +1,212 @@
+/// \file bench_supp_topk_instability.cpp
+/// \brief Supplementary — why the paper evaluates similarity *matching*
+/// instead of top-k search (Section 4.1.2):
+///
+/// "Observe that we cannot use the top-k search task for this comparison
+/// ... these techniques can produce different rankings when the threshold ε
+/// changes ... in the case of uncertain time series, MUNICH and PROUD might
+/// produce very different top-k answers even if ε varies a little."
+///
+/// This harness quantifies that claim: rank all candidates of a query by
+/// (a) an exact distance (Euclidean, DUST) and (b) a match probability at
+/// threshold ε (PROUD, MUNICH), then measure the top-k overlap between the
+/// rankings at ε and at (1+δ)·ε for small δ. Exact measures are invariant
+/// by construction; the probabilistic rankings drift.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distance/lp.hpp"
+#include "measures/munich.hpp"
+#include "measures/proud.hpp"
+#include "uncertain/perturb.hpp"
+
+namespace uts::bench {
+namespace {
+
+/// Top-k indices by descending score (ties by index).
+std::vector<std::size_t> TopKByScore(const std::vector<double>& scores,
+                                     std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<long>(std::min(k, order.size())),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+double OverlapFraction(const std::vector<std::size_t>& a,
+                       const std::vector<std::size_t>& b) {
+  std::size_t hits = 0;
+  for (std::size_t x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++hits;
+  }
+  return a.empty() ? 1.0 : double(hits) / double(a.size());
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseArgs(
+      argc, argv, "bench_supp_topk_instability",
+      "Supplementary: top-k ranking stability under small epsilon changes "
+      "(Section 4.1.2)");
+  if (config.datasets.empty()) config.datasets = {"GunPoint", "Trace"};
+  const auto datasets = LoadDatasets(config);
+  PrintBanner("Supplementary: top-k instability",
+              "top-10 overlap between rankings at eps and (1+delta)*eps",
+              config);
+
+  const auto spec =
+      uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.6);
+  constexpr std::size_t kTop = 10;
+  const double deltas[] = {0.02, 0.05, 0.10, 0.20};
+
+  core::TextTable table({"delta", "Euclidean", "DUST", "PROUD",
+                         "PROUD sat. frac**", "MUNICH*"});
+  io::CsvWriter csv({"delta", "Euclidean", "DUST", "PROUD", "PROUD_saturated",
+                     "MUNICH"});
+
+  for (double delta : deltas) {
+    double overlap[4] = {0.0, 0.0, 0.0, 0.0};
+    double proud_saturated = 0.0;
+    std::size_t queries = 0;
+
+    for (const auto& dataset : datasets) {
+      const auto pdf = uncertain::PerturbDataset(dataset, spec, config.seed);
+      // MUNICH on a truncated view (its feasible regime).
+      const auto truncated = dataset.Truncated(
+          std::min<std::size_t>(24, dataset.size()), 6);
+      uncertain::MultiSampleDataset samples;
+      if (truncated.ok()) {
+        samples = uncertain::PerturbDatasetMultiSample(
+            truncated.ValueOrDie(), spec, 5, config.seed + 1);
+      }
+
+      measures::Proud proud({.tau = 0.5, .sigma = 0.6});
+      measures::Dust dust;
+      measures::Munich munich;
+
+      const std::size_t num_queries = std::min<std::size_t>(6, pdf.size());
+      for (std::size_t qi = 0; qi < num_queries; ++qi) {
+        // ε := distance to the 10th observed neighbor (any sane scale works;
+        // the experiment only compares rankings at ε vs (1+δ)ε).
+        std::vector<double> euclid(pdf.size(), 0.0);
+        for (std::size_t ci = 0; ci < pdf.size(); ++ci) {
+          if (ci == qi) continue;
+          euclid[ci] = distance::Euclidean(pdf[qi].observations(),
+                                           pdf[ci].observations());
+        }
+        std::vector<double> sorted = euclid;
+        std::sort(sorted.begin(), sorted.end());
+        const double eps = sorted[std::min<std::size_t>(kTop, sorted.size() - 1)];
+
+        // Exact measures rank by -distance (independent of ε — the overlap
+        // is 1 by construction, shown for contrast).
+        auto negate = [](std::vector<double> v) {
+          for (double& x : v) x = -x;
+          return v;
+        };
+        const auto euclid_rank = TopKByScore(negate(euclid), kTop);
+        overlap[0] += OverlapFraction(euclid_rank, euclid_rank);
+
+        std::vector<double> dust_scores(pdf.size(), 0.0);
+        for (std::size_t ci = 0; ci < pdf.size(); ++ci) {
+          if (ci == qi) continue;
+          dust_scores[ci] = -dust.Distance(pdf[qi], pdf[ci]).ValueOr(1e300);
+        }
+        const auto dust_rank = TopKByScore(dust_scores, kTop);
+        overlap[1] += OverlapFraction(dust_rank, dust_rank);
+
+        // PROUD: rank by match probability at ε vs (1+δ)ε.
+        auto proud_scores = [&](double e) {
+          std::vector<double> scores(pdf.size(), -1.0);
+          for (std::size_t ci = 0; ci < pdf.size(); ++ci) {
+            if (ci == qi) continue;
+            scores[ci] = proud.MatchProbability(pdf[qi].observations(),
+                                                pdf[ci].observations(), e);
+          }
+          return scores;
+        };
+        const auto proud_at_eps = proud_scores(eps);
+        overlap[2] += OverlapFraction(
+            TopKByScore(proud_at_eps, kTop),
+            TopKByScore(proud_scores(eps * (1.0 + delta)), kTop));
+        // Saturated probabilities (numerically 0 or 1) make the top-k
+        // ranking depend on tie-breaking alone — the practical face of the
+        // paper's "top-k is not suitable" argument.
+        std::size_t saturated = 0;
+        for (std::size_t ci = 0; ci < proud_at_eps.size(); ++ci) {
+          if (ci == qi) continue;
+          if (proud_at_eps[ci] < 1e-12 || proud_at_eps[ci] > 1.0 - 1e-12) {
+            ++saturated;
+          }
+        }
+        proud_saturated +=
+            double(saturated) / double(proud_at_eps.size() - 1);
+
+        // MUNICH on the truncated view.
+        if (truncated.ok() && qi < samples.size()) {
+          auto munich_scores = [&](double e) {
+            std::vector<double> scores(samples.size(), -1.0);
+            for (std::size_t ci = 0; ci < samples.size(); ++ci) {
+              if (ci == qi) continue;
+              scores[ci] = munich
+                               .MatchProbability(samples[qi], samples[ci], e,
+                                                 config.seed + ci)
+                               .ValueOr(0.0);
+            }
+            return scores;
+          };
+          // ε for the truncated view: 10th neighbor on sample means.
+          std::vector<double> mdist;
+          const auto q_means = samples[qi].SampleMeans();
+          for (std::size_t ci = 0; ci < samples.size(); ++ci) {
+            if (ci == qi) continue;
+            mdist.push_back(distance::Euclidean(
+                q_means.values(), samples[ci].SampleMeans().values()));
+          }
+          std::sort(mdist.begin(), mdist.end());
+          const double meps = mdist[std::min<std::size_t>(kTop, mdist.size() - 1)];
+          overlap[3] += OverlapFraction(
+              TopKByScore(munich_scores(meps), kTop),
+              TopKByScore(munich_scores(meps * (1.0 + delta)), kTop));
+        } else {
+          overlap[3] += 1.0;
+        }
+        ++queries;
+      }
+    }
+
+    table.AddRow({core::TextTable::Num(delta, 2),
+                  core::TextTable::Num(overlap[0] / queries, 3),
+                  core::TextTable::Num(overlap[1] / queries, 3),
+                  core::TextTable::Num(overlap[2] / queries, 3),
+                  core::TextTable::Num(proud_saturated / queries, 3),
+                  core::TextTable::Num(overlap[3] / queries, 3)});
+    csv.AddNumericRow({delta, overlap[0] / queries, overlap[1] / queries,
+                       overlap[2] / queries, proud_saturated / queries,
+                       overlap[3] / queries});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "*MUNICH measured on truncated series (length 6, 5 samples/pt) where "
+      "its probabilities are exact.\n"
+      "**fraction of candidates whose PROUD probability is numerically 0 or "
+      "1: those top-k slots are\n  decided by tie-breaking, not similarity.\n"
+      "Reading: 1.000 = identical top-10 at eps and (1+delta)*eps. Exact "
+      "distances are invariant by\nconstruction; the probabilistic rankings "
+      "drift (MUNICH) or saturate into ties (PROUD) — the\npaper's reason to "
+      "compare techniques on the matching task instead.\n\n");
+  EmitCsv(config, "supp_topk_instability.csv", csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace uts::bench
+
+int main(int argc, char** argv) { return uts::bench::Run(argc, argv); }

@@ -1,0 +1,65 @@
+/// \file bench_table_chisquare.cpp
+/// \brief Section 4.1.1 uniformity check — "According to the Chi-square
+/// test, the hypothesis that the datasets follow the uniform distribution
+/// was rejected (for all datasets) with confidence level α = 0.01."
+///
+/// DUST assumes uniformly distributed values; this table shows the
+/// assumption fails on every dataset (synthetic stand-ins included), yet
+/// DUST is evaluated under it throughout, exactly as in the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "prob/stats.hpp"
+
+namespace uts::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseArgs(
+      argc, argv, "bench_table_chisquare",
+      "Section 4.1.1: chi-square uniformity test on all dataset values");
+  const auto datasets = LoadDatasets(config);
+  PrintBanner("Section 4.1.1 table", "chi-square test of value uniformity, "
+              "alpha = 0.01", config);
+
+  core::TextTable table({"dataset", "n_values", "chi2", "dof", "p_value",
+                         "reject_uniform@0.01"});
+  io::CsvWriter csv({"dataset", "n_values", "chi2", "dof", "p_value",
+                     "reject"});
+  std::size_t rejected = 0;
+  for (const auto& dataset : datasets) {
+    std::vector<double> pooled;
+    for (const auto& series : dataset) {
+      pooled.insert(pooled.end(), series.begin(), series.end());
+    }
+    auto test = prob::ChiSquareUniformityTest(pooled);
+    if (!test.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.name().c_str(),
+                   test.status().ToString().c_str());
+      return 1;
+    }
+    const auto& r = test.ValueOrDie();
+    const bool reject = r.RejectAt(0.01);
+    rejected += reject ? 1 : 0;
+    table.AddRow({dataset.name(), std::to_string(r.samples),
+                  core::TextTable::Num(r.statistic, 1),
+                  core::TextTable::Num(r.dof, 0),
+                  core::TextTable::Num(r.p_value, 6),
+                  reject ? "yes" : "no"});
+    csv.AddKeyedRow(dataset.name(),
+                    {static_cast<double>(r.samples), r.statistic, r.dof,
+                     r.p_value, reject ? 1.0 : 0.0});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("uniformity rejected for %zu of %zu datasets "
+              "(paper: all 17 of 17)\n\n", rejected, datasets.size());
+  EmitCsv(config, "table_chisquare.csv", csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace uts::bench
+
+int main(int argc, char** argv) { return uts::bench::Run(argc, argv); }

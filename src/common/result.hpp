@@ -1,0 +1,80 @@
+/// \file result.hpp
+/// \brief `Result<T>` — a value or a non-OK `Status` (pre-C++23 `expected`).
+
+#ifndef UTS_COMMON_RESULT_HPP_
+#define UTS_COMMON_RESULT_HPP_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace uts {
+
+/// \brief Holds either a successfully produced `T` or the `Status` explaining
+/// why none could be produced.
+///
+/// ```
+/// Result<Dataset> r = LoadUcrFile(path);
+/// if (!r.ok()) return r.status();
+/// Dataset d = std::move(r).ValueOrDie();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit success construction from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit failure construction from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for the success case");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Borrow the value; precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Move the value out; precondition: ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Propagate failure from a `Result<T>` expression, binding the value
+/// into `lhs` on success.
+#define UTS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto UTS_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!UTS_CONCAT_(_res_, __LINE__).ok())          \
+    return UTS_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(UTS_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define UTS_CONCAT_INNER_(a, b) a##b
+#define UTS_CONCAT_(a, b) UTS_CONCAT_INNER_(a, b)
+
+}  // namespace uts
+
+#endif  // UTS_COMMON_RESULT_HPP_

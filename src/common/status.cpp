@@ -1,0 +1,41 @@
+#include "common/status.hpp"
+
+namespace uts {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNumericError:
+      return "NumericError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out{StatusCodeName(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace uts

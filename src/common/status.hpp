@@ -1,0 +1,112 @@
+/// \file status.hpp
+/// \brief RocksDB-style operation status for fallible library calls.
+///
+/// The library does not throw exceptions across its API boundary. Functions
+/// that can fail for data-dependent reasons (bad input files, degenerate
+/// configurations, numerical breakdown) return a `Status`, or a `Result<T>`
+/// when they also produce a value. Programmer errors (out-of-range indices,
+/// violated preconditions documented on the API) are guarded with `assert`.
+
+#ifndef UTS_COMMON_STATUS_HPP_
+#define UTS_COMMON_STATUS_HPP_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace uts {
+
+/// \brief Coarse error taxonomy, modeled after RocksDB's Status codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller-supplied parameter is unusable.
+  kNotFound,         ///< Named entity (dataset, file, column) does not exist.
+  kIOError,          ///< Filesystem or stream failure.
+  kCorruption,       ///< Input data violates its advertised format.
+  kNotSupported,     ///< Valid request outside the implemented feature set.
+  kOutOfRange,       ///< Value outside the domain of a numeric routine.
+  kNumericError,     ///< Floating-point breakdown (NaN, non-convergence).
+};
+
+/// \brief Human-readable name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief The outcome of a fallible operation: a code plus optional message.
+///
+/// `Status` is cheap to copy for the OK case (empty message) and carries a
+/// diagnostic string otherwise. Use the static factories:
+///
+/// ```
+/// if (n == 0) return Status::InvalidArgument("series must be non-empty");
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factories
+  /// \{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  /// \}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error class of this status.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses compare equal when code and message match.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Propagate a non-OK status to the caller.
+#define UTS_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::uts::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace uts
+
+#endif  // UTS_COMMON_STATUS_HPP_

@@ -1,0 +1,281 @@
+/// \file matchers.hpp
+/// \brief The concrete matchers evaluated in the paper.
+///
+/// | Matcher                | Paper section | Space of ε            |
+/// |------------------------|---------------|-----------------------|
+/// | EuclideanMatcher       | 4.1.2         | Euclidean on obs      |
+/// | ProudMatcher           | 2.2           | Euclidean on obs (+τ) |
+/// | ProudSynopsisMatcherA  | 4.3           | Euclidean on obs (+τ) |
+/// | DustMatcher            | 2.3           | DUST                  |
+/// | DustDtwMatcher         | 3.2           | DUST-DTW              |
+/// | MunichMatcher          | 2.1           | Euclidean on obs (+τ) |
+/// | MunichDtwMatcher       | 2.1/3.2       | DTW on obs (+τ)       |
+/// | MovingAverageMatcher   | 5 (MA/EMA)    | Euclidean on filtered |
+/// | UmaMatcher             | 5 (Eq. 17)    | Euclidean on filtered |
+/// | UemaMatcher            | 5 (Eq. 18)    | Euclidean on filtered |
+
+#ifndef UTS_CORE_MATCHERS_HPP_
+#define UTS_CORE_MATCHERS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "distance/dtw.hpp"
+#include "measures/dust.hpp"
+#include "measures/munich.hpp"
+#include "measures/proud.hpp"
+#include "ts/filters.hpp"
+#include "ts/smoother.hpp"
+#include "wavelet/proud_synopsis.hpp"
+
+namespace uts::core {
+
+/// \brief Baseline: Euclidean distance on the raw observations.
+class EuclideanMatcher final : public Matcher {
+ public:
+  std::string name() const override { return "Euclidean"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+ private:
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief PROUD with the paper's constant-σ model.
+class ProudMatcher final : public Matcher {
+ public:
+  /// \param tau            probability threshold τ
+  /// \param sigma_override σ told to PROUD; when unset, the context's
+  ///                       `reported_sigma` is used at Bind time
+  explicit ProudMatcher(double tau = 0.9,
+                        std::optional<double> sigma_override = std::nullopt)
+      : tau_(tau), sigma_override_(sigma_override) {}
+
+  std::string name() const override { return "PROUD"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+  bool has_tau() const override { return true; }
+  double tau() const override { return tau_; }
+  void set_tau(double tau) override;
+
+ private:
+  double tau_;
+  std::optional<double> sigma_override_;
+  std::unique_ptr<measures::Proud> proud_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief PROUD accelerated by the Haar-synopsis filter (Section 4.3).
+class ProudSynopsisMatcherAdapter final : public Matcher {
+ public:
+  explicit ProudSynopsisMatcherAdapter(
+      double tau = 0.9, std::size_t synopsis_size = 16,
+      std::optional<double> sigma_override = std::nullopt)
+      : tau_(tau),
+        synopsis_size_(synopsis_size),
+        sigma_override_(sigma_override) {}
+
+  std::string name() const override { return "PROUD-wavelet"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+  bool has_tau() const override { return true; }
+  double tau() const override { return tau_; }
+  void set_tau(double tau) override;
+
+  /// Filter effectiveness counters accumulated since the last Bind.
+  const wavelet::ProudSynopsisStats& stats() const { return stats_; }
+
+ private:
+  Status Rebuild();
+
+  double tau_;
+  std::size_t synopsis_size_;
+  std::optional<double> sigma_override_;
+  std::unique_ptr<wavelet::ProudSynopsisMatcher> matcher_;
+  std::vector<wavelet::HaarSynopsis> synopses_;
+  wavelet::ProudSynopsisStats stats_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief DUST distance matcher.
+class DustMatcher final : public Matcher {
+ public:
+  explicit DustMatcher(measures::DustOptions options = {})
+      : dust_(options) {}
+
+  std::string name() const override { return "DUST"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+  /// The underlying distance, for diagnostics.
+  measures::Dust& dust() { return dust_; }
+
+ private:
+  measures::Dust dust_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief DUST with DTW alignment (Section 3.2).
+class DustDtwMatcher final : public Matcher {
+ public:
+  explicit DustDtwMatcher(measures::DustOptions options = {},
+                          distance::DtwOptions dtw_options = {})
+      : dust_(options), dtw_options_(dtw_options) {}
+
+  std::string name() const override { return "DUST-DTW"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+ private:
+  measures::Dust dust_;
+  distance::DtwOptions dtw_options_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief MUNICH over the repeated-observations model (Euclidean flavor).
+///
+/// Match probabilities are cached per (query, candidate, ε): a τ sweep
+/// (`SweepTau`) re-decides against the same probabilities instead of
+/// re-running the exact/Monte-Carlo estimator. The cache resets at Bind.
+class MunichMatcher final : public Matcher {
+ public:
+  explicit MunichMatcher(measures::MunichOptions options = {})
+      : munich_(options) {}
+
+  std::string name() const override { return "MUNICH"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+  bool has_tau() const override { return true; }
+  double tau() const override { return munich_.options().tau; }
+  void set_tau(double tau) override;
+
+ private:
+  measures::Munich munich_;
+  const EvalContext* ctx_ = nullptr;
+  std::uint64_t bound_fingerprint_ = 0;
+  std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>, double>
+      prob_cache_;
+};
+
+/// \brief MUNICH with DTW distances over materializations.
+class MunichDtwMatcher final : public Matcher {
+ public:
+  explicit MunichDtwMatcher(measures::MunichOptions options = {},
+                            distance::DtwOptions dtw_options = {})
+      : options_(options), dtw_options_(dtw_options) {}
+
+  std::string name() const override { return "MUNICH-DTW"; }
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+  bool has_tau() const override { return true; }
+  double tau() const override { return options_.tau; }
+  void set_tau(double tau) override { options_.tau = tau; }
+
+ private:
+  measures::MunichOptions options_;
+  distance::DtwOptions dtw_options_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief Which moving-average filter a filtered matcher applies.
+enum class FilterKind {
+  kMovingAverage,             ///< Eq. 15 (no uncertainty information)
+  kExponentialMovingAverage,  ///< Eq. 16
+  kUma,                       ///< Eq. 17
+  kUema,                      ///< Eq. 18
+};
+
+/// \brief Euclidean distance over filtered observations — the UMA/UEMA
+/// measures of Section 5 plus their non-uncertain MA/EMA ablations.
+class FilteredMatcher final : public Matcher {
+ public:
+  FilteredMatcher(FilterKind kind, ts::FilterOptions options);
+
+  std::string name() const override;
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+ private:
+  FilterKind kind_;
+  ts::FilterOptions options_;
+  std::vector<std::vector<double>> filtered_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief Plain DTW over the raw observations (the certain-series DTW that
+/// MUNICH-DTW and DUST-DTW are compared against, Section 3.2).
+class DtwMatcher final : public Matcher {
+ public:
+  explicit DtwMatcher(distance::DtwOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override;
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+ private:
+  distance::DtwOptions options_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \brief Correlation-aware measure: Euclidean over AR(1) Kalman/RTS
+/// smoothed observations — the library's instantiation of the paper's
+/// future-work direction ("take into account the sequential correlations",
+/// Section 7). Uses exactly the information UMA/UEMA use (observations +
+/// reported per-point σ) plus a ρ estimated per series.
+class Ar1SmootherMatcher final : public Matcher {
+ public:
+  explicit Ar1SmootherMatcher(ts::Ar1SmootherOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override;
+  Status Bind(const EvalContext& context) override;
+  Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
+  Result<bool> Matches(std::size_t qi, std::size_t ci,
+                       double epsilon) override;
+
+ private:
+  ts::Ar1SmootherOptions options_;
+  std::vector<std::vector<double>> smoothed_;
+  const EvalContext* ctx_ = nullptr;
+};
+
+/// \name Factory helpers with the paper's default parameters
+/// "we assume a decaying factor of λ = 1 for UEMA, and a moving average
+/// window length W = 5 (i.e., w = 2) for both UMA and UEMA" (Section 5.2).
+/// \{
+std::unique_ptr<FilteredMatcher> MakeUmaMatcher(std::size_t half_window = 2);
+std::unique_ptr<FilteredMatcher> MakeUemaMatcher(std::size_t half_window = 2,
+                                                 double lambda = 1.0);
+std::unique_ptr<FilteredMatcher> MakeMovingAverageMatcher(
+    std::size_t half_window = 2);
+std::unique_ptr<FilteredMatcher> MakeExponentialMovingAverageMatcher(
+    std::size_t half_window = 2, double lambda = 1.0);
+/// \}
+
+}  // namespace uts::core
+
+#endif  // UTS_CORE_MATCHERS_HPP_

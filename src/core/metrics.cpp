@@ -1,0 +1,51 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace uts::core {
+
+double F1Score(double precision, double recall) {
+  const double denom = precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * precision * recall / denom;
+}
+
+SetMetrics ComputeSetMetrics(std::span<const std::size_t> retrieved,
+                             std::span<const std::size_t> relevant) {
+  std::vector<std::size_t> r(retrieved.begin(), retrieved.end());
+  std::vector<std::size_t> g(relevant.begin(), relevant.end());
+  std::sort(r.begin(), r.end());
+  std::sort(g.begin(), g.end());
+
+  SetMetrics metrics;
+  metrics.retrieved = r.size();
+  metrics.relevant = g.size();
+
+  std::size_t hits = 0;
+  auto it_r = r.begin();
+  auto it_g = g.begin();
+  while (it_r != r.end() && it_g != g.end()) {
+    if (*it_r < *it_g) {
+      ++it_r;
+    } else if (*it_g < *it_r) {
+      ++it_g;
+    } else {
+      ++hits;
+      ++it_r;
+      ++it_g;
+    }
+  }
+  metrics.hits = hits;
+
+  metrics.precision =
+      r.empty() ? (g.empty() ? 1.0 : 0.0)
+                : static_cast<double>(hits) / static_cast<double>(r.size());
+  metrics.recall =
+      g.empty() ? 1.0
+                : static_cast<double>(hits) / static_cast<double>(g.size());
+  metrics.f1 = F1Score(metrics.precision, metrics.recall);
+  return metrics;
+}
+
+}  // namespace uts::core

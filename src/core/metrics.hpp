@@ -1,0 +1,44 @@
+/// \file metrics.hpp
+/// \brief Retrieval quality metrics (Section 4.2, Eq. 14).
+///
+/// "Recall is defined as the percentage of the truly similar uncertain time
+/// series that are found by the algorithm. Precision is the percentage of
+/// similar uncertain time series identified by the algorithm, which are
+/// truly similar. Accuracy is measured in terms of F1 score."
+
+#ifndef UTS_CORE_METRICS_HPP_
+#define UTS_CORE_METRICS_HPP_
+
+#include <cstddef>
+#include <span>
+
+namespace uts::core {
+
+/// \brief Precision / recall / F1 of one retrieved set vs the ground truth.
+struct SetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t retrieved = 0;  ///< |result set|
+  std::size_t relevant = 0;   ///< |ground-truth set|
+  std::size_t hits = 0;       ///< |intersection|
+};
+
+/// \brief Compute metrics from index sets.
+///
+/// Conventions for degenerate cases: an empty retrieved set has precision 0
+/// when anything was relevant (and 1 when nothing was); recall is 1 when the
+/// relevant set is empty; F1 is 0 whenever precision + recall is 0. These
+/// make the F1 averages well defined across all queries.
+///
+/// \param retrieved indices returned by the technique (any order, no dups)
+/// \param relevant  ground-truth indices (any order, no dups)
+SetMetrics ComputeSetMetrics(std::span<const std::size_t> retrieved,
+                             std::span<const std::size_t> relevant);
+
+/// \brief F1 from precision and recall (Eq. 14), 0 when both are 0.
+double F1Score(double precision, double recall);
+
+}  // namespace uts::core
+
+#endif  // UTS_CORE_METRICS_HPP_

@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace uts::core {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::NumWithCi(double mean, double half_width,
+                                 int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f +/-%.*f", precision, mean, precision,
+                half_width);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace uts::core

@@ -1,0 +1,42 @@
+/// \file report.hpp
+/// \brief Fixed-width console tables for the benchmark harnesses.
+
+#ifndef UTS_CORE_REPORT_HPP_
+#define UTS_CORE_REPORT_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uts::core {
+
+/// \brief Simple fixed-width table: header + string rows, auto-sized columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; width must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Format a double with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Format "mean ± half_width".
+  static std::string NumWithCi(double mean, double half_width,
+                               int precision = 3);
+
+  /// Render with column padding and a separator under the header.
+  std::string ToString() const;
+
+  /// Print to a stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uts::core
+
+#endif  // UTS_CORE_REPORT_HPP_

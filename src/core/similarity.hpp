@@ -1,0 +1,94 @@
+/// \file similarity.hpp
+/// \brief The unified similarity-matching interface of the evaluation.
+///
+/// The paper's methodology (Section 4.1.2) compares heterogeneous
+/// techniques — exact distances (Euclidean, DUST, UMA, UEMA) and
+/// probabilistic matchers (MUNICH, PROUD) — "on the same task", time-series
+/// similarity matching. The common denominator is:
+///
+///  1. bind to a perturbed dataset (precompute anything per-series);
+///  2. report a *calibration distance* between two bound series, used to
+///     derive the technique-equivalent threshold ε from the 10th nearest
+///     neighbor ("we define ε_eucl as the Euclidean distance on the
+///     observations between q and c and ε_dust as the DUST distance between
+///     q and c");
+///  3. decide whether a candidate matches a query under that threshold —
+///     a plain distance comparison for exact measures, a
+///     Pr(distance ≤ ε) ≥ τ test for the probabilistic ones.
+
+#ifndef UTS_CORE_SIMILARITY_HPP_
+#define UTS_CORE_SIMILARITY_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "ts/dataset.hpp"
+#include "uncertain/uncertain_series.hpp"
+
+namespace uts::core {
+
+/// \brief Everything a matcher may look at for one experiment run.
+struct EvalContext {
+  /// Exact (unperturbed, z-normalized) series — used ONLY for ground truth,
+  /// never visible to matchers.
+  const ts::Dataset* exact = nullptr;
+
+  /// Perturbed series in the pdf model (observations + reported errors).
+  const uncertain::UncertainDataset* pdf = nullptr;
+
+  /// Perturbed series in the repeated-observations model (for MUNICH);
+  /// may be null when no sample-based matcher participates.
+  const uncertain::MultiSampleDataset* samples = nullptr;
+
+  /// The constant σ PROUD is told (its "a priori knowledge").
+  double reported_sigma = 1.0;
+
+  /// Base seed of this run; matchers with stochastic estimators derive
+  /// per-pair seeds from it.
+  std::uint64_t seed = 0;
+};
+
+/// \brief A similarity-matching technique under evaluation.
+///
+/// Matchers are stateful: `Bind` is called once per perturbed dataset and
+/// may precompute per-series artifacts (filtered sequences, synopses, DUST
+/// tables). They are not thread-safe.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Display name, e.g. "PROUD" or "UEMA(w=2,lambda=1)".
+  virtual std::string name() const = 0;
+
+  /// Attach to a run; precompute caches. Must be called before the other
+  /// methods. Re-binding to a new context is allowed.
+  virtual Status Bind(const EvalContext& context) = 0;
+
+  /// Distance between bound series `qi` and `ci` in the measure's own
+  /// space, used for threshold calibration. For probabilistic matchers this
+  /// is the Euclidean distance on the observations (ε is always a Euclidean
+  /// threshold for MUNICH and PROUD, Section 4.1.2).
+  virtual Result<double> CalibrationDistance(std::size_t qi,
+                                             std::size_t ci) = 0;
+
+  /// Match decision for candidate `ci` against query `qi` with threshold
+  /// `epsilon` (in the same space as `CalibrationDistance`).
+  virtual Result<bool> Matches(std::size_t qi, std::size_t ci,
+                               double epsilon) = 0;
+
+  /// Whether this matcher has a probabilistic threshold τ (MUNICH, PROUD).
+  virtual bool has_tau() const { return false; }
+
+  /// Current τ; only meaningful when `has_tau()`.
+  virtual double tau() const { return 0.0; }
+
+  /// Update τ; only meaningful when `has_tau()`. Used by the optimal-τ
+  /// sweep ("we are using the optimal probabilistic threshold τ, determined
+  /// after repeated experiments", Section 4.2.1).
+  virtual void set_tau(double tau) { (void)tau; }
+};
+
+}  // namespace uts::core
+
+#endif  // UTS_CORE_SIMILARITY_HPP_

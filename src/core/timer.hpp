@@ -1,0 +1,36 @@
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch for the CPU-time-per-query experiments
+/// (Figures 11 and 12).
+
+#ifndef UTS_CORE_TIMER_HPP_
+#define UTS_CORE_TIMER_HPP_
+
+#include <chrono>
+
+namespace uts::core {
+
+/// \brief Steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart timing.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed microseconds since construction/Reset.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uts::core
+
+#endif  // UTS_CORE_TIMER_HPP_

@@ -1,0 +1,206 @@
+#include "datagen/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "prob/rng.hpp"
+
+namespace uts::datagen {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::string SeriesId(const std::string& dataset, std::size_t index) {
+  return dataset + "/" + std::to_string(index);
+}
+
+}  // namespace
+
+ts::Dataset GenerateCbf(std::size_t num_series, std::size_t length,
+                        std::uint64_t seed) {
+  assert(length >= 8);
+  ts::Dataset dataset("CBF");
+  for (std::size_t idx = 0; idx < num_series; ++idx) {
+    prob::Rng rng(prob::DeriveSeed(seed, idx));
+    const int label = static_cast<int>(idx % 3);  // 0=cylinder 1=bell 2=funnel
+    const double n = static_cast<double>(length);
+    const double a = rng.Uniform(n / 8.0, n / 4.0);
+    const double b = a + rng.Uniform(n / 4.0, 3.0 * n / 4.0);
+    const double eta = rng.Gaussian();
+    const double amplitude = 6.0 + eta;
+
+    std::vector<double> values(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      double shape = 0.0;
+      if (x >= a && x <= b) {
+        switch (label) {
+          case 0: shape = 1.0; break;                       // cylinder
+          case 1: shape = (x - a) / (b - a); break;          // bell
+          default: shape = (b - x) / (b - a); break;         // funnel
+        }
+      }
+      values[t] = amplitude * shape + rng.Gaussian();
+    }
+    dataset.Add(ts::TimeSeries(std::move(values), label,
+                               SeriesId("CBF", idx)));
+  }
+  return dataset;
+}
+
+ts::Dataset GenerateSyntheticControl(std::size_t num_series,
+                                     std::size_t length, std::uint64_t seed) {
+  assert(length >= 8);
+  ts::Dataset dataset("syntheticControl");
+  constexpr double kMean = 30.0;
+  constexpr double kSpread = 2.0;
+  for (std::size_t idx = 0; idx < num_series; ++idx) {
+    prob::Rng rng(prob::DeriveSeed(seed, idx));
+    const int label = static_cast<int>(idx % 6);
+    const double n = static_cast<double>(length);
+
+    // Class-level parameters (Alcock & Manolopoulos ranges).
+    const double cycle_amp = rng.Uniform(10.0, 15.0);
+    const double cycle_period = rng.Uniform(10.0, 15.0);
+    const double gradient = rng.Uniform(0.2, 0.5);
+    const double shift_magnitude = rng.Uniform(7.5, 20.0);
+    const double shift_time = rng.Uniform(n / 3.0, 2.0 * n / 3.0);
+
+    std::vector<double> values(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t);
+      const double r = rng.Uniform(-3.0, 3.0);
+      double v = kMean + r * kSpread;
+      switch (label) {
+        case 0: break;                                           // normal
+        case 1: v += cycle_amp * std::sin(kTwoPi * x / cycle_period); break;
+        case 2: v += gradient * x; break;                        // inc trend
+        case 3: v -= gradient * x; break;                        // dec trend
+        case 4: v += (x >= shift_time ? shift_magnitude : 0.0); break;
+        default: v -= (x >= shift_time ? shift_magnitude : 0.0); break;
+      }
+      values[t] = v;
+    }
+    dataset.Add(ts::TimeSeries(std::move(values), label,
+                               SeriesId("syntheticControl", idx)));
+  }
+  return dataset;
+}
+
+namespace {
+
+/// One Gaussian bump feature of a class template.
+struct Bump {
+  double center;     // in [0, 1] of the time axis
+  double width;      // in fractions of the time axis
+  double amplitude;  // signed
+};
+
+/// One harmonic feature of a class template.
+struct Harmonic {
+  double frequency;  // cycles over the series
+  double phase;
+  double amplitude;
+};
+
+/// Analytic class template: shared base + separation-scaled class part.
+struct ClassTemplate {
+  std::vector<Bump> bumps;
+  std::vector<Harmonic> harmonics;
+
+  double Eval(double u) const {  // u in [0, 1]
+    double v = 0.0;
+    for (const Bump& b : bumps) {
+      const double z = (u - b.center) / b.width;
+      v += b.amplitude * std::exp(-0.5 * z * z);
+    }
+    for (const Harmonic& h : harmonics) {
+      v += h.amplitude * std::sin(kTwoPi * h.frequency * u + h.phase);
+    }
+    return v;
+  }
+};
+
+ClassTemplate BuildBase(prob::Rng& rng) {
+  // Shared low-frequency structure so all classes of a dataset look related.
+  ClassTemplate base;
+  for (int h = 0; h < 2; ++h) {
+    base.harmonics.push_back({rng.Uniform(0.5, 2.0), rng.Uniform(0.0, kTwoPi),
+                              rng.Uniform(0.6, 1.0)});
+  }
+  base.bumps.push_back({rng.Uniform(0.3, 0.7), rng.Uniform(0.1, 0.25),
+                        rng.Uniform(-1.0, 1.0)});
+  return base;
+}
+
+ClassTemplate BuildClassPart(prob::Rng& rng, const ShapeGrammarConfig& cfg) {
+  ClassTemplate part;
+  for (std::size_t b = 0; b < cfg.num_bumps; ++b) {
+    const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    part.bumps.push_back({rng.Uniform(0.08, 0.92), rng.Uniform(0.02, 0.10),
+                          sign * rng.Uniform(0.5, 1.5)});
+  }
+  for (std::size_t h = 0; h < cfg.num_harmonics; ++h) {
+    part.harmonics.push_back({rng.Uniform(1.0, 6.0), rng.Uniform(0.0, kTwoPi),
+                              rng.Uniform(0.2, 0.6)});
+  }
+  return part;
+}
+
+}  // namespace
+
+ts::Dataset GenerateShapeGrammar(const ShapeGrammarConfig& config,
+                                 std::size_t num_series, std::uint64_t seed,
+                                 const std::string& name) {
+  assert(config.num_classes >= 1);
+  assert(config.length >= 8);
+
+  // Templates are a function of the dataset seed only, so that every
+  // instance of a class (and every scaled-down subset) shares them.
+  prob::Rng template_rng(prob::DeriveSeed(seed, 0xba5e));
+  const ClassTemplate base = BuildBase(template_rng);
+  std::vector<ClassTemplate> class_parts;
+  class_parts.reserve(config.num_classes);
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    prob::Rng class_rng(prob::DeriveSeed(seed, 0xc1a5500 + k));
+    class_parts.push_back(BuildClassPart(class_rng, config));
+  }
+
+  ts::Dataset dataset(name);
+  const double n = static_cast<double>(config.length);
+  for (std::size_t idx = 0; idx < num_series; ++idx) {
+    prob::Rng rng(prob::DeriveSeed(seed, 0x5e71e5 + idx));
+    const auto label_index = idx % config.num_classes;
+    const ClassTemplate& part = class_parts[label_index];
+
+    // Instance-level variation.
+    const double warp_amp = config.warp_strength * rng.Uniform(0.3, 1.0);
+    const double warp_freq = rng.Uniform(0.5, 1.5);
+    const double warp_phase = rng.Uniform(0.0, kTwoPi);
+    const double amp_factor = 1.0 + config.amplitude_jitter * rng.Gaussian();
+    const double offset = 0.05 * rng.Gaussian();
+
+    std::vector<double> values(config.length);
+    double noise = 0.0;
+    const double innovation =
+        config.noise_level * std::sqrt(1.0 - config.noise_rho * config.noise_rho);
+    for (std::size_t t = 0; t < config.length; ++t) {
+      const double u = static_cast<double>(t) / (n - 1.0);
+      const double warped =
+          u + warp_amp * std::sin(kTwoPi * warp_freq * u + warp_phase);
+      const double signal =
+          base.Eval(warped) + config.class_separation * part.Eval(warped);
+      noise = config.noise_rho * noise + innovation * rng.Gaussian();
+      values[t] = amp_factor * signal + offset + noise;
+    }
+    dataset.Add(ts::TimeSeries(std::move(values),
+                               static_cast<int>(label_index),
+                               SeriesId(name, idx)));
+  }
+  return dataset;
+}
+
+}  // namespace uts::datagen

@@ -1,0 +1,124 @@
+#include "datagen/registry.hpp"
+
+#include <algorithm>
+
+namespace uts::datagen {
+
+namespace {
+
+/// Helper to assemble a shape-grammar spec in one expression.
+DatasetSpec ShapeSpec(std::string name, std::size_t num_series,
+                      std::size_t length, std::size_t classes,
+                      double separation, double warp, double noise,
+                      std::size_t bumps = 4, std::size_t harmonics = 3) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.kind = GeneratorKind::kShapeGrammar;
+  spec.num_series = num_series;
+  spec.length = length;
+  spec.shape.num_classes = classes;
+  spec.shape.length = length;
+  spec.shape.class_separation = separation;
+  spec.shape.warp_strength = warp;
+  spec.shape.noise_level = noise;
+  spec.shape.num_bumps = bumps;
+  spec.shape.num_harmonics = harmonics;
+  return spec;
+}
+
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs;
+
+  // Sizes are the real UCR train+test totals. `separation` is tuned so
+  // that the mean pairwise distance ordering reproduces the paper's
+  // easy/hard dataset split (checked by tests/datagen_test).
+  specs.push_back(ShapeSpec("50words", 905, 270, 50, 0.9, 0.05, 0.05, 5, 4));
+  specs.push_back(ShapeSpec("Adiac", 781, 176, 37, 0.25, 0.02, 0.03, 3, 4));
+  specs.push_back(ShapeSpec("Beef", 60, 470, 5, 0.5, 0.02, 0.04, 4, 5));
+
+  DatasetSpec cbf;
+  cbf.name = "CBF";
+  cbf.kind = GeneratorKind::kCbf;
+  cbf.num_series = 930;
+  cbf.length = 128;
+  cbf.shape.num_classes = 3;
+  specs.push_back(cbf);
+
+  specs.push_back(ShapeSpec("Coffee", 56, 286, 2, 0.6, 0.02, 0.03, 4, 4));
+  specs.push_back(ShapeSpec("ECG200", 200, 96, 2, 0.8, 0.05, 0.08, 4, 3));
+  specs.push_back(ShapeSpec("FISH", 350, 463, 7, 0.7, 0.03, 0.03, 5, 4));
+  specs.push_back(ShapeSpec("FaceAll", 2250, 131, 14, 1.1, 0.06, 0.06, 5, 4));
+  specs.push_back(ShapeSpec("FaceFour", 112, 350, 4, 2.0, 0.06, 0.06, 5, 4));
+  specs.push_back(ShapeSpec("GunPoint", 200, 150, 2, 1.0, 0.04, 0.04, 3, 2));
+  specs.push_back(ShapeSpec("Lighting2", 121, 637, 2, 1.2, 0.08, 0.10, 6, 5));
+  specs.push_back(ShapeSpec("Lighting7", 143, 319, 7, 1.1, 0.08, 0.10, 6, 5));
+  specs.push_back(ShapeSpec("OSULeaf", 442, 427, 6, 1.7, 0.05, 0.05, 5, 4));
+  specs.push_back(ShapeSpec("OliveOil", 60, 570, 4, 0.45, 0.01, 0.02, 3, 3));
+  specs.push_back(ShapeSpec("SwedishLeaf", 1125, 128, 15, 0.3, 0.03, 0.04, 4, 3));
+  specs.push_back(ShapeSpec("Trace", 200, 275, 4, 2.5, 0.03, 0.03, 4, 2));
+
+  DatasetSpec control;
+  control.name = "syntheticControl";
+  control.kind = GeneratorKind::kSyntheticControl;
+  control.num_series = 600;
+  control.length = 60;
+  control.shape.num_classes = 6;
+  specs.push_back(control);
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& UcrLikeSpecs() {
+  static const std::vector<DatasetSpec> specs = BuildSpecs();
+  return specs;
+}
+
+std::vector<std::string> UcrLikeNames() {
+  std::vector<std::string> names;
+  names.reserve(UcrLikeSpecs().size());
+  for (const auto& spec : UcrLikeSpecs()) names.push_back(spec.name);
+  return names;
+}
+
+Result<DatasetSpec> SpecByName(const std::string& name) {
+  for (const auto& spec : UcrLikeSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no dataset named '" + name + "'");
+}
+
+ts::Dataset Generate(const DatasetSpec& spec, std::uint64_t seed) {
+  return GenerateScaled(spec, seed, 0, 0);
+}
+
+ts::Dataset GenerateScaled(const DatasetSpec& spec, std::uint64_t seed,
+                           std::size_t max_series, std::size_t max_length) {
+  const std::size_t num_series =
+      max_series == 0 ? spec.num_series : std::min(spec.num_series, max_series);
+  const std::size_t length =
+      max_length == 0 ? spec.length : std::min(spec.length, max_length);
+
+  switch (spec.kind) {
+    case GeneratorKind::kCbf:
+      return GenerateCbf(num_series, length, seed);
+    case GeneratorKind::kSyntheticControl:
+      return GenerateSyntheticControl(num_series, length, seed);
+    case GeneratorKind::kShapeGrammar: {
+      ShapeGrammarConfig config = spec.shape;
+      config.length = length;
+      return GenerateShapeGrammar(config, num_series, seed, spec.name);
+    }
+  }
+  return ts::Dataset(spec.name);
+}
+
+Result<ts::Dataset> GenerateByName(const std::string& name,
+                                   std::uint64_t seed) {
+  auto spec = SpecByName(name);
+  if (!spec.ok()) return spec.status();
+  return Generate(spec.ValueOrDie(), seed);
+}
+
+}  // namespace uts::datagen

@@ -1,0 +1,103 @@
+#include "distance/dtw.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace uts::distance {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double DtwGeneric(std::size_t n, std::size_t m,
+                  const std::function<double(std::size_t, std::size_t)>& local,
+                  const DtwOptions& options) {
+  assert(n > 0 && m > 0);
+
+  // Widen the band so a path exists when lengths differ.
+  std::size_t radius = options.band_radius;
+  const std::size_t len_gap = n > m ? n - m : m - n;
+  if (radius != DtwOptions::kNoBand) radius = std::max(radius, len_gap);
+
+  // Two-row DP over the (n+1) x (m+1) grid of prefix costs.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t j_lo = 1;
+    std::size_t j_hi = m;
+    if (radius != DtwOptions::kNoBand) {
+      j_lo = i > radius ? i - radius : 1;
+      j_hi = std::min(m, i + radius);
+    }
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = local(i - 1, j - 1);
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double Dtw(std::span<const double> a, std::span<const double> b,
+           const DtwOptions& options) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double total = DtwGeneric(
+      a.size(), b.size(),
+      [&](std::size_t i, std::size_t j) {
+        const double d = a[i] - b[j];
+        return d * d;
+      },
+      options);
+  return std::sqrt(total);
+}
+
+double Dtw(const ts::TimeSeries& a, const ts::TimeSeries& b,
+           const DtwOptions& options) {
+  return Dtw(a.values(), b.values(), options);
+}
+
+Envelope BuildEnvelope(std::span<const double> values, std::size_t radius) {
+  const std::size_t n = values.size();
+  Envelope env;
+  env.lower.resize(n);
+  env.upper.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > radius ? i - radius : 0;
+    const std::size_t hi = std::min(n == 0 ? 0 : n - 1, i + radius);
+    double vmin = values[lo];
+    double vmax = values[lo];
+    for (std::size_t j = lo + 1; j <= hi; ++j) {
+      vmin = std::min(vmin, values[j]);
+      vmax = std::max(vmax, values[j]);
+    }
+    env.lower[i] = vmin;
+    env.upper[i] = vmax;
+  }
+  return env;
+}
+
+double LbKeogh(const Envelope& query_envelope,
+               std::span<const double> candidate) {
+  assert(query_envelope.lower.size() == candidate.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const double v = candidate[i];
+    if (v > query_envelope.upper[i]) {
+      const double d = v - query_envelope.upper[i];
+      sum += d * d;
+    } else if (v < query_envelope.lower[i]) {
+      const double d = query_envelope.lower[i] - v;
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace uts::distance

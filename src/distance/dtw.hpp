@@ -1,0 +1,74 @@
+/// \file dtw.hpp
+/// \brief Dynamic Time Warping with a pluggable local cost.
+///
+/// "MUNICH and DUST can be employed to compute the Dynamic Time Warping
+/// distance, which is a more flexible distance measure" (Section 3.2). The
+/// core DP is generic in the per-cell cost, so the same kernel serves:
+///
+///  * classic DTW over exact values (squared local differences),
+///  * DUST-DTW (dust(x_i, y_j)² as the local cost),
+///  * MUNICH's bounding DTW variants (interval-distance local costs).
+
+#ifndef UTS_DISTANCE_DTW_HPP_
+#define UTS_DISTANCE_DTW_HPP_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ts/time_series.hpp"
+
+namespace uts::distance {
+
+/// \brief Options for the DTW kernel.
+struct DtwOptions {
+  /// Sakoe–Chiba band radius; cells with |i - j| > radius are forbidden.
+  /// `kNoBand` disables the constraint. The radius is silently widened to
+  /// |n - m| when the inputs differ in length (otherwise no path exists).
+  static constexpr std::size_t kNoBand = std::numeric_limits<std::size_t>::max();
+  std::size_t band_radius = kNoBand;
+};
+
+/// \brief Generic DTW: returns the minimum accumulated `local(i, j)` cost
+/// over all monotone warping paths. O(n·m) time, O(min(n,m)) memory.
+///
+/// \param n      length of the first sequence (row index domain)
+/// \param m      length of the second sequence (column index domain)
+/// \param local  local cost of aligning element i of the first sequence with
+///               element j of the second
+double DtwGeneric(std::size_t n, std::size_t m,
+                  const std::function<double(std::size_t, std::size_t)>& local,
+                  const DtwOptions& options = {});
+
+/// \brief Classic DTW distance over raw values: sqrt of the accumulated
+/// squared differences along the optimal path (L2-style DTW).
+double Dtw(std::span<const double> a, std::span<const double> b,
+           const DtwOptions& options = {});
+
+/// \brief DTW over TimeSeries.
+double Dtw(const ts::TimeSeries& a, const ts::TimeSeries& b,
+           const DtwOptions& options = {});
+
+/// \brief Warping envelope of a sequence for LB_Keogh: per-position running
+/// min/max over a window of the given radius.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// \brief Build the LB_Keogh envelope of `values` with the given band radius.
+Envelope BuildEnvelope(std::span<const double> values, std::size_t radius);
+
+/// \brief LB_Keogh lower bound on the (L2-style) DTW distance between the
+/// enveloped query and a candidate of the same length.
+///
+/// Guarantee: LbKeogh(env(q,r), c) <= Dtw(q, c, band r).
+double LbKeogh(const Envelope& query_envelope, std::span<const double> candidate);
+
+}  // namespace uts::distance
+
+#endif  // UTS_DISTANCE_DTW_HPP_

@@ -1,0 +1,89 @@
+#include "distance/lp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace uts::distance {
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Euclidean(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+double Manhattan(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double Chebyshev(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+double Minkowski(std::span<const double> a, std::span<const double> b,
+                 double p) {
+  assert(a.size() == b.size());
+  assert(p >= 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(a[i] - b[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+Result<double> EuclideanChecked(std::span<const double> a,
+                                std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("sequences differ in length");
+  }
+  if (a.empty()) return Status::InvalidArgument("sequences are empty");
+  return Euclidean(a, b);
+}
+
+Result<double> MinkowskiChecked(std::span<const double> a,
+                                std::span<const double> b, double p) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("sequences differ in length");
+  }
+  if (a.empty()) return Status::InvalidArgument("sequences are empty");
+  if (!(p >= 1.0)) return Status::InvalidArgument("p must be >= 1");
+  return Minkowski(a, b, p);
+}
+
+double Euclidean(const ts::TimeSeries& a, const ts::TimeSeries& b) {
+  return Euclidean(a.values(), b.values());
+}
+
+double SquaredEuclidean(const ts::TimeSeries& a, const ts::TimeSeries& b) {
+  return SquaredEuclidean(a.values(), b.values());
+}
+
+double SquaredEuclideanEarlyAbandon(std::span<const double> a,
+                                    std::span<const double> b,
+                                    double threshold_sq) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+    if (sum > threshold_sq) return sum;
+  }
+  return sum;
+}
+
+}  // namespace uts::distance

@@ -1,0 +1,60 @@
+/// \file lp.hpp
+/// \brief Minkowski (Lp) distances between certain sequences.
+///
+/// The Euclidean distance is both the paper's baseline technique ("we just
+/// use a single value for every timestamp, and compute the traditional
+/// Euclidean distance", Section 4.1.2) and the backbone of MUNICH, PROUD,
+/// UMA and UEMA.
+
+#ifndef UTS_DISTANCE_LP_HPP_
+#define UTS_DISTANCE_LP_HPP_
+
+#include <span>
+
+#include "common/result.hpp"
+#include "ts/time_series.hpp"
+
+namespace uts::distance {
+
+/// \brief Squared Euclidean distance Σ (a_i - b_i)²; preconditions sizes
+/// equal (checked in debug builds). Hot path: no validation in release.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+/// \brief Euclidean (L2) distance.
+double Euclidean(std::span<const double> a, std::span<const double> b);
+
+/// \brief Manhattan (L1) distance.
+double Manhattan(std::span<const double> a, std::span<const double> b);
+
+/// \brief Chebyshev (L∞) distance.
+double Chebyshev(std::span<const double> a, std::span<const double> b);
+
+/// \brief General Minkowski distance with exponent p >= 1.
+double Minkowski(std::span<const double> a, std::span<const double> b,
+                 double p);
+
+/// \name Validated variants
+/// Return InvalidArgument when the inputs differ in length or are empty.
+/// \{
+Result<double> EuclideanChecked(std::span<const double> a,
+                                std::span<const double> b);
+Result<double> MinkowskiChecked(std::span<const double> a,
+                                std::span<const double> b, double p);
+/// \}
+
+/// \name TimeSeries conveniences
+/// \{
+double Euclidean(const ts::TimeSeries& a, const ts::TimeSeries& b);
+double SquaredEuclidean(const ts::TimeSeries& a, const ts::TimeSeries& b);
+/// \}
+
+/// \brief Early-abandoning squared Euclidean: stops as soon as the running
+/// sum exceeds `threshold_sq` and returns a value > threshold_sq. Used by
+/// range queries to skip hopeless candidates.
+double SquaredEuclideanEarlyAbandon(std::span<const double> a,
+                                    std::span<const double> b,
+                                    double threshold_sq);
+
+}  // namespace uts::distance
+
+#endif  // UTS_DISTANCE_LP_HPP_

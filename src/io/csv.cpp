@@ -1,0 +1,76 @@
+#include "io/csv.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace uts::io {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatDouble(v));
+  AddRow(std::move(cells));
+}
+
+void CsvWriter::AddKeyedRow(const std::string& key,
+                            const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(key);
+  for (double v : values) cells.push_back(FormatDouble(v));
+  AddRow(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += EscapeCell(header_[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += EscapeCell(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  out << ToString();
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace uts::io

@@ -1,0 +1,50 @@
+/// \file csv.hpp
+/// \brief Minimal CSV emission for benchmark harness outputs.
+///
+/// Every figure harness writes its series both as a human-readable table on
+/// stdout and as a CSV file next to it, so the paper's plots can be
+/// regenerated with any plotting tool.
+
+#ifndef UTS_IO_CSV_HPP_
+#define UTS_IO_CSV_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace uts::io {
+
+/// \brief Row-oriented CSV builder.
+class CsvWriter {
+ public:
+  /// Set the header row.
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row of already-formatted cells; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Append a row of doubles, formatted with %.6g.
+  void AddNumericRow(const std::vector<double>& values);
+
+  /// Append a row beginning with a string key followed by doubles.
+  void AddKeyedRow(const std::string& key, const std::vector<double>& values);
+
+  /// Serialize to CSV text (quotes cells containing separators).
+  std::string ToString() const;
+
+  /// Write to a file.
+  Status WriteFile(const std::string& path) const;
+
+  /// Number of data rows.
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uts::io
+
+#endif  // UTS_IO_CSV_HPP_

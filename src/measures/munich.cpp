@@ -1,0 +1,264 @@
+#include "measures/munich.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "prob/rng.hpp"
+
+namespace uts::measures {
+
+using uncertain::MultiSampleSeries;
+
+namespace {
+
+/// Per-timestamp interval gap and farthest-endpoint distance.
+///
+/// With bounding intervals [lx, ux] and [ly, uy]:
+///   min pairwise |a-b| = gap  (0 when the intervals overlap),
+///   max pairwise |a-b| = max(|ux - ly|, |uy - lx|).
+struct IntervalDistance {
+  double min_abs;
+  double max_abs;
+};
+
+IntervalDistance IntervalDistanceAt(const MultiSampleSeries& x,
+                                    const MultiSampleSeries& y,
+                                    std::size_t i, std::size_t j) {
+  const auto [lx, ux] = x.BoundingInterval(i);
+  const auto [ly, uy] = y.BoundingInterval(j);
+  IntervalDistance d;
+  if (ux < ly) {
+    d.min_abs = ly - ux;
+  } else if (uy < lx) {
+    d.min_abs = lx - uy;
+  } else {
+    d.min_abs = 0.0;
+  }
+  d.max_abs = std::max(std::fabs(ux - ly), std::fabs(uy - lx));
+  return d;
+}
+
+/// Squared differences of every sample pair at one timestamp.
+std::vector<double> PairwiseSquaredDiffs(const std::vector<double>& xs,
+                                         const std::vector<double>& ys) {
+  std::vector<double> out;
+  out.reserve(xs.size() * ys.size());
+  for (double a : xs) {
+    for (double b : ys) {
+      const double d = a - b;
+      out.push_back(d * d);
+    }
+  }
+  return out;
+}
+
+/// Cross-sum of per-timestamp contribution sets over timestamps [lo, hi);
+/// fails when the result would exceed `limit` sums.
+Result<std::vector<double>> EnumerateHalf(const MultiSampleSeries& x,
+                                          const MultiSampleSeries& y,
+                                          std::size_t lo, std::size_t hi,
+                                          std::size_t limit) {
+  std::vector<double> sums{0.0};
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::vector<double> contrib =
+        PairwiseSquaredDiffs(x.samples(i), y.samples(i));
+    if (sums.size() > limit / std::max<std::size_t>(contrib.size(), 1)) {
+      return Status::NotSupported(
+          "exact MUNICH enumeration exceeds the configured half limit");
+    }
+    std::vector<double> next;
+    next.reserve(sums.size() * contrib.size());
+    for (double s : sums) {
+      for (double c : contrib) next.push_back(s + c);
+    }
+    sums = std::move(next);
+  }
+  return sums;
+}
+
+Status ValidatePair(const MultiSampleSeries& x, const MultiSampleSeries& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("series differ in length");
+  }
+  if (x.empty()) return Status::InvalidArgument("series are empty");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x.num_samples(i) == 0 || y.num_samples(i) == 0) {
+      return Status::InvalidArgument("timestamp without observations");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DistanceBounds Munich::EuclideanBounds(const MultiSampleSeries& x,
+                                       const MultiSampleSeries& y) {
+  assert(x.size() == y.size());
+  double lower_sq = 0.0;
+  double upper_sq = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const IntervalDistance d = IntervalDistanceAt(x, y, i, i);
+    lower_sq += d.min_abs * d.min_abs;
+    upper_sq += d.max_abs * d.max_abs;
+  }
+  return {std::sqrt(lower_sq), std::sqrt(upper_sq)};
+}
+
+DistanceBounds Munich::DtwBounds(const MultiSampleSeries& x,
+                                 const MultiSampleSeries& y,
+                                 const distance::DtwOptions& dtw_options) {
+  assert(!x.empty() && !y.empty());
+  // Lower bound: DTW over per-cell minimum squared interval distances. For
+  // any materialization, its optimal path costs at least the min-cost of
+  // the same cells, hence at least the min-cost DTW optimum.
+  const double lower_sq = distance::DtwGeneric(
+      x.size(), y.size(),
+      [&](std::size_t i, std::size_t j) {
+        const double d = IntervalDistanceAt(x, y, i, j).min_abs;
+        return d * d;
+      },
+      dtw_options);
+  // Upper bound: the min-cost path over per-cell maxima dominates every
+  // materialization's optimum (the materialization can always use this
+  // path, at per-cell cost no larger than the maximum).
+  const double upper_sq = distance::DtwGeneric(
+      x.size(), y.size(),
+      [&](std::size_t i, std::size_t j) {
+        const double d = IntervalDistanceAt(x, y, i, j).max_abs;
+        return d * d;
+      },
+      dtw_options);
+  return {std::sqrt(lower_sq), std::sqrt(upper_sq)};
+}
+
+Result<double> Munich::ExactMatchProbability(const MultiSampleSeries& x,
+                                             const MultiSampleSeries& y,
+                                             double epsilon,
+                                             std::size_t half_limit) {
+  UTS_RETURN_NOT_OK(ValidatePair(x, y));
+  const std::size_t n = x.size();
+  const std::size_t mid = n / 2;
+  auto first = EnumerateHalf(x, y, 0, mid, half_limit);
+  if (!first.ok()) return first.status();
+  auto second = EnumerateHalf(x, y, mid, n, half_limit);
+  if (!second.ok()) return second.status();
+
+  std::vector<double>& h1 = first.ValueOrDie();
+  std::vector<double>& h2 = second.ValueOrDie();
+  std::sort(h2.begin(), h2.end());
+
+  const double eps_sq = epsilon * epsilon;
+  // Count pairs (a, b) with a + b <= ε². Guard against negative budgets so
+  // upper_bound's argument stays finite.
+  std::uint64_t matched = 0;
+  for (double a : h1) {
+    const double budget = eps_sq - a;
+    if (budget < 0.0) continue;
+    matched += static_cast<std::uint64_t>(
+        std::upper_bound(h2.begin(), h2.end(), budget) - h2.begin());
+  }
+  const double total =
+      static_cast<double>(h1.size()) * static_cast<double>(h2.size());
+  return static_cast<double>(matched) / total;
+}
+
+double Munich::MonteCarloMatchProbability(const MultiSampleSeries& x,
+                                          const MultiSampleSeries& y,
+                                          double epsilon, std::size_t samples,
+                                          std::uint64_t seed) {
+  assert(samples > 0);
+  prob::Rng rng(seed);
+  const double eps_sq = epsilon * epsilon;
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size() && sum <= eps_sq; ++i) {
+      const auto& xs = x.samples(i);
+      const auto& ys = y.samples(i);
+      const double a = xs[rng.UniformInt(xs.size())];
+      const double b = ys[rng.UniformInt(ys.size())];
+      const double d = a - b;
+      sum += d * d;
+    }
+    if (sum <= eps_sq) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double Munich::MonteCarloDtwMatchProbability(
+    const MultiSampleSeries& x, const MultiSampleSeries& y, double epsilon,
+    std::size_t samples, std::uint64_t seed,
+    const distance::DtwOptions& dtw_options) {
+  assert(samples > 0);
+  prob::Rng rng(seed);
+  std::vector<double> xs(x.size());
+  std::vector<double> ys(y.size());
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const auto& sx = x.samples(i);
+      xs[i] = sx[rng.UniformInt(sx.size())];
+    }
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      const auto& sy = y.samples(j);
+      ys[j] = sy[rng.UniformInt(sy.size())];
+    }
+    if (distance::Dtw(xs, ys, dtw_options) <= epsilon) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double Munich::MaterializationCount(const MultiSampleSeries& x,
+                                    const MultiSampleSeries& y) {
+  double count = 1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    count *= static_cast<double>(x.num_samples(i));
+  }
+  for (std::size_t j = 0; j < y.size(); ++j) {
+    count *= static_cast<double>(y.num_samples(j));
+  }
+  return count;
+}
+
+Result<double> Munich::MatchProbability(const MultiSampleSeries& x,
+                                        const MultiSampleSeries& y,
+                                        double epsilon,
+                                        std::uint64_t seed) const {
+  UTS_RETURN_NOT_OK(ValidatePair(x, y));
+
+  if (options_.use_bounds_filter) {
+    const DistanceBounds bounds = EuclideanBounds(x, y);
+    if (bounds.upper <= epsilon) return 1.0;  // every materialization matches
+    if (bounds.lower > epsilon) return 0.0;   // none can match
+  }
+
+  switch (options_.estimator) {
+    case MunichOptions::Estimator::kExact:
+      return ExactMatchProbability(x, y, epsilon, options_.exact_half_limit);
+    case MunichOptions::Estimator::kMonteCarlo:
+      return MonteCarloMatchProbability(x, y, epsilon, options_.mc_samples,
+                                        seed);
+    case MunichOptions::Estimator::kAuto: {
+      auto exact =
+          ExactMatchProbability(x, y, epsilon, options_.exact_half_limit);
+      if (exact.ok()) return exact;
+      if (exact.status().code() != StatusCode::kNotSupported) {
+        return exact.status();
+      }
+      return MonteCarloMatchProbability(x, y, epsilon, options_.mc_samples,
+                                        seed);
+    }
+  }
+  return Status::InvalidArgument("unknown estimator");
+}
+
+Result<bool> Munich::Matches(const MultiSampleSeries& x,
+                             const MultiSampleSeries& y, double epsilon,
+                             std::uint64_t seed) const {
+  auto prob = MatchProbability(x, y, epsilon, seed);
+  if (!prob.ok()) return prob.status();
+  return prob.ValueOrDie() >= options_.tau;
+}
+
+}  // namespace uts::measures

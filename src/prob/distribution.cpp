@@ -1,0 +1,315 @@
+#include "prob/distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "prob/special.hpp"
+
+namespace uts::prob {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FormatKey(const char* name, double sigma) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%.9g)", name, sigma);
+  return buf;
+}
+
+/// Always-zero error; σ = 0.
+class NoError final : public ErrorDistribution {
+ public:
+  ErrorKind kind() const override { return ErrorKind::kNone; }
+  double stddev() const override { return 0.0; }
+  double Pdf(double x) const override { return x == 0.0 ? kInf : 0.0; }
+  double Cdf(double x) const override { return x >= 0.0 ? 1.0 : 0.0; }
+  double Sample(Rng&) const override { return 0.0; }
+  double CentralMoment(int k) const override {
+    assert(k >= 1 && k <= 4);
+    (void)k;
+    return 0.0;
+  }
+  double SupportLo() const override { return 0.0; }
+  double SupportHi() const override { return 0.0; }
+  std::string Key() const override { return "none(0)"; }
+};
+
+class NormalError final : public ErrorDistribution {
+ public:
+  explicit NormalError(double sigma) : sigma_(sigma) { assert(sigma > 0.0); }
+
+  ErrorKind kind() const override { return ErrorKind::kNormal; }
+  double stddev() const override { return sigma_; }
+  double Pdf(double x) const override { return NormalPdf(x, 0.0, sigma_); }
+  double Cdf(double x) const override { return NormalCdf(x, 0.0, sigma_); }
+  double Sample(Rng& rng) const override { return rng.Gaussian(0.0, sigma_); }
+  double CentralMoment(int k) const override {
+    assert(k >= 1 && k <= 4);
+    switch (k) {
+      case 1: return 0.0;
+      case 2: return sigma_ * sigma_;
+      case 3: return 0.0;
+      default: return 3.0 * sigma_ * sigma_ * sigma_ * sigma_;
+    }
+  }
+  double SupportLo() const override { return -kInf; }
+  double SupportHi() const override { return kInf; }
+  std::string Key() const override { return FormatKey("normal", sigma_); }
+
+ private:
+  double sigma_;
+};
+
+class UniformError final : public ErrorDistribution {
+ public:
+  explicit UniformError(double sigma)
+      : sigma_(sigma), half_width_(sigma * std::sqrt(3.0)) {
+    assert(sigma > 0.0);
+  }
+
+  ErrorKind kind() const override { return ErrorKind::kUniform; }
+  double stddev() const override { return sigma_; }
+  double Pdf(double x) const override {
+    return std::fabs(x) <= half_width_ ? 0.5 / half_width_ : 0.0;
+  }
+  double Cdf(double x) const override {
+    if (x <= -half_width_) return 0.0;
+    if (x >= half_width_) return 1.0;
+    return (x + half_width_) / (2.0 * half_width_);
+  }
+  double Sample(Rng& rng) const override {
+    return rng.Uniform(-half_width_, half_width_);
+  }
+  double CentralMoment(int k) const override {
+    assert(k >= 1 && k <= 4);
+    const double a2 = half_width_ * half_width_;
+    switch (k) {
+      case 1: return 0.0;
+      case 2: return a2 / 3.0;  // == σ².
+      case 3: return 0.0;
+      default: return a2 * a2 / 5.0;  // == 1.8 σ⁴.
+    }
+  }
+  double SupportLo() const override { return -half_width_; }
+  double SupportHi() const override { return half_width_; }
+  std::vector<double> Breakpoints() const override {
+    return {-half_width_, half_width_};
+  }
+  std::string Key() const override { return FormatKey("uniform", sigma_); }
+
+ private:
+  double sigma_;
+  double half_width_;
+};
+
+/// Exp(rate 1/σ) shifted left by σ: mean 0, stddev σ, support [-σ, ∞).
+class ExponentialError final : public ErrorDistribution {
+ public:
+  explicit ExponentialError(double sigma) : sigma_(sigma) {
+    assert(sigma > 0.0);
+  }
+
+  ErrorKind kind() const override { return ErrorKind::kExponential; }
+  double stddev() const override { return sigma_; }
+  double Pdf(double x) const override {
+    if (x < -sigma_) return 0.0;
+    return std::exp(-(x + sigma_) / sigma_) / sigma_;
+  }
+  double Cdf(double x) const override {
+    if (x < -sigma_) return 0.0;
+    return 1.0 - std::exp(-(x + sigma_) / sigma_);
+  }
+  double Sample(Rng& rng) const override {
+    return sigma_ * (rng.Exponential() - 1.0);
+  }
+  double CentralMoment(int k) const override {
+    assert(k >= 1 && k <= 4);
+    const double s2 = sigma_ * sigma_;
+    switch (k) {
+      case 1: return 0.0;
+      case 2: return s2;
+      case 3: return 2.0 * s2 * sigma_;   // skewness 2.
+      default: return 9.0 * s2 * s2;      // kurtosis 9.
+    }
+  }
+  double SupportLo() const override { return -sigma_; }
+  double SupportHi() const override { return kInf; }
+  std::vector<double> Breakpoints() const override { return {-sigma_}; }
+  std::string Key() const override { return FormatKey("exponential", sigma_); }
+
+ private:
+  double sigma_;
+};
+
+class MixtureError final : public ErrorDistribution {
+ public:
+  MixtureError(std::vector<ErrorDistributionPtr> components,
+               std::vector<double> weights, ErrorKind reported_kind)
+      : components_(std::move(components)),
+        weights_(std::move(weights)),
+        kind_(reported_kind) {
+    assert(!components_.empty());
+    assert(components_.size() == weights_.size());
+    double total = 0.0;
+    for (double w : weights_) {
+      assert(w > 0.0);
+      total += w;
+    }
+    for (double& w : weights_) w /= total;
+    cumulative_.reserve(weights_.size());
+    double acc = 0.0;
+    for (double w : weights_) {
+      acc += w;
+      cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0;  // guard against rounding.
+    stddev_ = std::sqrt(CentralMoment(2));
+  }
+
+  ErrorKind kind() const override { return kind_; }
+  double stddev() const override { return stddev_; }
+  double Pdf(double x) const override {
+    double p = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+      p += weights_[i] * components_[i]->Pdf(x);
+    return p;
+  }
+  double Cdf(double x) const override {
+    double p = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+      p += weights_[i] * components_[i]->Cdf(x);
+    return p;
+  }
+  double Sample(Rng& rng) const override {
+    const double u = rng.Uniform01();
+    for (std::size_t i = 0; i < components_.size(); ++i)
+      if (u < cumulative_[i]) return components_[i]->Sample(rng);
+    return components_.back()->Sample(rng);
+  }
+  double CentralMoment(int k) const override {
+    // All components are zero-mean, so mixture central moments are the
+    // weighted component moments.
+    double m = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+      m += weights_[i] * components_[i]->CentralMoment(k);
+    return m;
+  }
+  double SupportLo() const override {
+    double lo = kInf;
+    for (const auto& c : components_) lo = std::min(lo, c->SupportLo());
+    return lo;
+  }
+  double SupportHi() const override {
+    double hi = -kInf;
+    for (const auto& c : components_) hi = std::max(hi, c->SupportHi());
+    return hi;
+  }
+  std::vector<double> Breakpoints() const override {
+    std::vector<double> points;
+    for (const auto& c : components_) {
+      const auto sub = c->Breakpoints();
+      points.insert(points.end(), sub.begin(), sub.end());
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    return points;
+  }
+  std::string Key() const override {
+    std::string key = "mixture[";
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (i > 0) key += ',';
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.6g*", weights_[i]);
+      key += buf;
+      key += components_[i]->Key();
+    }
+    key += ']';
+    return key;
+  }
+
+ private:
+  std::vector<ErrorDistributionPtr> components_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+  ErrorKind kind_;
+  double stddev_;
+};
+
+}  // namespace
+
+std::string ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kNormal: return "normal";
+    case ErrorKind::kUniform: return "uniform";
+    case ErrorKind::kExponential: return "exponential";
+    case ErrorKind::kTailedUniform: return "tailed_uniform";
+    case ErrorKind::kMixture: return "mixture";
+  }
+  return "unknown";
+}
+
+ErrorDistributionPtr MakeNoError() { return std::make_shared<NoError>(); }
+
+ErrorDistributionPtr MakeNormalError(double sigma) {
+  assert(sigma >= 0.0);
+  if (sigma == 0.0) return MakeNoError();
+  return std::make_shared<NormalError>(sigma);
+}
+
+ErrorDistributionPtr MakeUniformError(double sigma) {
+  assert(sigma >= 0.0);
+  if (sigma == 0.0) return MakeNoError();
+  return std::make_shared<UniformError>(sigma);
+}
+
+ErrorDistributionPtr MakeExponentialError(double sigma) {
+  assert(sigma >= 0.0);
+  if (sigma == 0.0) return MakeNoError();
+  return std::make_shared<ExponentialError>(sigma);
+}
+
+ErrorDistributionPtr MakeTailedUniformError(double sigma, double tail_weight) {
+  assert(sigma > 0.0);
+  assert(tail_weight > 0.0 && tail_weight <= 0.2);
+  // Tail component: wide Gaussian at 2σ. Pick the uniform component's σ_u so
+  // the mixture variance is exactly σ²:
+  //   (1-w) σ_u² + w (2σ)² = σ²  =>  σ_u² = σ² (1 - 4w) / (1 - w).
+  const double w = tail_weight;
+  const double su2 = sigma * sigma * (1.0 - 4.0 * w) / (1.0 - w);
+  assert(su2 > 0.0 && "tail_weight too large to preserve the variance");
+  auto uniform = MakeUniformError(std::sqrt(su2));
+  auto tail = MakeNormalError(2.0 * sigma);
+  return std::make_shared<MixtureError>(
+      std::vector<ErrorDistributionPtr>{std::move(uniform), std::move(tail)},
+      std::vector<double>{1.0 - w, w}, ErrorKind::kTailedUniform);
+}
+
+ErrorDistributionPtr MakeMixtureError(
+    std::vector<ErrorDistributionPtr> components,
+    std::vector<double> weights) {
+  return std::make_shared<MixtureError>(std::move(components),
+                                        std::move(weights),
+                                        ErrorKind::kMixture);
+}
+
+ErrorDistributionPtr MakeError(ErrorKind kind, double sigma) {
+  switch (kind) {
+    case ErrorKind::kNone: return MakeNoError();
+    case ErrorKind::kNormal: return MakeNormalError(sigma);
+    case ErrorKind::kUniform: return MakeUniformError(sigma);
+    case ErrorKind::kExponential: return MakeExponentialError(sigma);
+    case ErrorKind::kTailedUniform: return MakeTailedUniformError(sigma);
+    case ErrorKind::kMixture:
+      assert(false && "use MakeMixtureError for mixtures");
+      return MakeNoError();
+  }
+  return MakeNoError();
+}
+
+}  // namespace uts::prob

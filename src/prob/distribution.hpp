@@ -1,0 +1,127 @@
+/// \file distribution.hpp
+/// \brief Zero-mean error distributions used to model measurement uncertainty.
+///
+/// The paper perturbs exact time series with additive errors drawn from
+/// uniform, normal and exponential distributions "with zero mean and varying
+/// standard deviation within [0.2, 2.0]" (Section 4.1.1). Each distribution
+/// here is parameterized directly by its standard deviation so the three
+/// families are directly comparable, and exposes exactly the quantities the
+/// techniques need:
+///
+///  * `Sample`       — perturbation (all techniques),
+///  * `Pdf` / `Cdf`  — DUST's φ integration,
+///  * `CentralMoment`— PROUD's exact propagation of E[D²], Var[D²],
+///  * support bounds — integration limits and table sizing.
+
+#ifndef UTS_PROB_DISTRIBUTION_HPP_
+#define UTS_PROB_DISTRIBUTION_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prob/rng.hpp"
+
+namespace uts::prob {
+
+/// \brief Families of error distributions evaluated in the paper.
+enum class ErrorKind {
+  kNone,          ///< Degenerate: no error (σ = 0).
+  kNormal,        ///< N(0, σ²).
+  kUniform,       ///< U[-a, a] with a = σ√3.
+  kExponential,   ///< Exp(1/σ) − σ: zero-mean, right-skewed, support [-σ, ∞).
+  kTailedUniform, ///< Uniform with light normal tails (DUST's log(0) fix).
+  kMixture,       ///< Weighted mixture of other error distributions.
+};
+
+/// \brief Name of an error kind ("normal", "uniform", ...).
+std::string ErrorKindName(ErrorKind kind);
+
+/// \brief A zero-mean distribution of additive measurement error.
+///
+/// Implementations are immutable and cheap to share; pass them around as
+/// `ErrorDistributionPtr`. Equality of behaviour is keyed by `Key()`, which
+/// DUST uses to share lookup tables across timestamps with identical error.
+class ErrorDistribution {
+ public:
+  virtual ~ErrorDistribution() = default;
+
+  /// Which family this distribution belongs to.
+  virtual ErrorKind kind() const = 0;
+
+  /// Standard deviation σ (the single user-facing parameter).
+  virtual double stddev() const = 0;
+
+  /// Probability density at x.
+  virtual double Pdf(double x) const = 0;
+
+  /// Cumulative distribution Pr(E <= x).
+  virtual double Cdf(double x) const = 0;
+
+  /// Draw one error value.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// k-th central moment, k in {1,..,4}; the mean is zero so these equal the
+  /// raw moments. Needed by PROUD's variance propagation.
+  virtual double CentralMoment(int k) const = 0;
+
+  /// Lower edge of the support (may be -infinity).
+  virtual double SupportLo() const = 0;
+
+  /// Upper edge of the support (may be +infinity).
+  virtual double SupportHi() const = 0;
+
+  /// Points where the density is discontinuous or kinked (finite support
+  /// edges, mixture component edges). Numerical integrators split their
+  /// domain here to retain full-order accuracy on piecewise densities.
+  virtual std::vector<double> Breakpoints() const { return {}; }
+
+  /// Stable identity string, e.g. "normal(1.000000)"; equal keys imply
+  /// identical distributions.
+  virtual std::string Key() const = 0;
+};
+
+using ErrorDistributionPtr = std::shared_ptr<const ErrorDistribution>;
+
+/// \brief Degenerate error: always zero. Useful as a ground-truth control.
+ErrorDistributionPtr MakeNoError();
+
+/// \brief Gaussian error N(0, σ²); σ >= 0 (σ = 0 degrades to no error).
+ErrorDistributionPtr MakeNormalError(double sigma);
+
+/// \brief Uniform error on [-σ√3, σ√3] (zero mean, standard deviation σ).
+ErrorDistributionPtr MakeUniformError(double sigma);
+
+/// \brief Zero-mean exponential error: E ~ Exp(rate 1/σ) shifted by -σ.
+///
+/// Right-skewed with support [-σ, ∞); matches the paper's "exponential error
+/// distribution with zero mean" reading, and exercises the techniques on an
+/// asymmetric error.
+ErrorDistributionPtr MakeExponentialError(double sigma);
+
+/// \brief Uniform error with light Gaussian tails.
+///
+/// The paper reports that DUST degenerates under pure uniform error because
+/// φ(|x-y|) can be exactly zero ("we tried to solve this technical problem by
+/// adding two tails to the uniform error", Section 4.2.1). This factory
+/// builds that workaround: a mixture (1-w)·U + w·N with the uniform width
+/// chosen so the overall standard deviation is exactly σ.
+///
+/// \param sigma       overall standard deviation (> 0)
+/// \param tail_weight mixture weight w of the Gaussian tail, in (0, 0.2]
+ErrorDistributionPtr MakeTailedUniformError(double sigma,
+                                            double tail_weight = 0.01);
+
+/// \brief Weighted mixture of zero-mean error distributions.
+///
+/// Weights must be positive; they are normalized internally.
+ErrorDistributionPtr MakeMixtureError(
+    std::vector<ErrorDistributionPtr> components, std::vector<double> weights);
+
+/// \brief Convenience factory by kind, for the three families the paper
+/// sweeps (normal / uniform / exponential) plus the tailed-uniform fix.
+ErrorDistributionPtr MakeError(ErrorKind kind, double sigma);
+
+}  // namespace uts::prob
+
+#endif  // UTS_PROB_DISTRIBUTION_HPP_

@@ -1,0 +1,56 @@
+/// \file integrate.hpp
+/// \brief One-dimensional numerical integration.
+///
+/// DUST's φ function (Section 2.3) is a cross-correlation integral of two
+/// posterior densities; except for the Gaussian case it has no closed form
+/// and is evaluated numerically when the lookup tables are built.
+
+#ifndef UTS_PROB_INTEGRATE_HPP_
+#define UTS_PROB_INTEGRATE_HPP_
+
+#include <functional>
+
+#include "common/result.hpp"
+
+namespace uts::prob {
+
+/// \brief Options for adaptive integration.
+struct IntegrateOptions {
+  double abs_tolerance = 1e-10;  ///< Target absolute error.
+  double rel_tolerance = 1e-9;   ///< Target relative error.
+  int max_depth = 48;            ///< Recursion limit for adaptive Simpson.
+};
+
+/// \brief Adaptive Simpson quadrature of f over [a, b].
+///
+/// Handles integrands with localized features (the uniform-error posteriors
+/// are piecewise constant). Jump discontinuities are tolerated: a
+/// subinterval that still disagrees at the recursion limit spans at most
+/// (b-a)/2^max_depth, so its error contribution is below machine noise and
+/// the estimate is accepted. Caveat: like every sampling rule, features
+/// entirely between the initial sample points of a *much* wider interval
+/// can be missed — integrate over support-aware bounds (as the DUST φ
+/// builder does) rather than arbitrarily wide ones.
+///
+/// Fails only on invalid bounds (b < a).
+Result<double> IntegrateAdaptiveSimpson(
+    const std::function<double(double)>& f, double a, double b,
+    const IntegrateOptions& options = {});
+
+/// \brief Composite Simpson rule with n (even, >= 2) subdivisions.
+///
+/// Deterministic cost version used for table construction where the
+/// integrand is known to be smooth after splitting at its breakpoints.
+double IntegrateSimpson(const std::function<double(double)>& f, double a,
+                        double b, int n);
+
+/// \brief Gauss–Legendre quadrature with `points` nodes (2..64) over [a, b].
+///
+/// Nodes/weights are computed on first use by Newton iteration on the
+/// Legendre polynomials and cached per point count.
+double IntegrateGaussLegendre(const std::function<double(double)>& f, double a,
+                              double b, int points);
+
+}  // namespace uts::prob
+
+#endif  // UTS_PROB_INTEGRATE_HPP_

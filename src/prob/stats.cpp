@@ -1,0 +1,186 @@
+#include "prob/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "prob/special.hpp"
+
+namespace uts::prob {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::VariancePopulation() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::VarianceSample() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDevPopulation() const {
+  return std::sqrt(VariancePopulation());
+}
+
+double RunningStats::StdDevSample() const {
+  return std::sqrt(VarianceSample());
+}
+
+double RunningStats::StandardError() const {
+  if (count_ < 2) return 0.0;
+  return StdDevSample() / std::sqrt(static_cast<double>(count_));
+}
+
+ConfidenceInterval MeanConfidenceInterval(std::span<const double> values,
+                                          double level) {
+  assert(level > 0.0 && level < 1.0);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  ConfidenceInterval ci;
+  ci.mean = stats.Mean();
+  ci.level = level;
+  if (stats.count() >= 2) {
+    const double z = NormalQuantile(0.5 + 0.5 * level);
+    ci.half_width = z * stats.StandardError();
+  }
+  return ci;
+}
+
+Result<ChiSquareResult> ChiSquareTest(std::span<const std::size_t> observed,
+                                      std::span<const double> expected_p) {
+  if (observed.size() != expected_p.size()) {
+    return Status::InvalidArgument(
+        "observed and expected bin vectors differ in length");
+  }
+  if (observed.size() < 2) {
+    return Status::InvalidArgument("chi-square test needs at least 2 bins");
+  }
+  std::size_t n = 0;
+  for (std::size_t c : observed) n += c;
+  if (n == 0) return Status::InvalidArgument("no observations");
+  double p_total = 0.0;
+  for (double p : expected_p) {
+    if (p < 0.0) return Status::InvalidArgument("negative expected probability");
+    p_total += p;
+  }
+  if (std::fabs(p_total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("expected probabilities must sum to 1");
+  }
+
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_p[i] * static_cast<double>(n);
+    if (expected <= 0.0) {
+      if (observed[i] > 0) {
+        return Status::NumericError(
+            "observed count in a zero-probability bin");
+      }
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    statistic += diff * diff / expected;
+  }
+
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.dof = static_cast<double>(observed.size() - 1);
+  result.p_value = ChiSquareSurvival(statistic, result.dof);
+  result.bins = observed.size();
+  result.samples = n;
+  return result;
+}
+
+Result<ChiSquareResult> ChiSquareUniformityTest(std::span<const double> values,
+                                                std::size_t bins) {
+  if (values.size() < 10) {
+    return Status::InvalidArgument(
+        "chi-square uniformity test needs at least 10 observations");
+  }
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (!(hi > lo)) {
+    return Status::InvalidArgument("all observations identical");
+  }
+
+  if (bins == 0) {
+    // ceil(sqrt(n)), capped so that the expected count per bin stays >= 5.
+    const auto n = static_cast<double>(values.size());
+    bins = static_cast<std::size_t>(std::ceil(std::sqrt(n)));
+    const auto max_bins = static_cast<std::size_t>(n / 5.0);
+    bins = std::clamp<std::size_t>(bins, 2, std::max<std::size_t>(2, max_bins));
+  }
+
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= bins) idx = bins - 1;  // v == hi lands in the last bin.
+    ++counts[idx];
+  }
+  std::vector<double> expected_p(bins, 1.0 / static_cast<double>(bins));
+  return ChiSquareTest(counts, expected_p);
+}
+
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation needs at least 2 points");
+  }
+  RunningStats sx, sy;
+  for (double v : x) sx.Add(v);
+  for (double v : y) sy.Add(v);
+  const double mx = sx.Mean();
+  const double my = sy.Mean();
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+  }
+  const double denom = std::sqrt(sx.VariancePopulation() *
+                                 sy.VariancePopulation()) *
+                       static_cast<double>(x.size());
+  if (denom == 0.0) {
+    return Status::NumericError("zero variance input to correlation");
+  }
+  return cov / denom;
+}
+
+Result<double> Autocorrelation(std::span<const double> x, std::size_t lag) {
+  if (lag == 0) return Status::InvalidArgument("lag must be >= 1");
+  if (x.size() <= lag + 1) {
+    return Status::InvalidArgument("sequence too short for requested lag");
+  }
+  return PearsonCorrelation(x.subspan(0, x.size() - lag), x.subspan(lag));
+}
+
+}  // namespace uts::prob

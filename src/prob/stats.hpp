@@ -1,0 +1,126 @@
+/// \file stats.hpp
+/// \brief Descriptive statistics, confidence intervals, and the chi-square
+/// goodness-of-fit test used in Section 4.1.1 of the paper.
+
+#ifndef UTS_PROB_STATS_HPP_
+#define UTS_PROB_STATS_HPP_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/status.hpp"
+
+namespace uts::prob {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by normalization, dataset
+/// characterization, and experiment aggregation.
+class RunningStats {
+ public:
+  /// Feed one observation.
+  void Add(double x);
+
+  /// Merge another accumulator (parallel-combine, Chan et al.).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations so far.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by n); 0 when fewer than 1 observation.
+  double VariancePopulation() const;
+
+  /// Sample variance (divide by n-1); 0 when fewer than 2 observations.
+  double VarianceSample() const;
+
+  /// Population standard deviation.
+  double StdDevPopulation() const;
+
+  /// Sample standard deviation.
+  double StdDevSample() const;
+
+  /// Standard error of the mean, s / sqrt(n).
+  double StandardError() const;
+
+  /// Smallest observation seen (+inf when empty).
+  double Min() const { return min_; }
+
+  /// Largest observation seen (-inf when empty).
+  double Max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e308 * 10;   // +inf without <limits> in the header.
+  double max_ = -1e308 * 10;  // -inf.
+};
+
+/// \brief A symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;       ///< Point estimate.
+  double half_width = 0.0; ///< Interval is [mean - half_width, mean + half_width].
+  double level = 0.95;     ///< Confidence level used.
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// \brief Normal-approximation confidence interval for the mean of `values`.
+///
+/// The paper reports "the averages of all these results, as well as the 95%
+/// confidence intervals" (Section 4.1.2); this reproduces that aggregation.
+/// For n < 2 the half-width is zero.
+ConfidenceInterval MeanConfidenceInterval(std::span<const double> values,
+                                          double level = 0.95);
+
+/// \brief Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;     ///< Sum of (observed-expected)²/expected.
+  double dof = 0.0;           ///< Degrees of freedom (bins - 1).
+  double p_value = 1.0;       ///< Upper-tail probability.
+  std::size_t bins = 0;       ///< Number of bins actually used.
+  std::size_t samples = 0;    ///< Number of observations tested.
+
+  /// True iff the null hypothesis is rejected at significance `alpha`.
+  bool RejectAt(double alpha) const { return p_value < alpha; }
+};
+
+/// \brief Chi-square test of the hypothesis that `values` are uniformly
+/// distributed over [min(values), max(values)].
+///
+/// Reproduces the Section 4.1.1 check: "According to the Chi-square test, the
+/// hypothesis that the datasets follow the uniform distribution was rejected
+/// (for all datasets) with confidence level α = 0.01."
+///
+/// \param values observations (at least 5 per bin are recommended)
+/// \param bins   number of equal-width bins; 0 picks ceil(sqrt(n)) capped to
+///               keep expected counts >= 5
+Result<ChiSquareResult> ChiSquareUniformityTest(std::span<const double> values,
+                                                std::size_t bins = 0);
+
+/// \brief Chi-square test against arbitrary expected bin probabilities.
+///
+/// \param observed   per-bin observed counts
+/// \param expected_p per-bin expected probabilities (must sum to ~1)
+Result<ChiSquareResult> ChiSquareTest(std::span<const std::size_t> observed,
+                                      std::span<const double> expected_p);
+
+/// \brief Sample Pearson correlation of two equal-length vectors.
+///
+/// Used to quantify the temporal correlation of neighboring points — the
+/// property the paper identifies as the key to UMA/UEMA's advantage.
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// \brief Lag-k autocorrelation of a sequence (k >= 1).
+Result<double> Autocorrelation(std::span<const double> x, std::size_t lag);
+
+}  // namespace uts::prob
+
+#endif  // UTS_PROB_STATS_HPP_

@@ -1,0 +1,99 @@
+#include "query/search.hpp"
+
+#include <algorithm>
+
+#include "distance/lp.hpp"
+
+namespace uts::query {
+
+std::vector<Neighbor> KNearest(std::size_t n, std::size_t exclude,
+                               std::size_t k,
+                               const DistanceToFn& distance_to) {
+  std::vector<Neighbor> all;
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    all.push_back({i, distance_to(i)});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(take);
+  return all;
+}
+
+std::vector<std::size_t> RangeSearch(std::size_t n, std::size_t exclude,
+                                     double epsilon,
+                                     const DistanceToFn& distance_to) {
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    if (distance_to(i) <= epsilon) matches.push_back(i);
+  }
+  return matches;
+}
+
+std::vector<Neighbor> KNearestEuclidean(const ts::Dataset& dataset,
+                                        std::size_t query_index,
+                                        std::size_t k) {
+  const auto& query = dataset[query_index];
+  return KNearest(dataset.size(), query_index, k, [&](std::size_t i) {
+    return distance::Euclidean(query.values(), dataset[i].values());
+  });
+}
+
+std::vector<std::size_t> RangeSearchEuclidean(const ts::Dataset& dataset,
+                                              std::size_t query_index,
+                                              double epsilon) {
+  const auto& query = dataset[query_index];
+  return RangeSearch(dataset.size(), query_index, epsilon, [&](std::size_t i) {
+    return distance::Euclidean(query.values(), dataset[i].values());
+  });
+}
+
+std::vector<std::size_t> ProbabilisticRangeSearch(
+    std::size_t n, std::size_t exclude, double tau,
+    const MatchProbabilityFn& probability_of) {
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    if (probability_of(i) >= tau) matches.push_back(i);
+  }
+  return matches;
+}
+
+std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,
+                                  const PairwiseDistanceFn& distance) {
+  std::vector<MotifPair> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs.push_back({a, b, distance(a, b)});
+    }
+  }
+  const std::size_t take = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<long>(take),
+                    pairs.end(), [](const MotifPair& x, const MotifPair& y) {
+                      if (x.distance != y.distance) {
+                        return x.distance < y.distance;
+                      }
+                      if (x.a != y.a) return x.a < y.a;
+                      return x.b < y.b;
+                    });
+  pairs.resize(take);
+  return pairs;
+}
+
+std::vector<MotifPair> TopKMotifsEuclidean(const ts::Dataset& dataset,
+                                           std::size_t k) {
+  return TopKMotifs(dataset.size(), k, [&](std::size_t a, std::size_t b) {
+    return distance::Euclidean(dataset[a].values(), dataset[b].values());
+  });
+}
+
+}  // namespace uts::query

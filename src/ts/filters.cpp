@@ -1,0 +1,126 @@
+#include "ts/filters.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace uts::ts {
+
+namespace {
+
+/// Core kernel shared by all four filters.
+///
+/// weight(j, i)  = exp(-λ|j-i|)        (λ = 0 for the non-exponential pair)
+/// scale(j)      = 1 / s_j             (1 for the non-uncertain pair)
+/// output(i)     = Σ_j v_j · weight · scale / denom
+/// denom         = Σ_j weight          (renormalized over the real window)
+///               or the literal Eq. 15/17 denominator in strict mode.
+std::vector<double> Apply(std::span<const double> values,
+                          const double* stddevs, double lambda,
+                          const FilterOptions& options) {
+  const std::size_t n = values.size();
+  const std::size_t w = options.half_window;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= w ? i - w : 0;
+    const std::size_t hi = std::min(i + w, n == 0 ? 0 : n - 1);
+    double numer = 0.0;
+    double denom = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double dist = static_cast<double>(j > i ? j - i : i - j);
+      const double weight = std::exp(-lambda * dist);
+      const double scale = stddevs == nullptr ? 1.0 : 1.0 / stddevs[j];
+      numer += values[j] * weight * scale;
+      denom += weight;
+    }
+    if (options.strict_paper_denominator) {
+      if (lambda == 0.0) {
+        // Eq. 15 / Eq. 17: fixed 2w+1 denominator.
+        denom = static_cast<double>(2 * w + 1);
+      } else {
+        // Eq. 16 / Eq. 18: the weight sum over the full (untruncated) window.
+        denom = 0.0;
+        for (std::size_t k = 0; k <= w; ++k) {
+          denom += std::exp(-lambda * static_cast<double>(k)) * (k == 0 ? 1 : 2);
+        }
+      }
+    }
+    out[i] = denom > 0.0 ? numer / denom : values[i];
+  }
+  return out;
+}
+
+Status ValidateStddevs(std::span<const double> values,
+                       std::span<const double> stddevs) {
+  if (stddevs.size() != values.size()) {
+    return Status::InvalidArgument(
+        "stddevs must have the same length as values");
+  }
+  for (double s : stddevs) {
+    if (!(s > 0.0)) {
+      return Status::InvalidArgument(
+          "error standard deviations must be strictly positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<double> MovingAverage(std::span<const double> values,
+                                  const FilterOptions& options) {
+  return Apply(values, nullptr, 0.0, options);
+}
+
+std::vector<double> ExponentialMovingAverage(std::span<const double> values,
+                                             const FilterOptions& options) {
+  assert(options.lambda >= 0.0);
+  return Apply(values, nullptr, options.lambda, options);
+}
+
+Result<std::vector<double>> UncertainMovingAverage(
+    std::span<const double> values, std::span<const double> stddevs,
+    const FilterOptions& options) {
+  UTS_RETURN_NOT_OK(ValidateStddevs(values, stddevs));
+  return Apply(values, stddevs.data(), 0.0, options);
+}
+
+Result<std::vector<double>> UncertainExponentialMovingAverage(
+    std::span<const double> values, std::span<const double> stddevs,
+    const FilterOptions& options) {
+  assert(options.lambda >= 0.0);
+  UTS_RETURN_NOT_OK(ValidateStddevs(values, stddevs));
+  return Apply(values, stddevs.data(), options.lambda, options);
+}
+
+TimeSeries MovingAverage(const TimeSeries& series,
+                         const FilterOptions& options) {
+  return TimeSeries(MovingAverage(series.values(), options), series.label(),
+                    series.id());
+}
+
+TimeSeries ExponentialMovingAverage(const TimeSeries& series,
+                                    const FilterOptions& options) {
+  return TimeSeries(ExponentialMovingAverage(series.values(), options),
+                    series.label(), series.id());
+}
+
+Result<TimeSeries> UncertainMovingAverage(const TimeSeries& series,
+                                          std::span<const double> stddevs,
+                                          const FilterOptions& options) {
+  auto filtered = UncertainMovingAverage(series.values(), stddevs, options);
+  if (!filtered.ok()) return filtered.status();
+  return TimeSeries(std::move(filtered).ValueOrDie(), series.label(),
+                    series.id());
+}
+
+Result<TimeSeries> UncertainExponentialMovingAverage(
+    const TimeSeries& series, std::span<const double> stddevs,
+    const FilterOptions& options) {
+  auto filtered =
+      UncertainExponentialMovingAverage(series.values(), stddevs, options);
+  if (!filtered.ok()) return filtered.status();
+  return TimeSeries(std::move(filtered).ValueOrDie(), series.label(),
+                    series.id());
+}
+
+}  // namespace uts::ts

@@ -1,0 +1,89 @@
+/// \file filters.hpp
+/// \brief Moving-average family of noise filters (Section 5 of the paper).
+///
+/// Four filters, Equations 15–18:
+///
+///  * MA    — plain moving average, window 2w+1 (Eq. 15);
+///  * EMA   — exponentially weighted moving average, decay λ (Eq. 16);
+///  * UMA   — Uncertain Moving Average: observations divided by their error
+///            standard deviation before averaging (Eq. 17);
+///  * UEMA  — Uncertain Exponential Moving Average: exponential weights and
+///            division by the error standard deviation (Eq. 18).
+///
+/// UMA and UEMA are the paper's proposed measures: the Euclidean distance is
+/// computed on the filtered sequences (Section 5.1, last paragraph).
+///
+/// Boundary policy: the paper's equations index j from i-w to i+w without
+/// specifying edge handling; we truncate the window at the sequence
+/// boundaries and normalize by the weights actually present, which keeps the
+/// filter unbiased at the edges. `FilterOptions::strict_paper_denominator`
+/// switches to the literal 2w+1 denominator of Eq. 15/17 for exact-equation
+/// comparisons (edge values are then attenuated).
+
+#ifndef UTS_TS_FILTERS_HPP_
+#define UTS_TS_FILTERS_HPP_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ts/time_series.hpp"
+
+namespace uts::ts {
+
+/// \brief Shared options for the moving-average family.
+struct FilterOptions {
+  /// Half-window w; the window covers 2w+1 points (Eq. 15). w = 0 makes
+  /// every filter the identity (UMA/UEMA then "degenerate to the simple
+  /// Euclidean distance", Section 5.2).
+  std::size_t half_window = 2;
+
+  /// Exponential decay λ (Eq. 16/18); only used by EMA/UEMA. λ = 0 gives
+  /// uniform weights (EMA == MA, UEMA == UMA).
+  double lambda = 1.0;
+
+  /// Use the literal 2w+1 denominator from Eq. 15/17 even at sequence edges
+  /// (instead of renormalizing over the truncated window).
+  bool strict_paper_denominator = false;
+};
+
+/// \brief Moving average of `values` (Eq. 15).
+std::vector<double> MovingAverage(std::span<const double> values,
+                                  const FilterOptions& options);
+
+/// \brief Exponential moving average of `values` (Eq. 16).
+std::vector<double> ExponentialMovingAverage(std::span<const double> values,
+                                             const FilterOptions& options);
+
+/// \brief Uncertain Moving Average (Eq. 17): each observation v_j is divided
+/// by its error standard deviation s_j, de-emphasizing noisier points.
+///
+/// `stddevs` must have the same length as `values` and be strictly positive.
+Result<std::vector<double>> UncertainMovingAverage(
+    std::span<const double> values, std::span<const double> stddevs,
+    const FilterOptions& options);
+
+/// \brief Uncertain Exponential Moving Average (Eq. 18).
+Result<std::vector<double>> UncertainExponentialMovingAverage(
+    std::span<const double> values, std::span<const double> stddevs,
+    const FilterOptions& options);
+
+/// \name TimeSeries conveniences
+/// Preserve label and id of the input.
+/// \{
+TimeSeries MovingAverage(const TimeSeries& series,
+                         const FilterOptions& options);
+TimeSeries ExponentialMovingAverage(const TimeSeries& series,
+                                    const FilterOptions& options);
+Result<TimeSeries> UncertainMovingAverage(const TimeSeries& series,
+                                          std::span<const double> stddevs,
+                                          const FilterOptions& options);
+Result<TimeSeries> UncertainExponentialMovingAverage(
+    const TimeSeries& series, std::span<const double> stddevs,
+    const FilterOptions& options);
+/// \}
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_FILTERS_HPP_

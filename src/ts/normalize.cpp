@@ -1,0 +1,48 @@
+#include "ts/normalize.hpp"
+
+#include <cmath>
+
+#include "prob/stats.hpp"
+
+namespace uts::ts {
+
+SeriesMoments ComputeMoments(const TimeSeries& series) {
+  prob::RunningStats stats;
+  for (double v : series) stats.Add(v);
+  return {stats.Mean(), stats.StdDevPopulation()};
+}
+
+void ZNormalizeInPlace(TimeSeries& series, double epsilon) {
+  const SeriesMoments m = ComputeMoments(series);
+  auto& values = series.mutable_values();
+  if (m.stddev <= epsilon) {
+    for (double& v : values) v -= m.mean;
+    return;
+  }
+  for (double& v : values) v = (v - m.mean) / m.stddev;
+}
+
+TimeSeries ZNormalized(const TimeSeries& series, double epsilon) {
+  TimeSeries out = series;
+  ZNormalizeInPlace(out, epsilon);
+  return out;
+}
+
+void MinMaxNormalizeInPlace(TimeSeries& series, double lo, double hi) {
+  if (series.empty()) return;
+  double vmin = series[0];
+  double vmax = series[0];
+  for (double v : series) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  auto& values = series.mutable_values();
+  if (vmax <= vmin) {
+    for (double& v : values) v = 0.5 * (lo + hi);
+    return;
+  }
+  const double scale = (hi - lo) / (vmax - vmin);
+  for (double& v : values) v = lo + (v - vmin) * scale;
+}
+
+}  // namespace uts::ts

@@ -1,0 +1,42 @@
+/// \file normalize.hpp
+/// \brief Z-normalization and related preprocessing.
+///
+/// "Where not specified otherwise, we assume normalized time series with zero
+/// mean and unit variance" (Section 2). Normalization is applied to the exact
+/// series before perturbation, exactly as in the paper's setup.
+
+#ifndef UTS_TS_NORMALIZE_HPP_
+#define UTS_TS_NORMALIZE_HPP_
+
+#include "ts/time_series.hpp"
+
+namespace uts::ts {
+
+/// \brief Moments of a series used by normalization.
+struct SeriesMoments {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+};
+
+/// \brief Mean and population standard deviation of the series values.
+SeriesMoments ComputeMoments(const TimeSeries& series);
+
+/// \brief Z-normalize in place: subtract the mean, divide by the population
+/// standard deviation.
+///
+/// A series with (near-)zero variance cannot be scaled; it is centered only
+/// (all values become ~0), which matches the common convention for constant
+/// series and keeps downstream distances well defined.
+void ZNormalizeInPlace(TimeSeries& series, double epsilon = 1e-12);
+
+/// \brief Z-normalized copy of the series.
+TimeSeries ZNormalized(const TimeSeries& series, double epsilon = 1e-12);
+
+/// \brief Min-max rescale in place onto [lo, hi]; constant series map to the
+/// midpoint.
+void MinMaxNormalizeInPlace(TimeSeries& series, double lo = 0.0,
+                            double hi = 1.0);
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_NORMALIZE_HPP_

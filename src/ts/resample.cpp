@@ -1,0 +1,38 @@
+#include "ts/resample.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace uts::ts {
+
+Result<TimeSeries> LinearResample(const TimeSeries& series,
+                                  std::size_t new_length) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("resampling needs at least 2 input points");
+  }
+  if (new_length < 2) {
+    return Status::InvalidArgument("resampled length must be at least 2");
+  }
+  std::vector<double> out(new_length);
+  const double src_span = static_cast<double>(series.size() - 1);
+  const double dst_span = static_cast<double>(new_length - 1);
+  for (std::size_t i = 0; i < new_length; ++i) {
+    const double t = static_cast<double>(i) / dst_span * src_span;
+    const auto lo = static_cast<std::size_t>(std::floor(t));
+    const std::size_t hi = std::min(lo + 1, series.size() - 1);
+    const double frac = t - static_cast<double>(lo);
+    out[i] = series[lo] * (1.0 - frac) + series[hi] * frac;
+  }
+  return TimeSeries(std::move(out), series.label(), series.id());
+}
+
+Result<TimeSeries> Decimate(const TimeSeries& series, std::size_t stride) {
+  if (stride == 0) return Status::InvalidArgument("stride must be >= 1");
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  std::vector<double> out;
+  out.reserve(series.size() / stride + 1);
+  for (std::size_t i = 0; i < series.size(); i += stride) out.push_back(series[i]);
+  return TimeSeries(std::move(out), series.label(), series.id());
+}
+
+}  // namespace uts::ts

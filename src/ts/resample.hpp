@@ -1,0 +1,31 @@
+/// \file resample.hpp
+/// \brief Length adjustment by linear-interpolation resampling.
+///
+/// The Figure 12 experiment varies the time-series length between 50 and
+/// 1000 points: "Time series of different lengths have been obtained
+/// resampling the raw sequences" (Section 4.3).
+
+#ifndef UTS_TS_RESAMPLE_HPP_
+#define UTS_TS_RESAMPLE_HPP_
+
+#include <cstddef>
+
+#include "common/result.hpp"
+#include "ts/time_series.hpp"
+
+namespace uts::ts {
+
+/// \brief Resample `series` to `new_length` points by linear interpolation
+/// over the normalized time axis [0, 1].
+///
+/// Endpoints are preserved. Requires the input to have >= 2 points and
+/// new_length >= 2.
+Result<TimeSeries> LinearResample(const TimeSeries& series,
+                                  std::size_t new_length);
+
+/// \brief Downsample by decimation: keep every `stride`-th point.
+Result<TimeSeries> Decimate(const TimeSeries& series, std::size_t stride);
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_RESAMPLE_HPP_

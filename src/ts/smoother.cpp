@@ -1,0 +1,116 @@
+#include "ts/smoother.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/stats.hpp"
+
+namespace uts::ts {
+
+namespace {
+
+Status ValidateInputs(std::span<const double> observations,
+                      std::span<const double> stddevs,
+                      const Ar1SmootherOptions& options) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations");
+  }
+  if (observations.size() != stddevs.size()) {
+    return Status::InvalidArgument(
+        "stddevs must have the same length as observations");
+  }
+  for (double s : stddevs) {
+    if (!(s > 0.0)) {
+      return Status::InvalidArgument(
+          "error standard deviations must be strictly positive");
+    }
+  }
+  if (!(options.state_variance > 0.0)) {
+    return Status::InvalidArgument("state_variance must be positive");
+  }
+  if (options.rho < 0.0 || options.rho >= 1.0) {
+    return Status::InvalidArgument("rho must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> EstimateAr1Rho(std::span<const double> observations,
+                              std::span<const double> stddevs,
+                              const Ar1SmootherOptions& options) {
+  if (observations.size() < 8) {
+    return Status::InvalidArgument("need at least 8 observations");
+  }
+  if (observations.size() != stddevs.size()) {
+    return Status::InvalidArgument(
+        "stddevs must have the same length as observations");
+  }
+  prob::RunningStats stats;
+  for (double y : observations) stats.Add(y);
+  const double mean = stats.Mean();
+  const double var_y = stats.VariancePopulation();
+
+  double cov1 = 0.0;
+  for (std::size_t t = 0; t + 1 < observations.size(); ++t) {
+    cov1 += (observations[t] - mean) * (observations[t + 1] - mean);
+  }
+  cov1 /= static_cast<double>(observations.size() - 1);
+
+  double noise_var = 0.0;
+  for (double s : stddevs) noise_var += s * s;
+  noise_var /= static_cast<double>(stddevs.size());
+
+  // Var(y) = Var(x) + noise; Cov(y_t, y_{t+1}) = rho * Var(x).
+  const double signal_var = var_y - noise_var;
+  double rho;
+  if (signal_var <= 1e-9 * std::max(var_y, 1.0)) {
+    rho = options.min_rho;  // observations are (nearly) pure noise.
+  } else {
+    rho = cov1 / signal_var;
+  }
+  return std::clamp(rho, options.min_rho, options.max_rho);
+}
+
+Result<std::vector<double>> Ar1KalmanSmooth(
+    std::span<const double> observations, std::span<const double> stddevs,
+    const Ar1SmootherOptions& options) {
+  UTS_RETURN_NOT_OK(ValidateInputs(observations, stddevs, options));
+
+  double rho = options.rho;
+  if (rho == 0.0) {
+    auto estimated = EstimateAr1Rho(observations, stddevs, options);
+    // Short series cannot support estimation; fall back to independence.
+    rho = estimated.ok() ? estimated.ValueOrDie() : 0.0;
+  }
+  const double v = options.state_variance;
+  const double q = (1.0 - rho * rho) * v;  // innovation variance
+  const std::size_t n = observations.size();
+
+  // Forward Kalman filter. The t = 0 prior is the stationary N(0, V).
+  std::vector<double> m_filt(n), p_filt(n), m_pred(n), p_pred(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (t == 0) {
+      m_pred[t] = 0.0;
+      p_pred[t] = v;
+    } else {
+      m_pred[t] = rho * m_filt[t - 1];
+      p_pred[t] = rho * rho * p_filt[t - 1] + q;
+    }
+    const double r = stddevs[t] * stddevs[t];
+    const double gain = p_pred[t] / (p_pred[t] + r);
+    m_filt[t] = m_pred[t] + gain * (observations[t] - m_pred[t]);
+    p_filt[t] = (1.0 - gain) * p_pred[t];
+  }
+
+  // Backward Rauch-Tung-Striebel pass for the full posterior mean.
+  std::vector<double> smoothed(n);
+  smoothed[n - 1] = m_filt[n - 1];
+  for (std::size_t t = n - 1; t-- > 0;) {
+    const double c = p_filt[t] * rho / p_pred[t + 1];
+    smoothed[t] = m_filt[t] + c * (smoothed[t + 1] - m_pred[t + 1]);
+  }
+  return smoothed;
+}
+
+}  // namespace uts::ts

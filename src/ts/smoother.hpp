@@ -1,0 +1,65 @@
+/// \file smoother.hpp
+/// \brief Correlation-aware denoising: AR(1) Kalman/RTS smoothing.
+///
+/// The paper's concluding direction: "a promising direction is to develop
+/// measures that take into account the sequential correlations inherent in
+/// time series" (Section 7). UMA/UEMA exploit correlation implicitly
+/// through a fixed window; this module models it explicitly:
+///
+///   state:        x_t = ρ·x_{t-1} + w_t,   w_t ~ N(0, (1-ρ²)·V)
+///   observation:  y_t = x_t + e_t,         e_t ~ N(0, s_t²)
+///
+/// where V is the stationary signal variance (1 for z-normalized series)
+/// and s_t is the per-point *reported* error standard deviation — the same
+/// information UMA/UEMA consume. A forward Kalman filter plus a backward
+/// Rauch–Tung–Striebel pass yields the posterior mean E[x_t | y_1..y_n],
+/// the minimum-MSE reconstruction under the model. The correlation-aware
+/// similarity measure is the Euclidean distance between smoothed series
+/// (`core::Ar1SmootherMatcher`), evaluated against UMA/UEMA by
+/// `bench_ext_correlation`.
+
+#ifndef UTS_TS_SMOOTHER_HPP_
+#define UTS_TS_SMOOTHER_HPP_
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace uts::ts {
+
+/// \brief Options of the AR(1) smoother.
+struct Ar1SmootherOptions {
+  /// AR(1) coefficient ρ of the latent signal. 0 = estimate it from the
+  /// observations via noise-corrected lag-1 autocorrelation.
+  double rho = 0.0;
+
+  /// Stationary variance V of the latent signal (1 for z-normalized data).
+  double state_variance = 1.0;
+
+  /// Clamp range for the (estimated) ρ; the model needs |ρ| < 1.
+  double min_rho = 0.0;
+  double max_rho = 0.995;
+};
+
+/// \brief Estimate the latent AR(1) coefficient from noisy observations.
+///
+/// With uncorrelated observation noise, the lag-1 autocovariance of y is
+/// untouched by noise while its variance gains the mean noise variance:
+/// ρ ≈ r_y(1) · (Var(y)) / (Var(y) − mean(s²)). The estimate is clamped to
+/// [min_rho, max_rho]. Requires at least 8 observations.
+Result<double> EstimateAr1Rho(std::span<const double> observations,
+                              std::span<const double> stddevs,
+                              const Ar1SmootherOptions& options = {});
+
+/// \brief Posterior-mean reconstruction E[x | y] under the AR(1) model.
+///
+/// \param observations noisy values y_t
+/// \param stddevs      per-point error standard deviations s_t (> 0)
+Result<std::vector<double>> Ar1KalmanSmooth(
+    std::span<const double> observations, std::span<const double> stddevs,
+    const Ar1SmootherOptions& options = {});
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_SMOOTHER_HPP_

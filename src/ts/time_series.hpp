@@ -1,0 +1,86 @@
+/// \file time_series.hpp
+/// \brief The certain (exact-valued) time-series container.
+///
+/// "A time series S is defined as S = <s1, s2, ..., sn> where n is the length
+/// of S, and si is the real valued number of S at timestamp i" (Section 2).
+/// Sampling is assumed constant-rate with discrete timestamps, so the
+/// container is a plain value vector plus identification metadata.
+
+#ifndef UTS_TS_TIME_SERIES_HPP_
+#define UTS_TS_TIME_SERIES_HPP_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uts::ts {
+
+/// \brief A fixed-length sequence of real values with an optional class
+/// label (UCR datasets are classification datasets) and an identifier.
+class TimeSeries {
+ public:
+  /// Label value meaning "no class information".
+  static constexpr int kNoLabel = -1;
+
+  TimeSeries() = default;
+
+  /// Construct from values; label/id are optional metadata.
+  explicit TimeSeries(std::vector<double> values, int label = kNoLabel,
+                      std::string id = {})
+      : values_(std::move(values)), label_(label), id_(std::move(id)) {}
+
+  /// Number of timestamps.
+  std::size_t size() const { return values_.size(); }
+
+  /// True iff the series has no points.
+  bool empty() const { return values_.empty(); }
+
+  /// Value at timestamp i (0-based); precondition i < size().
+  double operator[](std::size_t i) const {
+    assert(i < values_.size());
+    return values_[i];
+  }
+
+  /// Mutable value at timestamp i; precondition i < size().
+  double& operator[](std::size_t i) {
+    assert(i < values_.size());
+    return values_[i];
+  }
+
+  /// Read-only view of all values.
+  std::span<const double> values() const { return values_; }
+
+  /// Mutable access to the underlying vector.
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Class label (kNoLabel when absent).
+  int label() const { return label_; }
+
+  /// Set the class label.
+  void set_label(int label) { label_ = label; }
+
+  /// Identifier, e.g. "GunPoint/17".
+  const std::string& id() const { return id_; }
+
+  /// Set the identifier.
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  friend bool operator==(const TimeSeries& a, const TimeSeries& b) {
+    return a.values_ == b.values_ && a.label_ == b.label_;
+  }
+
+ private:
+  std::vector<double> values_;
+  int label_ = kNoLabel;
+  std::string id_;
+};
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_TIME_SERIES_HPP_

@@ -1,0 +1,67 @@
+#include "uncertain/perturb.hpp"
+
+namespace uts::uncertain {
+
+UncertainSeries PerturbSeries(const ts::TimeSeries& exact,
+                              const ErrorSpec& spec, std::uint64_t seed) {
+  const std::size_t n = exact.size();
+  // Separate streams for assignment and sampling keep observation noise
+  // independent of which positions drew the high σ.
+  ErrorAssignment assignment = spec.Assign(n, prob::DeriveSeed(seed, 1));
+  prob::Rng rng(prob::DeriveSeed(seed, 2));
+
+  std::vector<double> observations(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    observations[i] = exact[i] + assignment.actual[i]->Sample(rng);
+  }
+  return UncertainSeries(std::move(observations),
+                         std::move(assignment.reported), exact.label(),
+                         exact.id());
+}
+
+MultiSampleSeries PerturbMultiSample(const ts::TimeSeries& exact,
+                                     const ErrorSpec& spec,
+                                     std::size_t samples_per_point,
+                                     std::uint64_t seed) {
+  assert(samples_per_point >= 1);
+  const std::size_t n = exact.size();
+  ErrorAssignment assignment = spec.Assign(n, prob::DeriveSeed(seed, 1));
+  prob::Rng rng(prob::DeriveSeed(seed, 2));
+
+  std::vector<std::vector<double>> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i].reserve(samples_per_point);
+    for (std::size_t s = 0; s < samples_per_point; ++s) {
+      samples[i].push_back(exact[i] + assignment.actual[i]->Sample(rng));
+    }
+  }
+  return MultiSampleSeries(std::move(samples), exact.label(), exact.id());
+}
+
+UncertainDataset PerturbDataset(const ts::Dataset& exact,
+                                const ErrorSpec& spec, std::uint64_t seed) {
+  UncertainDataset out;
+  out.name = exact.name();
+  out.series.reserve(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    out.series.push_back(
+        PerturbSeries(exact[i], spec, prob::DeriveSeed(seed, i)));
+  }
+  return out;
+}
+
+MultiSampleDataset PerturbDatasetMultiSample(const ts::Dataset& exact,
+                                             const ErrorSpec& spec,
+                                             std::size_t samples_per_point,
+                                             std::uint64_t seed) {
+  MultiSampleDataset out;
+  out.name = exact.name();
+  out.series.reserve(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    out.series.push_back(PerturbMultiSample(exact[i], spec, samples_per_point,
+                                            prob::DeriveSeed(seed, i)));
+  }
+  return out;
+}
+
+}  // namespace uts::uncertain

@@ -1,0 +1,49 @@
+/// \file perturb.hpp
+/// \brief Turning exact series into uncertain series.
+///
+/// "Similarly to [5, 29, 23], we used existing time series datasets with
+/// exact values as the ground truth, and subsequently introduced uncertainty
+/// through perturbation" (Section 4.1.1). Perturbation is fully deterministic
+/// given (series index, seed), so experiments are reproducible and every
+/// technique sees exactly the same perturbed data.
+
+#ifndef UTS_UNCERTAIN_PERTURB_HPP_
+#define UTS_UNCERTAIN_PERTURB_HPP_
+
+#include <cstdint>
+
+#include "ts/dataset.hpp"
+#include "uncertain/error_spec.hpp"
+#include "uncertain/uncertain_series.hpp"
+
+namespace uts::uncertain {
+
+/// \brief Perturb one exact series into the pdf uncertainty model.
+///
+/// Each observation is `exact value + one draw from the actual error
+/// distribution`; the attached error models are the *reported* ones.
+UncertainSeries PerturbSeries(const ts::TimeSeries& exact,
+                              const ErrorSpec& spec, std::uint64_t seed);
+
+/// \brief Perturb one exact series into the repeated-observations model used
+/// by MUNICH, drawing `samples_per_point` independent observations at every
+/// timestamp.
+MultiSampleSeries PerturbMultiSample(const ts::TimeSeries& exact,
+                                     const ErrorSpec& spec,
+                                     std::size_t samples_per_point,
+                                     std::uint64_t seed);
+
+/// \brief Perturb a whole dataset (pdf model). Series i uses the derived
+/// seed DeriveSeed(seed, i).
+UncertainDataset PerturbDataset(const ts::Dataset& exact,
+                                const ErrorSpec& spec, std::uint64_t seed);
+
+/// \brief Perturb a whole dataset (repeated-observations model).
+MultiSampleDataset PerturbDatasetMultiSample(const ts::Dataset& exact,
+                                             const ErrorSpec& spec,
+                                             std::size_t samples_per_point,
+                                             std::uint64_t seed);
+
+}  // namespace uts::uncertain
+
+#endif  // UTS_UNCERTAIN_PERTURB_HPP_

@@ -1,0 +1,33 @@
+#include "uncertain/uncertain_series.hpp"
+
+#include <algorithm>
+
+namespace uts::uncertain {
+
+std::vector<double> UncertainSeries::Stddevs() const {
+  std::vector<double> out;
+  out.reserve(errors_.size());
+  for (const auto& e : errors_) out.push_back(e->stddev());
+  return out;
+}
+
+ts::TimeSeries MultiSampleSeries::SampleMeans() const {
+  std::vector<double> means;
+  means.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    double sum = 0.0;
+    for (double v : s) sum += v;
+    means.push_back(s.empty() ? 0.0 : sum / static_cast<double>(s.size()));
+  }
+  return ts::TimeSeries(std::move(means), label_, id_);
+}
+
+std::pair<double, double> MultiSampleSeries::BoundingInterval(
+    std::size_t i) const {
+  const auto& s = samples(i);
+  assert(!s.empty());
+  const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+  return {*lo, *hi};
+}
+
+}  // namespace uts::uncertain

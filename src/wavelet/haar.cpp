@@ -1,0 +1,93 @@
+#include "wavelet/haar.hpp"
+
+#include <cmath>
+
+namespace uts::wavelet {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.707106781186547524400844362104849039;
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Result<std::vector<double>> HaarTransform(std::span<const double> values) {
+  if (!IsPowerOfTwo(values.size())) {
+    return Status::InvalidArgument("Haar transform needs a power-of-two length");
+  }
+  std::vector<double> data(values.begin(), values.end());
+  std::vector<double> scratch(data.size());
+  // In each pass the first half becomes pairwise averages (·1/√2) and the
+  // second half pairwise differences, then recurse on the averages.
+  for (std::size_t len = data.size(); len > 1; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      scratch[i] = (data[2 * i] + data[2 * i + 1]) * kInvSqrt2;
+      scratch[half + i] = (data[2 * i] - data[2 * i + 1]) * kInvSqrt2;
+    }
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(len),
+              data.begin());
+  }
+  return data;
+}
+
+Result<std::vector<double>> HaarInverse(std::span<const double> coefficients) {
+  if (!IsPowerOfTwo(coefficients.size())) {
+    return Status::InvalidArgument("Haar inverse needs a power-of-two length");
+  }
+  std::vector<double> data(coefficients.begin(), coefficients.end());
+  std::vector<double> scratch(data.size());
+  for (std::size_t len = 2; len <= data.size(); len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (data[i] + data[half + i]) * kInvSqrt2;
+      scratch[2 * i + 1] = (data[i] - data[half + i]) * kInvSqrt2;
+    }
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(len),
+              data.begin());
+  }
+  return data;
+}
+
+std::vector<double> HaarTransformPadded(std::span<const double> values) {
+  const std::size_t padded = NextPowerOfTwo(std::max<std::size_t>(values.size(), 1));
+  std::vector<double> padded_values(values.begin(), values.end());
+  padded_values.resize(padded, 0.0);
+  auto result = HaarTransform(padded_values);
+  // Power-of-two length is guaranteed by construction.
+  return std::move(result).ValueOrDie();
+}
+
+HaarSynopsis BuildSynopsis(std::span<const double> values, std::size_t k) {
+  HaarSynopsis synopsis;
+  synopsis.original_length = values.size();
+  synopsis.padded_length = NextPowerOfTwo(std::max<std::size_t>(values.size(), 1));
+  std::vector<double> coeffs = HaarTransformPadded(values);
+  if (k > coeffs.size()) k = coeffs.size();
+  synopsis.coefficients.assign(coeffs.begin(),
+                               coeffs.begin() + static_cast<long>(k));
+  return synopsis;
+}
+
+Result<double> SynopsisDistance(const HaarSynopsis& a, const HaarSynopsis& b) {
+  if (a.padded_length != b.padded_length) {
+    return Status::InvalidArgument(
+        "synopses were built over different transform lengths");
+  }
+  const std::size_t k = std::min(a.coefficients.size(), b.coefficients.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = a.coefficients[i] - b.coefficients[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace uts::wavelet

@@ -1,0 +1,61 @@
+/// \file haar.hpp
+/// \brief Orthonormal Haar wavelet transform and top-prefix synopses.
+///
+/// PROUD was designed to run over a Haar wavelet synopsis of the stream:
+/// "it is possible to apply PROUD on top of a Haar wavelet synopsis. This
+/// results in CPU time for PROUD that is equal or less to the CPU time of
+/// Euclidean, while maintaining high accuracy" (Section 4.3). The transform
+/// here is the orthonormal variant, so Euclidean distances are preserved
+/// exactly (Parseval), and any coefficient-prefix distance is a lower bound
+/// of the true distance.
+
+#ifndef UTS_WAVELET_HAAR_HPP_
+#define UTS_WAVELET_HAAR_HPP_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace uts::wavelet {
+
+/// \brief Smallest power of two >= n (n >= 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// \brief Orthonormal Haar transform.
+///
+/// Input length must be a power of two. Output layout is the standard
+/// pyramid: [ overall average · 2^{L/2}, detail levels coarse → fine ].
+/// Energy is preserved: ||HaarTransform(x)||₂ == ||x||₂.
+Result<std::vector<double>> HaarTransform(std::span<const double> values);
+
+/// \brief Inverse orthonormal Haar transform (exact round-trip).
+Result<std::vector<double>> HaarInverse(std::span<const double> coefficients);
+
+/// \brief Zero-pad to the next power of two, then transform.
+///
+/// Padding with zeros keeps the prefix-distance lower-bound property between
+/// series padded to the same length.
+std::vector<double> HaarTransformPadded(std::span<const double> values);
+
+/// \brief A fixed-size prefix of Haar coefficients (the synopsis).
+struct HaarSynopsis {
+  std::vector<double> coefficients;  ///< First k coefficients (coarsest).
+  std::size_t original_length = 0;   ///< n before padding.
+  std::size_t padded_length = 0;     ///< power-of-two transform length.
+};
+
+/// \brief Build a k-coefficient synopsis of `values`.
+HaarSynopsis BuildSynopsis(std::span<const double> values, std::size_t k);
+
+/// \brief Euclidean distance between two synopses of equal padded length.
+///
+/// Lower-bounds the Euclidean distance of the underlying series:
+/// dropping (nonnegative) squared coefficient differences can only shrink
+/// the sum.
+Result<double> SynopsisDistance(const HaarSynopsis& a, const HaarSynopsis& b);
+
+}  // namespace uts::wavelet
+
+#endif  // UTS_WAVELET_HAAR_HPP_

@@ -1,0 +1,57 @@
+#include "wavelet/proud_synopsis.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "prob/special.hpp"
+
+namespace uts::wavelet {
+
+ProudSynopsisMatcher::ProudSynopsisMatcher(ProudSynopsisOptions options)
+    : options_(options), proud_(options.proud) {
+  assert(options_.proud.tau >= 0.5 &&
+         "synopsis pruning is only sound for tau >= 0.5");
+  assert(options_.synopsis_size >= 1);
+}
+
+HaarSynopsis ProudSynopsisMatcher::Synopsize(
+    std::span<const double> observations) const {
+  return BuildSynopsis(observations, options_.synopsis_size);
+}
+
+Result<double> ProudSynopsisMatcher::OptimisticMatchProbability(
+    const HaarSynopsis& x, const HaarSynopsis& y, std::size_t series_length,
+    double epsilon) const {
+  auto lower = SynopsisDistance(x, y);
+  if (!lower.ok()) return lower.status();
+  const double lb = lower.ValueOrDie();
+  const double lb_sq = lb * lb;  // L <= S = Σ μ_i²
+
+  const double sigma = options_.proud.sigma;
+  const double v = 2.0 * sigma * sigma;
+  const double n = static_cast<double>(series_length);
+  const double mean_sq = lb_sq + n * v;
+  const double var_sq = 2.0 * n * v * v + 4.0 * lb_sq * v;
+  if (var_sq <= 0.0) return mean_sq <= epsilon * epsilon ? 1.0 : 0.0;
+  const double z = (epsilon * epsilon - mean_sq) / std::sqrt(var_sq);
+  return prob::NormalCdf(z);
+}
+
+Result<bool> ProudSynopsisMatcher::Matches(const HaarSynopsis& x_syn,
+                                           const HaarSynopsis& y_syn,
+                                           std::span<const double> x_obs,
+                                           std::span<const double> y_obs,
+                                           double epsilon,
+                                           ProudSynopsisStats* stats) const {
+  auto optimistic =
+      OptimisticMatchProbability(x_syn, y_syn, x_obs.size(), epsilon);
+  if (!optimistic.ok()) return optimistic.status();
+  if (optimistic.ValueOrDie() < options_.proud.tau) {
+    if (stats != nullptr) ++stats->pruned;
+    return false;  // even the upper bound fails τ: safe reject.
+  }
+  if (stats != nullptr) ++stats->refined;
+  return proud_.Matches(x_obs, y_obs, epsilon);
+}
+
+}  // namespace uts::wavelet

@@ -1,0 +1,74 @@
+/// \file proud_synopsis.hpp
+/// \brief PROUD over a Haar wavelet synopsis: filter-and-refine matching.
+///
+/// The synopsis distance lower-bounds Σ μ_i² (the squared observation
+/// distance). Under PROUD's normal approximation with constant per-point
+/// variance v = 2σ², the match probability
+///
+///     Pr(dist² ≤ ε²) = Φ( (ε² − (S + n·v)) / sqrt(2·n·v² + 4·S·v) ),
+///     S = Σ μ_i²
+///
+/// is monotonically decreasing in S whenever the argument is nonnegative,
+/// i.e. whenever the probability is at least 1/2. Hence for τ ≥ 0.5,
+/// evaluating the probability at the synopsis lower bound L ≤ S yields an
+/// upper bound on the true probability, and "optimistic probability < τ" is
+/// a safe prune (no false dismissals). Survivors are refined with the exact
+/// observation distance.
+
+#ifndef UTS_WAVELET_PROUD_SYNOPSIS_HPP_
+#define UTS_WAVELET_PROUD_SYNOPSIS_HPP_
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "measures/proud.hpp"
+#include "wavelet/haar.hpp"
+
+namespace uts::wavelet {
+
+/// \brief Configuration of the synopsis-accelerated PROUD matcher.
+struct ProudSynopsisOptions {
+  measures::ProudOptions proud;  ///< τ and σ; τ must be >= 0.5 for pruning.
+  std::size_t synopsis_size = 16;  ///< Coefficients kept per series.
+};
+
+/// \brief Counters describing how effective the filter step was.
+struct ProudSynopsisStats {
+  std::size_t pruned = 0;    ///< Candidates rejected by the synopsis bound.
+  std::size_t refined = 0;   ///< Candidates that needed the exact distance.
+};
+
+/// \brief PROUD matcher with Haar-synopsis pruning.
+class ProudSynopsisMatcher {
+ public:
+  /// \pre options.proud.tau >= 0.5 (required for the prune to be safe); the
+  /// constructor asserts this.
+  explicit ProudSynopsisMatcher(ProudSynopsisOptions options);
+
+  /// Build the synopsis of one series' observations.
+  HaarSynopsis Synopsize(std::span<const double> observations) const;
+
+  /// Optimistic (upper-bound) match probability from synopses only.
+  Result<double> OptimisticMatchProbability(const HaarSynopsis& x,
+                                            const HaarSynopsis& y,
+                                            std::size_t series_length,
+                                            double epsilon) const;
+
+  /// Full decision: prune via synopses when possible, refine on the exact
+  /// observations otherwise. Updates `stats` (pass nullptr to skip).
+  Result<bool> Matches(const HaarSynopsis& x_syn, const HaarSynopsis& y_syn,
+                       std::span<const double> x_obs,
+                       std::span<const double> y_obs, double epsilon,
+                       ProudSynopsisStats* stats = nullptr) const;
+
+  const ProudSynopsisOptions& options() const { return options_; }
+
+ private:
+  ProudSynopsisOptions options_;
+  measures::Proud proud_;
+};
+
+}  // namespace uts::wavelet
+
+#endif  // UTS_WAVELET_PROUD_SYNOPSIS_HPP_

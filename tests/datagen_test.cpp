@@ -1,0 +1,272 @@
+// Unit + property tests for the synthetic UCR-like generators
+// (src/datagen).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datagen/generators.hpp"
+#include "datagen/registry.hpp"
+#include "prob/stats.hpp"
+#include "ts/normalize.hpp"
+
+namespace uts::datagen {
+namespace {
+
+TEST(CbfTest, ShapesAndLabels) {
+  const ts::Dataset d = GenerateCbf(30, 128, 1);
+  EXPECT_EQ(d.size(), 30u);
+  EXPECT_EQ(d.name(), "CBF");
+  std::set<int> labels;
+  for (const auto& s : d) {
+    EXPECT_EQ(s.size(), 128u);
+    labels.insert(s.label());
+  }
+  EXPECT_EQ(labels, (std::set<int>{0, 1, 2}));
+}
+
+TEST(CbfTest, CylinderHasElevatedPlateau) {
+  // A cylinder instance averages ~6 inside [a, b] and ~0 outside; the
+  // overall series mean must sit clearly above zero but below the plateau.
+  const ts::Dataset d = GenerateCbf(90, 128, 2);
+  prob::RunningStats plateau_fraction;
+  for (const auto& s : d) {
+    if (s.label() != 0) continue;
+    std::size_t high = 0;
+    for (double v : s) {
+      if (v > 3.0) ++high;
+    }
+    plateau_fraction.Add(double(high) / double(s.size()));
+  }
+  // a in [n/8, n/4], width in [n/4, 3n/4]: plateau covers 25%-75%.
+  EXPECT_GT(plateau_fraction.Mean(), 0.15);
+  EXPECT_LT(plateau_fraction.Mean(), 0.85);
+}
+
+TEST(CbfTest, BellRampsUpFunnelRampsDown) {
+  const ts::Dataset d = GenerateCbf(90, 128, 3);
+  // For bells (label 1) the second half of the active region is higher than
+  // the first half on average; funnels (label 2) the reverse.
+  double bell_trend = 0.0, funnel_trend = 0.0;
+  int bells = 0, funnels = 0;
+  for (const auto& s : d) {
+    if (s.label() == 0) continue;
+    // Compare mean of first vs last third of the series.
+    const std::size_t third = s.size() / 3;
+    double first = 0.0, last = 0.0;
+    for (std::size_t i = 0; i < third; ++i) first += s[i];
+    for (std::size_t i = s.size() - third; i < s.size(); ++i) last += s[i];
+    const double trend = (last - first) / double(third);
+    if (s.label() == 1) {
+      bell_trend += trend;
+      ++bells;
+    } else {
+      funnel_trend += trend;
+      ++funnels;
+    }
+  }
+  ASSERT_GT(bells, 0);
+  ASSERT_GT(funnels, 0);
+  EXPECT_GT(bell_trend / bells, funnel_trend / funnels);
+}
+
+TEST(SyntheticControlTest, SixClassesWithTrends) {
+  const ts::Dataset d = GenerateSyntheticControl(60, 60, 4);
+  EXPECT_EQ(d.size(), 60u);
+  std::set<int> labels;
+  for (const auto& s : d) labels.insert(s.label());
+  EXPECT_EQ(labels.size(), 6u);
+
+  // Increasing-trend class (2) must end higher than it starts; decreasing
+  // (3) lower; baseline (0) roughly flat around 30.
+  for (const auto& s : d) {
+    const double head = (s[0] + s[1] + s[2]) / 3.0;
+    const double tail = (s[57] + s[58] + s[59]) / 3.0;
+    switch (s.label()) {
+      case 2: EXPECT_GT(tail, head + 5.0); break;
+      case 3: EXPECT_LT(tail, head - 5.0); break;
+      case 0:
+        EXPECT_NEAR(head, 30.0, 8.0);
+        EXPECT_NEAR(tail, 30.0, 8.0);
+        break;
+      default: break;
+    }
+  }
+}
+
+TEST(SyntheticControlTest, ShiftClassesJumpAtShiftTime) {
+  const ts::Dataset d = GenerateSyntheticControl(120, 60, 5);
+  for (const auto& s : d) {
+    if (s.label() != 4 && s.label() != 5) continue;
+    const double head = (s[0] + s[1] + s[2] + s[3] + s[4]) / 5.0;
+    const double tail = (s[55] + s[56] + s[57] + s[58] + s[59]) / 5.0;
+    if (s.label() == 4) EXPECT_GT(tail, head + 3.0);
+    if (s.label() == 5) EXPECT_LT(tail, head - 3.0);
+  }
+}
+
+// ----------------------------------------------------------- shape grammar
+
+TEST(ShapeGrammarTest, DeterministicUnderSeed) {
+  ShapeGrammarConfig config;
+  config.num_classes = 3;
+  config.length = 64;
+  const ts::Dataset a = GenerateShapeGrammar(config, 12, 9, "x");
+  const ts::Dataset b = GenerateShapeGrammar(config, 12, 9, "x");
+  const ts::Dataset c = GenerateShapeGrammar(config, 12, 10, "x");
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(ShapeGrammarTest, PrefixStability) {
+  // Scaling down the series count must keep the shared prefix identical —
+  // GenerateScaled relies on this.
+  ShapeGrammarConfig config;
+  config.num_classes = 4;
+  config.length = 48;
+  const ts::Dataset big = GenerateShapeGrammar(config, 40, 11, "x");
+  const ts::Dataset small = GenerateShapeGrammar(config, 10, 11, "x");
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(big[i], small[i]);
+  }
+}
+
+TEST(ShapeGrammarTest, RoundRobinLabels) {
+  ShapeGrammarConfig config;
+  config.num_classes = 5;
+  config.length = 32;
+  const ts::Dataset d = GenerateShapeGrammar(config, 23, 12, "x");
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].label(), static_cast<int>(i % 5));
+  }
+}
+
+TEST(ShapeGrammarTest, SameClassCloserThanCrossClass) {
+  // Within-class distances must be smaller on average than cross-class —
+  // otherwise nearest-neighbor ground truth is meaningless.
+  ShapeGrammarConfig config;
+  config.num_classes = 2;
+  config.length = 96;
+  config.class_separation = 1.5;
+  const ts::Dataset raw = GenerateShapeGrammar(config, 40, 13, "x");
+  const ts::Dataset d = raw.ZNormalizedCopy();
+  prob::RunningStats within, across;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.size(); ++j) {
+      double sq = 0.0;
+      for (std::size_t t = 0; t < d[i].size(); ++t) {
+        sq += (d[i][t] - d[j][t]) * (d[i][t] - d[j][t]);
+      }
+      (d[i].label() == d[j].label() ? within : across).Add(std::sqrt(sq));
+    }
+  }
+  EXPECT_LT(within.Mean(), across.Mean());
+}
+
+TEST(ShapeGrammarTest, NeighboringPointsAreCorrelated) {
+  // The paper's central observation hinges on temporal correlation; the
+  // generated series must exhibit strong lag-1 autocorrelation.
+  ShapeGrammarConfig config;
+  config.num_classes = 2;
+  config.length = 200;
+  const ts::Dataset d = GenerateShapeGrammar(config, 10, 14, "x");
+  for (const auto& s : d) {
+    std::vector<double> values(s.begin(), s.end());
+    const double rho = prob::Autocorrelation(values, 1).ValueOrDie();
+    EXPECT_GT(rho, 0.8) << s.id();
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, AllSeventeenDatasetsPresent) {
+  const auto names = UcrLikeNames();
+  ASSERT_EQ(names.size(), 17u);
+  // Spot-check the paper's listing order.
+  EXPECT_EQ(names.front(), "50words");
+  EXPECT_EQ(names.back(), "syntheticControl");
+  const std::set<std::string> set(names.begin(), names.end());
+  for (const char* expected :
+       {"Adiac", "Beef", "CBF", "Coffee", "ECG200", "FISH", "FaceAll",
+        "FaceFour", "GunPoint", "Lighting2", "Lighting7", "OSULeaf",
+        "OliveOil", "SwedishLeaf", "Trace"}) {
+    EXPECT_TRUE(set.count(expected)) << expected;
+  }
+}
+
+TEST(RegistryTest, SpecLookup) {
+  auto spec = SpecByName("GunPoint");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.ValueOrDie().num_series, 200u);
+  EXPECT_EQ(spec.ValueOrDie().length, 150u);
+  EXPECT_EQ(spec.ValueOrDie().shape.num_classes, 2u);
+  EXPECT_FALSE(SpecByName("NoSuchDataset").ok());
+}
+
+TEST(RegistryTest, PaperScaleAverageSizes) {
+  // "we obtained on average 502 time series of length 290 per dataset".
+  double total_series = 0.0, total_length = 0.0;
+  for (const auto& spec : UcrLikeSpecs()) {
+    total_series += double(spec.num_series);
+    total_length += double(spec.length);
+  }
+  EXPECT_NEAR(total_series / 17.0, 502.0, 80.0);
+  EXPECT_NEAR(total_length / 17.0, 290.0, 60.0);
+}
+
+TEST(RegistryTest, GenerateScaledCapsSizes) {
+  auto spec = SpecByName("FaceAll").ValueOrDie();
+  const ts::Dataset d = GenerateScaled(spec, 7, 40, 64);
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_EQ(d[0].size(), 64u);
+}
+
+TEST(RegistryTest, GenerateByNameWorksForEveryDataset) {
+  for (const auto& spec : UcrLikeSpecs()) {
+    // Scaled down hard to keep the test fast.
+    const ts::Dataset d = GenerateScaled(spec, 3, 24, 48);
+    EXPECT_EQ(d.size(), 24u) << spec.name;
+    EXPECT_TRUE(d.HasUniformLength()) << spec.name;
+    EXPECT_GE(d.ClassHistogram().size(), 2u) << spec.name;
+  }
+}
+
+TEST(RegistryTest, HardDatasetsHaveLowerPairwiseDistanceThanEasyOnes) {
+  // The paper (Section 6): Adiac and SwedishLeaf have low average distance
+  // between series (hard); FaceFour and OSULeaf high (easy). Our generators
+  // are tuned to reproduce that ordering after z-normalization.
+  auto avg_dist = [](const std::string& name) {
+    auto spec = SpecByName(name).ValueOrDie();
+    const ts::Dataset d = GenerateScaled(spec, 101, 48, 128).ZNormalizedCopy();
+    return d.Summarize(48).avg_pairwise_distance;
+  };
+  const double adiac = avg_dist("Adiac");
+  const double swedish = avg_dist("SwedishLeaf");
+  const double face_four = avg_dist("FaceFour");
+  const double osu_leaf = avg_dist("OSULeaf");
+  EXPECT_LT(adiac, face_four);
+  EXPECT_LT(adiac, osu_leaf);
+  EXPECT_LT(swedish, face_four);
+  EXPECT_LT(swedish, osu_leaf);
+}
+
+TEST(RegistryTest, ValuesRejectUniformityLikeRealData) {
+  // Section 4.1.1: chi-square rejects the uniform hypothesis on all 17
+  // datasets. Check a sample of generators.
+  for (const char* name : {"GunPoint", "Trace", "CBF", "Adiac"}) {
+    auto spec = SpecByName(name).ValueOrDie();
+    const ts::Dataset d = GenerateScaled(spec, 15, 30, 128).ZNormalizedCopy();
+    std::vector<double> pooled;
+    for (const auto& s : d) pooled.insert(pooled.end(), s.begin(), s.end());
+    auto test = prob::ChiSquareUniformityTest(pooled);
+    ASSERT_TRUE(test.ok()) << name;
+    EXPECT_TRUE(test.ValueOrDie().RejectAt(0.01)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace uts::datagen

@@ -1,0 +1,215 @@
+// Unit + property tests for Lp distances and DTW (src/distance).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "distance/dtw.hpp"
+#include "distance/lp.hpp"
+#include "prob/rng.hpp"
+
+namespace uts::distance {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = rng.Gaussian();
+  return xs;
+}
+
+TEST(LpTest, EuclideanKnownValue) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 25.0);
+}
+
+TEST(LpTest, ManhattanAndChebyshev) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(Manhattan(a, b), 1.0 + 4.0 + 3.0);
+  EXPECT_DOUBLE_EQ(Chebyshev(a, b), 4.0);
+}
+
+TEST(LpTest, MinkowskiGeneralizes) {
+  const std::vector<double> a = RandomSeries(30, 1);
+  const std::vector<double> b = RandomSeries(30, 2);
+  EXPECT_NEAR(Minkowski(a, b, 1.0), Manhattan(a, b), 1e-10);
+  EXPECT_NEAR(Minkowski(a, b, 2.0), Euclidean(a, b), 1e-10);
+  // p -> inf approaches Chebyshev from above.
+  EXPECT_NEAR(Minkowski(a, b, 64.0), Chebyshev(a, b), 0.05);
+}
+
+TEST(LpTest, CheckedVariantsValidate) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_FALSE(EuclideanChecked(a, b).ok());
+  EXPECT_FALSE(EuclideanChecked({}, {}).ok());
+  EXPECT_FALSE(MinkowskiChecked(a, a, 0.5).ok());
+  EXPECT_TRUE(EuclideanChecked(a, a).ok());
+}
+
+TEST(LpTest, EarlyAbandonMatchesFullWhenUnderThreshold) {
+  const std::vector<double> a = RandomSeries(100, 3);
+  const std::vector<double> b = RandomSeries(100, 4);
+  const double full = SquaredEuclidean(a, b);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, full + 1.0), full);
+}
+
+TEST(LpTest, EarlyAbandonExceedsThresholdWhenAbandoning) {
+  const std::vector<double> a = RandomSeries(100, 5);
+  const std::vector<double> b = RandomSeries(100, 6);
+  const double full = SquaredEuclidean(a, b);
+  const double result = SquaredEuclideanEarlyAbandon(a, b, full / 4.0);
+  EXPECT_GT(result, full / 4.0);
+}
+
+// Metric-space properties on random inputs.
+class LpMetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpMetricProperties, SymmetryIdentityTriangle) {
+  const std::uint64_t seed = GetParam();
+  const auto a = RandomSeries(40, seed);
+  const auto b = RandomSeries(40, seed + 1000);
+  const auto c = RandomSeries(40, seed + 2000);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), Euclidean(b, a));
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+  EXPECT_LE(Euclidean(a, c), Euclidean(a, b) + Euclidean(b, c) + 1e-12);
+  EXPECT_LE(Manhattan(a, c), Manhattan(a, b) + Manhattan(b, c) + 1e-12);
+  EXPECT_LE(Chebyshev(a, c), Chebyshev(a, b) + Chebyshev(b, c) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpMetricProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// -------------------------------------------------------------------- DTW
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const auto a = RandomSeries(50, 7);
+  EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+}
+
+TEST(DtwTest, NeverExceedsEuclideanOnEqualLengths) {
+  // The diagonal path is always available, so DTW <= L2.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = RandomSeries(64, seed);
+    const auto b = RandomSeries(64, seed + 77);
+    EXPECT_LE(Dtw(a, b), Euclidean(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwTest, HandlesShiftBetterThanEuclidean) {
+  // A shifted pulse: DTW realigns, Euclidean cannot.
+  std::vector<double> a(60, 0.0), b(60, 0.0);
+  for (int i = 20; i < 30; ++i) a[i] = 5.0;
+  for (int i = 25; i < 35; ++i) b[i] = 5.0;
+  EXPECT_LT(Dtw(a, b), 0.25 * Euclidean(a, b));
+}
+
+TEST(DtwTest, BandZeroEqualsEuclidean) {
+  // With radius 0 only the diagonal survives.
+  const auto a = RandomSeries(32, 11);
+  const auto b = RandomSeries(32, 12);
+  DtwOptions options;
+  options.band_radius = 0;
+  EXPECT_NEAR(Dtw(a, b, options), Euclidean(a, b), 1e-9);
+}
+
+TEST(DtwTest, WiderBandNeverIncreasesDistance) {
+  const auto a = RandomSeries(48, 13);
+  const auto b = RandomSeries(48, 14);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t r : {0u, 1u, 2u, 4u, 8u, 16u, 47u}) {
+    DtwOptions options;
+    options.band_radius = r;
+    const double d = Dtw(a, b, options);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(DtwTest, DifferentLengthsWork) {
+  const auto a = RandomSeries(30, 15);
+  const auto b = RandomSeries(50, 16);
+  const double d = Dtw(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+  // Band narrower than the length gap is widened automatically.
+  DtwOptions options;
+  options.band_radius = 1;
+  EXPECT_TRUE(std::isfinite(Dtw(a, b, options)));
+}
+
+TEST(DtwTest, SymmetricInArguments) {
+  const auto a = RandomSeries(40, 17);
+  const auto b = RandomSeries(40, 18);
+  EXPECT_NEAR(Dtw(a, b), Dtw(b, a), 1e-9);
+}
+
+TEST(DtwGenericTest, CustomLocalCost) {
+  // With local cost == 1 everywhere, DTW counts the shortest path length:
+  // max(n, m) cells.
+  const double total = DtwGeneric(4, 7, [](std::size_t, std::size_t) {
+    return 1.0;
+  });
+  EXPECT_DOUBLE_EQ(total, 7.0);
+}
+
+TEST(DtwGenericTest, SingleElementSequences) {
+  const double total = DtwGeneric(1, 1, [](std::size_t, std::size_t) {
+    return 2.5;
+  });
+  EXPECT_DOUBLE_EQ(total, 2.5);
+}
+
+// -------------------------------------------------------------- LB_Keogh
+
+TEST(EnvelopeTest, ZeroRadiusIsIdentity) {
+  const auto a = RandomSeries(20, 19);
+  const Envelope env = BuildEnvelope(a, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], a[i]);
+    EXPECT_DOUBLE_EQ(env.upper[i], a[i]);
+  }
+}
+
+TEST(EnvelopeTest, EnvelopeContainsSeries) {
+  const auto a = RandomSeries(64, 20);
+  for (std::size_t r : {1u, 3u, 10u}) {
+    const Envelope env = BuildEnvelope(a, r);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LE(env.lower[i], a[i]);
+      EXPECT_GE(env.upper[i], a[i]);
+    }
+  }
+}
+
+class LbKeoghProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LbKeoghProperty, LowerBoundsBandedDtw) {
+  const std::size_t radius = GetParam();
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    const auto q = RandomSeries(48, seed);
+    const auto c = RandomSeries(48, seed + 500);
+    const Envelope env = BuildEnvelope(q, radius);
+    DtwOptions options;
+    options.band_radius = radius;
+    EXPECT_LE(LbKeogh(env, c), Dtw(q, c, options) + 1e-9)
+        << "radius=" << radius << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, LbKeoghProperty,
+                         ::testing::Values(0u, 1u, 2u, 5u, 12u));
+
+TEST(LbKeoghTest, ZeroWhenCandidateInsideEnvelope) {
+  const auto q = RandomSeries(32, 21);
+  const Envelope env = BuildEnvelope(q, 3);
+  // The query itself is inside its own envelope.
+  EXPECT_DOUBLE_EQ(LbKeogh(env, q), 0.0);
+}
+
+}  // namespace
+}  // namespace uts::distance

@@ -1,0 +1,242 @@
+// Unit + property tests for the moving-average family (src/ts/filters),
+// Equations 15-18 of the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/rng.hpp"
+#include "prob/stats.hpp"
+#include "ts/filters.hpp"
+
+namespace uts::ts {
+namespace {
+
+std::vector<double> RandomWalk(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += 0.3 * rng.Gaussian();
+    xs[i] = v;
+  }
+  return xs;
+}
+
+TEST(MovingAverageTest, ZeroWindowIsIdentity) {
+  // "when w = 0, UMA and UEMA degenerate to the simple Euclidean distance"
+  // (Section 5.2) — the filter must be the identity.
+  const std::vector<double> xs = RandomWalk(50, 1);
+  FilterOptions options;
+  options.half_window = 0;
+  const auto filtered = MovingAverage(xs, options);
+  ASSERT_EQ(filtered.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(filtered[i], xs[i]);
+  }
+}
+
+TEST(MovingAverageTest, InteriorValuesMatchHandComputation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  FilterOptions options;
+  options.half_window = 1;
+  const auto f = MovingAverage(xs, options);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);   // (1+2+3)/3
+  EXPECT_DOUBLE_EQ(f[2], 3.0);   // (2+3+4)/3
+  EXPECT_DOUBLE_EQ(f[3], 4.0);
+}
+
+TEST(MovingAverageTest, TruncatedEdgesAreUnbiased) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  FilterOptions options;
+  options.half_window = 1;
+  const auto f = MovingAverage(xs, options);
+  EXPECT_DOUBLE_EQ(f[0], 1.5);  // (1+2)/2 over the truncated window
+  EXPECT_DOUBLE_EQ(f[4], 4.5);  // (4+5)/2
+}
+
+TEST(MovingAverageTest, StrictDenominatorAttenuatesEdges) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  FilterOptions options;
+  options.half_window = 1;
+  options.strict_paper_denominator = true;
+  const auto f = MovingAverage(xs, options);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // (1+2)/3: literal Eq. 15 denominator
+  EXPECT_DOUBLE_EQ(f[2], 3.0);  // interior unchanged
+}
+
+TEST(MovingAverageTest, ConstantSeriesIsFixedPoint) {
+  const std::vector<double> xs(30, 4.2);
+  for (std::size_t w : {1u, 2u, 5u, 10u}) {
+    FilterOptions options;
+    options.half_window = w;
+    for (double v : MovingAverage(xs, options)) EXPECT_NEAR(v, 4.2, 1e-12);
+  }
+}
+
+TEST(MovingAverageTest, ReducesNoiseVariance) {
+  // The core reason UMA/UEMA help: averaging suppresses independent noise.
+  prob::Rng rng(5);
+  std::vector<double> noise(2000);
+  for (double& v : noise) v = rng.Gaussian();
+  FilterOptions options;
+  options.half_window = 2;
+  const auto filtered = MovingAverage(noise, options);
+  prob::RunningStats raw, smooth;
+  for (double v : noise) raw.Add(v);
+  for (double v : filtered) smooth.Add(v);
+  // A (2w+1)=5 point average divides white-noise variance by ~5.
+  EXPECT_LT(smooth.VariancePopulation(), raw.VariancePopulation() / 3.0);
+}
+
+TEST(ExponentialMovingAverageTest, LambdaZeroEqualsMovingAverage) {
+  const std::vector<double> xs = RandomWalk(64, 2);
+  FilterOptions options;
+  options.half_window = 3;
+  options.lambda = 0.0;
+  const auto ema = ExponentialMovingAverage(xs, options);
+  const auto ma = MovingAverage(xs, options);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(ema[i], ma[i], 1e-12);
+  }
+}
+
+TEST(ExponentialMovingAverageTest, LargeLambdaApproachesIdentity) {
+  const std::vector<double> xs = RandomWalk(64, 3);
+  FilterOptions options;
+  options.half_window = 5;
+  options.lambda = 50.0;  // neighbors get weight e^-50: negligible.
+  const auto ema = ExponentialMovingAverage(xs, options);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(ema[i], xs[i], 1e-8);
+  }
+}
+
+TEST(ExponentialMovingAverageTest, WeightsMatchHandComputation) {
+  const std::vector<double> xs{0.0, 1.0, 0.0};
+  FilterOptions options;
+  options.half_window = 1;
+  options.lambda = 1.0;
+  const auto f = ExponentialMovingAverage(xs, options);
+  // Center: (0*e^-1 + 1*1 + 0*e^-1) / (1 + 2 e^-1).
+  const double e1 = std::exp(-1.0);
+  EXPECT_NEAR(f[1], 1.0 / (1.0 + 2.0 * e1), 1e-12);
+  // Left edge (truncated): (0*1 + 1*e^-1) / (1 + e^-1).
+  EXPECT_NEAR(f[0], e1 / (1.0 + e1), 1e-12);
+}
+
+// ------------------------------------------------------------- UMA / UEMA
+
+TEST(UmaTest, ConstantSigmaScalesMovingAverage) {
+  // Eq. 17 with s_j = s for all j is MA(x)/s.
+  const std::vector<double> xs = RandomWalk(40, 4);
+  const std::vector<double> sigmas(xs.size(), 2.0);
+  FilterOptions options;
+  options.half_window = 2;
+  auto uma = UncertainMovingAverage(xs, sigmas, options);
+  ASSERT_TRUE(uma.ok());
+  const auto ma = MovingAverage(xs, options);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(uma.ValueOrDie()[i], ma[i] / 2.0, 1e-12);
+  }
+}
+
+TEST(UmaTest, NoisyPointsAreDownWeighted) {
+  // A spike with huge reported sigma should barely influence its neighbors.
+  std::vector<double> xs(21, 1.0);
+  xs[10] = 100.0;
+  std::vector<double> sigmas(21, 1.0);
+  sigmas[10] = 1000.0;
+  FilterOptions options;
+  options.half_window = 2;
+  auto uma = UncertainMovingAverage(xs, sigmas, options);
+  ASSERT_TRUE(uma.ok());
+  // Neighbor at index 9 sees the spike with weight 1/1000.
+  EXPECT_NEAR(uma.ValueOrDie()[9], (1.0 + 1.0 + 1.0 + 100.0 / 1000.0 + 1.0) / 5.0,
+              1e-12);
+}
+
+TEST(UmaTest, RejectsInvalidSigmas) {
+  const std::vector<double> xs{1.0, 2.0};
+  FilterOptions options;
+  EXPECT_FALSE(UncertainMovingAverage(xs, std::vector<double>{1.0}, options).ok());
+  EXPECT_FALSE(
+      UncertainMovingAverage(xs, std::vector<double>{1.0, 0.0}, options).ok());
+  EXPECT_FALSE(
+      UncertainMovingAverage(xs, std::vector<double>{1.0, -2.0}, options).ok());
+}
+
+TEST(UemaTest, LambdaZeroEqualsUma) {
+  const std::vector<double> xs = RandomWalk(50, 6);
+  prob::Rng rng(7);
+  std::vector<double> sigmas(xs.size());
+  for (double& s : sigmas) s = rng.Uniform(0.4, 1.0);
+  FilterOptions options;
+  options.half_window = 3;
+  options.lambda = 0.0;
+  auto uema = UncertainExponentialMovingAverage(xs, sigmas, options);
+  auto uma = UncertainMovingAverage(xs, sigmas, options);
+  ASSERT_TRUE(uema.ok());
+  ASSERT_TRUE(uma.ok());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(uema.ValueOrDie()[i], uma.ValueOrDie()[i], 1e-12);
+  }
+}
+
+TEST(UemaTest, MatchesHandComputedWeights) {
+  // Eq. 18 on a 3-point window: weights e^-λ|j-i| / s_j, normalized by
+  // Σ e^-λ|j-i| (note: the denominator does NOT carry 1/s_j).
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  const std::vector<double> sigmas{1.0, 2.0, 4.0};
+  FilterOptions options;
+  options.half_window = 1;
+  options.lambda = 0.5;
+  auto uema = UncertainExponentialMovingAverage(xs, sigmas, options);
+  ASSERT_TRUE(uema.ok());
+  const double w = std::exp(-0.5);
+  const double expected_center =
+      (2.0 * w / 1.0 + 4.0 * 1.0 / 2.0 + 6.0 * w / 4.0) / (w + 1.0 + w);
+  EXPECT_NEAR(uema.ValueOrDie()[1], expected_center, 1e-12);
+}
+
+TEST(UemaTest, TimeSeriesOverloadPreservesMetadata) {
+  TimeSeries s({1.0, 2.0, 3.0}, 5, "f/2");
+  const std::vector<double> sigmas{1.0, 1.0, 1.0};
+  FilterOptions options;
+  auto f = UncertainExponentialMovingAverage(s, sigmas, options);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.ValueOrDie().label(), 5);
+  EXPECT_EQ(f.ValueOrDie().id(), "f/2");
+}
+
+// Parameterized sanity sweep over (w, lambda): output finite, same length,
+// and bounded by window extremes after sigma scaling.
+class FilterSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(FilterSweep, OutputsAreFiniteAndSized) {
+  const auto [w, lambda] = GetParam();
+  const std::vector<double> xs = RandomWalk(37, 8);
+  std::vector<double> sigmas(xs.size(), 0.7);
+  FilterOptions options;
+  options.half_window = w;
+  options.lambda = lambda;
+  for (const auto& out :
+       {MovingAverage(xs, options), ExponentialMovingAverage(xs, options),
+        UncertainMovingAverage(xs, sigmas, options).ValueOrDie(),
+        UncertainExponentialMovingAverage(xs, sigmas, options).ValueOrDie()}) {
+    ASSERT_EQ(out.size(), xs.size());
+    for (double v : out) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndDecays, FilterSweep,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{5},
+                                         std::size_t{20}),
+                       ::testing::Values(0.0, 0.1, 1.0, 5.0)));
+
+}  // namespace
+}  // namespace uts::ts

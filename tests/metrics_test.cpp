@@ -1,0 +1,83 @@
+// Unit tests for precision / recall / F1 (src/core/metrics).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace uts::core {
+namespace {
+
+using Ids = std::vector<std::size_t>;
+
+TEST(F1ScoreTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.5, 0.5), 0.5);
+  EXPECT_NEAR(F1Score(0.2, 0.8), 2.0 * 0.16 / 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(F1Score(0.0, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.0, 0.0), 0.0);
+}
+
+TEST(SetMetricsTest, PerfectRetrieval) {
+  const Ids retrieved{1, 2, 3};
+  const Ids relevant{3, 1, 2};  // order must not matter
+  const SetMetrics m = ComputeSetMetrics(retrieved, relevant);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.hits, 3u);
+}
+
+TEST(SetMetricsTest, PartialOverlap) {
+  const Ids retrieved{1, 2, 3, 4};   // 2 correct of 4
+  const Ids relevant{3, 4, 5, 6, 7}; // 2 found of 5
+  const SetMetrics m = ComputeSetMetrics(retrieved, relevant);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.4);
+  EXPECT_NEAR(m.f1, 2.0 * 0.5 * 0.4 / 0.9, 1e-12);
+}
+
+TEST(SetMetricsTest, NoOverlap) {
+  const SetMetrics m = ComputeSetMetrics(Ids{1, 2}, Ids{3, 4});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SetMetricsTest, EmptyRetrievedWithRelevant) {
+  const SetMetrics m = ComputeSetMetrics(Ids{}, Ids{1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SetMetricsTest, EmptyBothIsPerfect) {
+  const SetMetrics m = ComputeSetMetrics(Ids{}, Ids{});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(SetMetricsTest, RetrievedEverythingRelevantEmpty) {
+  const SetMetrics m = ComputeSetMetrics(Ids{1, 2}, Ids{});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(SetMetricsTest, SupersetRetrievalHasPerfectRecall) {
+  const SetMetrics m = ComputeSetMetrics(Ids{1, 2, 3, 4, 5}, Ids{2, 4});
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.4);
+}
+
+TEST(SetMetricsTest, CountsAreReported) {
+  const SetMetrics m = ComputeSetMetrics(Ids{9, 7, 5}, Ids{5, 6});
+  EXPECT_EQ(m.retrieved, 3u);
+  EXPECT_EQ(m.relevant, 2u);
+  EXPECT_EQ(m.hits, 1u);
+}
+
+}  // namespace
+}  // namespace uts::core

@@ -1,0 +1,292 @@
+// Unit + property tests for MUNICH (src/measures/munich).
+//
+// The exact meet-in-the-middle estimator is validated against brute-force
+// enumeration of every materialization on tiny inputs; Monte Carlo is
+// validated against the exact answer; the interval bounds are validated by
+// exhaustive materialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "distance/lp.hpp"
+#include "measures/munich.hpp"
+#include "prob/rng.hpp"
+#include "uncertain/perturb.hpp"
+
+namespace uts::measures {
+namespace {
+
+using uncertain::MultiSampleSeries;
+
+MultiSampleSeries RandomMultiSample(std::size_t n, std::size_t s,
+                                    std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<std::vector<double>> samples(n);
+  for (auto& point : samples) {
+    point.resize(s);
+    for (double& v : point) v = rng.Gaussian();
+  }
+  return MultiSampleSeries(std::move(samples));
+}
+
+/// Brute force: enumerate every materialization pair and count.
+double BruteForceProbability(const MultiSampleSeries& x,
+                             const MultiSampleSeries& y, double eps) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> xi(n, 0), yi(n, 0);
+  std::uint64_t total = 0, hits = 0;
+
+  // Odometer over x choices and y choices simultaneously: each timestamp
+  // contributes an (x-sample, y-sample) pair index.
+  std::vector<std::size_t> pair_idx(n, 0);
+  std::vector<std::size_t> pair_count(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pair_count[i] = x.num_samples(i) * y.num_samples(i);
+  }
+  while (true) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = pair_idx[i] / y.num_samples(i);
+      const std::size_t b = pair_idx[i] % y.num_samples(i);
+      const double d = x.samples(i)[a] - y.samples(i)[b];
+      sum += d * d;
+    }
+    ++total;
+    if (std::sqrt(sum) <= eps) ++hits;
+
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < n && ++pair_idx[pos] == pair_count[pos]) {
+      pair_idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return double(hits) / double(total);
+}
+
+TEST(MunichExactTest, MatchesBruteForceOnTinyInputs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto x = RandomMultiSample(4, 3, seed);
+    const auto y = RandomMultiSample(4, 3, seed + 50);
+    for (double eps : {1.0, 2.0, 3.0, 4.5}) {
+      auto exact = Munich::ExactMatchProbability(x, y, eps);
+      ASSERT_TRUE(exact.ok()) << exact.status();
+      EXPECT_NEAR(exact.ValueOrDie(), BruteForceProbability(x, y, eps), 1e-12)
+          << "seed=" << seed << " eps=" << eps;
+    }
+  }
+}
+
+TEST(MunichExactTest, PaperConfigurationIsFeasible) {
+  // Figure 4's setting: length 6, 5 samples per timestamp. 25^3 = 15625
+  // sums per half — exactly countable.
+  const auto x = RandomMultiSample(6, 5, 7);
+  const auto y = RandomMultiSample(6, 5, 8);
+  auto p = Munich::ExactMatchProbability(x, y, 3.0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.ValueOrDie(), 0.0);
+  EXPECT_LE(p.ValueOrDie(), 1.0);
+}
+
+TEST(MunichExactTest, RefusesOversizedEnumeration) {
+  const auto x = RandomMultiSample(40, 5, 9);
+  const auto y = RandomMultiSample(40, 5, 10);
+  auto p = Munich::ExactMatchProbability(x, y, 3.0, /*half_limit=*/1 << 16);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(MunichExactTest, ExtremeEpsilons) {
+  const auto x = RandomMultiSample(5, 4, 11);
+  const auto y = RandomMultiSample(5, 4, 12);
+  EXPECT_DOUBLE_EQ(Munich::ExactMatchProbability(x, y, 0.0).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(Munich::ExactMatchProbability(x, y, 1e6).ValueOrDie(), 1.0);
+}
+
+TEST(MunichExactTest, MonotoneInEpsilon) {
+  const auto x = RandomMultiSample(6, 4, 13);
+  const auto y = RandomMultiSample(6, 4, 14);
+  double prev = 0.0;
+  for (double eps = 0.0; eps <= 8.0; eps += 0.25) {
+    const double p = Munich::ExactMatchProbability(x, y, eps).ValueOrDie();
+    EXPECT_GE(p, prev - 1e-15);
+    prev = p;
+  }
+}
+
+TEST(MunichExactTest, ValidationErrors) {
+  const auto x = RandomMultiSample(4, 3, 15);
+  const auto y = RandomMultiSample(5, 3, 16);
+  EXPECT_FALSE(Munich::ExactMatchProbability(x, y, 1.0).ok());
+  MultiSampleSeries empty;
+  EXPECT_FALSE(Munich::ExactMatchProbability(empty, empty, 1.0).ok());
+  MultiSampleSeries holed(std::vector<std::vector<double>>{{1.0}, {}});
+  MultiSampleSeries other(std::vector<std::vector<double>>{{1.0}, {2.0}});
+  EXPECT_FALSE(Munich::ExactMatchProbability(holed, other, 1.0).ok());
+}
+
+TEST(MunichMonteCarloTest, ConvergesToExact) {
+  const auto x = RandomMultiSample(6, 5, 17);
+  const auto y = RandomMultiSample(6, 5, 18);
+  const double eps = 3.0;
+  const double exact = Munich::ExactMatchProbability(x, y, eps).ValueOrDie();
+  const double mc =
+      Munich::MonteCarloMatchProbability(x, y, eps, 200000, 1234);
+  // Binomial standard error at n=200k is <= 0.0012; allow 4 sigma.
+  EXPECT_NEAR(mc, exact, 0.005);
+}
+
+TEST(MunichMonteCarloTest, DeterministicPerSeed) {
+  const auto x = RandomMultiSample(5, 4, 19);
+  const auto y = RandomMultiSample(5, 4, 20);
+  const double a = Munich::MonteCarloMatchProbability(x, y, 2.0, 5000, 42);
+  const double b = Munich::MonteCarloMatchProbability(x, y, 2.0, 5000, 42);
+  const double c = Munich::MonteCarloMatchProbability(x, y, 2.0, 5000, 43);
+  EXPECT_DOUBLE_EQ(a, b);
+  // Different seed gives (almost surely) a slightly different estimate.
+  EXPECT_NE(a, c);
+}
+
+// ------------------------------------------------------------------ bounds
+
+TEST(MunichBoundsTest, EveryMaterializationWithinBounds) {
+  for (std::uint64_t seed = 30; seed < 34; ++seed) {
+    const auto x = RandomMultiSample(4, 3, seed);
+    const auto y = RandomMultiSample(4, 3, seed + 5);
+    const DistanceBounds bounds = Munich::EuclideanBounds(x, y);
+
+    // Enumerate materializations and check.
+    std::vector<std::size_t> pair_idx(4, 0);
+    std::vector<std::size_t> pair_count(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      pair_count[i] = x.num_samples(i) * y.num_samples(i);
+    }
+    while (true) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        const std::size_t a = pair_idx[i] / y.num_samples(i);
+        const std::size_t b = pair_idx[i] % y.num_samples(i);
+        const double d = x.samples(i)[a] - y.samples(i)[b];
+        sum += d * d;
+      }
+      const double dist = std::sqrt(sum);
+      EXPECT_GE(dist, bounds.lower - 1e-9);
+      EXPECT_LE(dist, bounds.upper + 1e-9);
+      std::size_t pos = 0;
+      while (pos < 4 && ++pair_idx[pos] == pair_count[pos]) {
+        pair_idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == 4) break;
+    }
+  }
+}
+
+TEST(MunichBoundsTest, OverlappingIntervalsGiveZeroLower) {
+  MultiSampleSeries x({{0.0, 2.0}});
+  MultiSampleSeries y({{1.0, 3.0}});
+  const DistanceBounds bounds = Munich::EuclideanBounds(x, y);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 3.0);
+}
+
+TEST(MunichBoundsTest, DisjointIntervalsGivePositiveLower) {
+  MultiSampleSeries x({{0.0, 1.0}});
+  MultiSampleSeries y({{5.0, 6.0}});
+  const DistanceBounds bounds = Munich::EuclideanBounds(x, y);
+  EXPECT_DOUBLE_EQ(bounds.lower, 4.0);  // gap between 1 and 5
+  EXPECT_DOUBLE_EQ(bounds.upper, 6.0);  // |0 - 6|
+}
+
+TEST(MunichBoundsTest, DtwBoundsContainSampledDtw) {
+  prob::Rng rng(55);
+  const auto x = RandomMultiSample(8, 3, 35);
+  const auto y = RandomMultiSample(8, 3, 36);
+  const DistanceBounds bounds = Munich::DtwBounds(x, y);
+  std::vector<double> xs(8), ys(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      xs[i] = x.samples(i)[rng.UniformInt(3)];
+      ys[i] = y.samples(i)[rng.UniformInt(3)];
+    }
+    const double d = distance::Dtw(xs, ys);
+    EXPECT_GE(d, bounds.lower - 1e-9);
+    EXPECT_LE(d, bounds.upper + 1e-9);
+  }
+}
+
+// --------------------------------------------------------------- matching
+
+TEST(MunichMatcherTest, BoundsFastPathAgreesWithExact) {
+  MunichOptions with_bounds;
+  with_bounds.estimator = MunichOptions::Estimator::kExact;
+  MunichOptions no_bounds = with_bounds;
+  no_bounds.use_bounds_filter = false;
+  const Munich a(with_bounds), b(no_bounds);
+
+  for (std::uint64_t seed = 60; seed < 66; ++seed) {
+    const auto x = RandomMultiSample(5, 3, seed);
+    const auto y = RandomMultiSample(5, 3, seed + 9);
+    for (double eps : {0.5, 2.0, 4.0, 8.0}) {
+      const double pa = a.MatchProbability(x, y, eps).ValueOrDie();
+      const double pb = b.MatchProbability(x, y, eps).ValueOrDie();
+      // The fast path may snap interior probabilities to {0,1} only when
+      // they truly are 0 or 1; otherwise values agree exactly.
+      EXPECT_DOUBLE_EQ(pa, pb);
+    }
+  }
+}
+
+TEST(MunichMatcherTest, TauDecision) {
+  MunichOptions options;
+  options.estimator = MunichOptions::Estimator::kExact;
+  options.tau = 0.5;
+  const Munich munich(options);
+  const auto x = RandomMultiSample(5, 4, 70);
+  const auto y = RandomMultiSample(5, 4, 71);
+  for (double eps = 0.5; eps < 8.0; eps += 0.5) {
+    const bool decision = munich.Matches(x, y, eps).ValueOrDie();
+    const double p = munich.MatchProbability(x, y, eps).ValueOrDie();
+    EXPECT_EQ(decision, p >= 0.5);
+  }
+}
+
+TEST(MunichMatcherTest, AutoFallsBackToMonteCarlo) {
+  MunichOptions options;
+  options.estimator = MunichOptions::Estimator::kAuto;
+  options.exact_half_limit = 1 << 10;  // force fallback
+  options.mc_samples = 20000;
+  options.use_bounds_filter = false;
+  const Munich munich(options);
+  const auto x = RandomMultiSample(20, 5, 72);
+  const auto y = RandomMultiSample(20, 5, 73);
+  auto p = munich.MatchProbability(x, y, 6.0, /*seed=*/5);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_GE(p.ValueOrDie(), 0.0);
+  EXPECT_LE(p.ValueOrDie(), 1.0);
+}
+
+TEST(MunichMatcherTest, MaterializationCountGrowsExponentially) {
+  const auto x = RandomMultiSample(6, 5, 74);
+  const auto y = RandomMultiSample(6, 5, 75);
+  // 5^6 * 5^6 = 2.44e8.
+  EXPECT_NEAR(Munich::MaterializationCount(x, y), std::pow(5.0, 12.0), 1.0);
+}
+
+TEST(MunichDtwTest, MonteCarloDtwProbabilityBounded) {
+  const auto x = RandomMultiSample(10, 3, 76);
+  const auto y = RandomMultiSample(10, 3, 77);
+  const double p =
+      Munich::MonteCarloDtwMatchProbability(x, y, 3.0, 2000, 99);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // DTW <= Euclidean, so DTW match probability dominates Euclidean's.
+  const double pe = Munich::MonteCarloMatchProbability(x, y, 3.0, 2000, 99);
+  EXPECT_GE(p, pe - 0.05);
+}
+
+}  // namespace
+}  // namespace uts::measures

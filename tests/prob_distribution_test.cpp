@@ -1,0 +1,286 @@
+// Unit + property tests for the error distributions (src/prob/distribution).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "prob/distribution.hpp"
+#include "prob/integrate.hpp"
+#include "prob/rng.hpp"
+#include "prob/stats.hpp"
+
+namespace uts::prob {
+namespace {
+
+// ---------------------------------------------------------------- factories
+
+TEST(ErrorFactoryTest, ZeroSigmaDegradesToNoError) {
+  EXPECT_EQ(MakeNormalError(0.0)->kind(), ErrorKind::kNone);
+  EXPECT_EQ(MakeUniformError(0.0)->kind(), ErrorKind::kNone);
+  EXPECT_EQ(MakeExponentialError(0.0)->kind(), ErrorKind::kNone);
+}
+
+TEST(ErrorFactoryTest, MakeErrorDispatchesKinds) {
+  EXPECT_EQ(MakeError(ErrorKind::kNormal, 1.0)->kind(), ErrorKind::kNormal);
+  EXPECT_EQ(MakeError(ErrorKind::kUniform, 1.0)->kind(), ErrorKind::kUniform);
+  EXPECT_EQ(MakeError(ErrorKind::kExponential, 1.0)->kind(),
+            ErrorKind::kExponential);
+  EXPECT_EQ(MakeError(ErrorKind::kTailedUniform, 1.0)->kind(),
+            ErrorKind::kTailedUniform);
+}
+
+TEST(ErrorFactoryTest, KindNames) {
+  EXPECT_EQ(ErrorKindName(ErrorKind::kNormal), "normal");
+  EXPECT_EQ(ErrorKindName(ErrorKind::kUniform), "uniform");
+  EXPECT_EQ(ErrorKindName(ErrorKind::kExponential), "exponential");
+  EXPECT_EQ(ErrorKindName(ErrorKind::kTailedUniform), "tailed_uniform");
+  EXPECT_EQ(ErrorKindName(ErrorKind::kMixture), "mixture");
+  EXPECT_EQ(ErrorKindName(ErrorKind::kNone), "none");
+}
+
+TEST(ErrorFactoryTest, KeysDistinguishSigmaAndKind) {
+  EXPECT_NE(MakeNormalError(1.0)->Key(), MakeNormalError(0.5)->Key());
+  EXPECT_NE(MakeNormalError(1.0)->Key(), MakeUniformError(1.0)->Key());
+  EXPECT_EQ(MakeNormalError(0.7)->Key(), MakeNormalError(0.7)->Key());
+}
+
+// --------------------------------------------- parametric property checks
+
+/// (kind, sigma) grid shared by the property suites; covers the paper's
+/// sweep range [0.2, 2.0].
+class ErrorDistributionProperties
+    : public ::testing::TestWithParam<std::tuple<ErrorKind, double>> {
+ protected:
+  ErrorDistributionPtr Make() const {
+    const auto [kind, sigma] = GetParam();
+    return MakeError(kind, sigma);
+  }
+};
+
+TEST_P(ErrorDistributionProperties, ReportsRequestedSigma) {
+  const auto [kind, sigma] = GetParam();
+  (void)kind;
+  EXPECT_NEAR(Make()->stddev(), sigma, 1e-9);
+}
+
+/// Support-aware integration bounds: wide enough for 4th-moment tails,
+/// tight enough that composite Simpson resolves the density features.
+std::pair<double, double> MomentBounds(const ErrorDistribution& dist) {
+  const double reach = 40.0 * dist.stddev();
+  return {std::max(dist.SupportLo(), -reach),
+          std::min(dist.SupportHi(), reach)};
+}
+
+/// Piecewise composite Simpson split at the density's breakpoints, so that
+/// jump discontinuities (uniform edges inside a mixture) cost no accuracy.
+double IntegratePiecewise(const ErrorDistribution& dist,
+                          const std::function<double(double)>& f, double lo,
+                          double hi) {
+  std::vector<double> cuts{lo};
+  for (double b : dist.Breakpoints()) {
+    if (b > lo && b < hi) cuts.push_back(b);
+  }
+  cuts.push_back(hi);
+  std::sort(cuts.begin(), cuts.end());
+  // Nudge interior cuts so segment endpoints sample the pdf on the correct
+  // side of each jump (densities are inclusive at their support edges).
+  const double nudge = 1e-11 * (hi - lo);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double a = i == 0 ? cuts[i] : cuts[i] + nudge;
+    const double b = i + 2 == cuts.size() ? cuts[i + 1] : cuts[i + 1] - nudge;
+    total += IntegrateSimpson(f, a, b, 8192);
+  }
+  return total;
+}
+
+TEST_P(ErrorDistributionProperties, PdfIntegratesToOne) {
+  auto dist = Make();
+  const auto [lo, hi] = MomentBounds(*dist);
+  const double integral = IntegratePiecewise(
+      *dist, [&](double x) { return dist->Pdf(x); }, lo, hi);
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST_P(ErrorDistributionProperties, MeanIsZero) {
+  auto dist = Make();
+  const auto [lo, hi] = MomentBounds(*dist);
+  const double mean = IntegratePiecewise(
+      *dist, [&](double x) { return x * dist->Pdf(x); }, lo, hi);
+  EXPECT_NEAR(mean, 0.0, 1e-6);
+}
+
+TEST_P(ErrorDistributionProperties, SecondMomentMatchesVariance) {
+  auto dist = Make();
+  const double sigma = dist->stddev();
+  EXPECT_NEAR(dist->CentralMoment(2), sigma * sigma, 1e-9);
+}
+
+TEST_P(ErrorDistributionProperties, MomentsMatchNumericIntegrals) {
+  auto dist = Make();
+  const auto [lo, hi] = MomentBounds(*dist);
+  for (int k = 2; k <= 4; ++k) {
+    const double moment = IntegratePiecewise(
+        *dist, [&](double x) { return std::pow(x, k) * dist->Pdf(x); }, lo,
+        hi);
+    const double expected = dist->CentralMoment(k);
+    EXPECT_NEAR(moment, expected,
+                1e-4 * std::max(1.0, std::fabs(expected)))
+        << "k=" << k;
+  }
+}
+
+TEST_P(ErrorDistributionProperties, CdfMatchesIntegratedPdf) {
+  auto dist = Make();
+  const double sigma = dist->stddev();
+  const auto [lo, hi] = MomentBounds(*dist);
+  (void)hi;
+  for (double x : {-1.5 * sigma, -0.3 * sigma, 0.0, 0.8 * sigma, 2.0 * sigma}) {
+    if (x <= lo) continue;
+    const double integral = IntegratePiecewise(
+        *dist, [&](double t) { return dist->Pdf(t); }, lo, x);
+    EXPECT_NEAR(integral, dist->Cdf(x), 1e-6) << "x=" << x;
+  }
+}
+
+TEST_P(ErrorDistributionProperties, CdfIsMonotoneWithCorrectLimits) {
+  auto dist = Make();
+  const double sigma = dist->stddev();
+  double prev = 0.0;
+  for (double x = -5.0 * sigma; x <= 5.0 * sigma; x += 0.25 * sigma) {
+    const double c = dist->Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(dist->Cdf(100.0 * sigma), 1.0, 1e-9);
+  EXPECT_NEAR(dist->Cdf(-100.0 * sigma), 0.0, 1e-9);
+}
+
+TEST_P(ErrorDistributionProperties, SampleMomentsMatchTheory) {
+  auto dist = Make();
+  Rng rng(20260611);
+  RunningStats stats;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) stats.Add(dist->Sample(rng));
+  const double sigma = dist->stddev();
+  // Standard error of the mean is sigma/sqrt(n); allow 5 standard errors.
+  EXPECT_NEAR(stats.Mean(), 0.0, 5.0 * sigma / std::sqrt(double(kSamples)));
+  EXPECT_NEAR(stats.StdDevPopulation(), sigma, 0.03 * sigma);
+}
+
+TEST_P(ErrorDistributionProperties, SamplesStayInSupport) {
+  auto dist = Make();
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist->Sample(rng);
+    EXPECT_GE(x, dist->SupportLo() - 1e-12);
+    EXPECT_LE(x, dist->SupportHi() + 1e-12);
+  }
+}
+
+TEST_P(ErrorDistributionProperties, SamplingIsDeterministicPerSeed) {
+  auto dist = Make();
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(dist->Sample(a), dist->Sample(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSigmas, ErrorDistributionProperties,
+    ::testing::Combine(::testing::Values(ErrorKind::kNormal,
+                                         ErrorKind::kUniform,
+                                         ErrorKind::kExponential,
+                                         ErrorKind::kTailedUniform),
+                       ::testing::Values(0.2, 0.6, 1.0, 2.0)));
+
+// ------------------------------------------------------- kind-specific
+
+TEST(NormalErrorTest, PdfMatchesClosedForm) {
+  auto dist = MakeNormalError(1.5);
+  EXPECT_NEAR(dist->Pdf(0.0), 1.0 / (1.5 * std::sqrt(2.0 * M_PI)), 1e-12);
+}
+
+TEST(UniformErrorTest, SupportIsSigmaSqrt3) {
+  auto dist = MakeUniformError(1.0);
+  const double a = std::sqrt(3.0);
+  EXPECT_NEAR(dist->SupportLo(), -a, 1e-12);
+  EXPECT_NEAR(dist->SupportHi(), a, 1e-12);
+  EXPECT_NEAR(dist->Pdf(0.0), 1.0 / (2.0 * a), 1e-12);
+  EXPECT_DOUBLE_EQ(dist->Pdf(2.0), 0.0);
+}
+
+TEST(ExponentialErrorTest, SkewAndSupport) {
+  auto dist = MakeExponentialError(0.5);
+  EXPECT_NEAR(dist->SupportLo(), -0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(dist->SupportHi()));
+  // Positive skew: third central moment is 2 sigma^3.
+  EXPECT_NEAR(dist->CentralMoment(3), 2.0 * 0.125, 1e-12);
+  // Density at the left edge is 1/sigma.
+  EXPECT_NEAR(dist->Pdf(-0.5), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist->Pdf(-0.6), 0.0);
+}
+
+TEST(TailedUniformErrorTest, PdfNeverZeroNearSupport) {
+  // The whole point of the workaround: density stays positive well past the
+  // pure-uniform support edge.
+  auto pure = MakeUniformError(1.0);
+  auto tailed = MakeTailedUniformError(1.0, 0.01);
+  const double beyond = pure->SupportHi() + 1.0;
+  EXPECT_DOUBLE_EQ(pure->Pdf(beyond), 0.0);
+  EXPECT_GT(tailed->Pdf(beyond), 0.0);
+}
+
+TEST(TailedUniformErrorTest, VarianceIsPreserved) {
+  for (double sigma : {0.2, 1.0, 2.0}) {
+    auto tailed = MakeTailedUniformError(sigma, 0.01);
+    EXPECT_NEAR(tailed->stddev(), sigma, 1e-9);
+  }
+}
+
+TEST(MixtureErrorTest, MomentsCombineLinearly) {
+  auto mix = MakeMixtureError(
+      {MakeNormalError(1.0), MakeUniformError(2.0)}, {0.25, 0.75});
+  const double expected_var = 0.25 * 1.0 + 0.75 * 4.0;
+  EXPECT_NEAR(mix->CentralMoment(2), expected_var, 1e-12);
+  EXPECT_NEAR(mix->stddev(), std::sqrt(expected_var), 1e-12);
+}
+
+TEST(MixtureErrorTest, WeightsAreNormalized) {
+  auto mix = MakeMixtureError(
+      {MakeNormalError(1.0), MakeNormalError(1.0)}, {2.0, 6.0});
+  // Both components identical => behaves like a single normal.
+  EXPECT_NEAR(mix->Pdf(0.4), MakeNormalError(1.0)->Pdf(0.4), 1e-12);
+  EXPECT_NEAR(mix->Cdf(0.4), MakeNormalError(1.0)->Cdf(0.4), 1e-12);
+}
+
+TEST(MixtureErrorTest, SamplingHitsBothComponents) {
+  auto mix = MakeMixtureError(
+      {MakeUniformError(0.1), MakeNormalError(5.0)}, {0.5, 0.5});
+  Rng rng(3);
+  int wide = 0;
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::fabs(mix->Sample(rng)) > 0.1 * std::sqrt(3.0)) ++wide;
+  }
+  // About half the draws should come from the wide normal.
+  EXPECT_GT(wide, kSamples / 4);
+  EXPECT_LT(wide, 3 * kSamples / 4);
+}
+
+TEST(NoErrorTest, DegenerateBehaviour) {
+  auto none = MakeNoError();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(none->Sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(none->stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(none->Cdf(-0.001), 0.0);
+  EXPECT_DOUBLE_EQ(none->Cdf(0.001), 1.0);
+}
+
+}  // namespace
+}  // namespace uts::prob

@@ -1,0 +1,156 @@
+// Unit tests for special functions (src/prob/special).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/special.hpp"
+
+namespace uts::prob {
+namespace {
+
+TEST(NormalPdfTest, PeakValue) {
+  // 1/sqrt(2*pi)
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+}
+
+TEST(NormalPdfTest, Symmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9}) {
+    EXPECT_DOUBLE_EQ(NormalPdf(x), NormalPdf(-x));
+  }
+}
+
+TEST(NormalPdfTest, ScaledPdfIntegratesConsistently) {
+  // N(x; mu, sigma) = N((x-mu)/sigma) / sigma.
+  EXPECT_NEAR(NormalPdf(3.0, 1.0, 2.0), NormalPdf(1.0) / 2.0, 1e-15);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdfTest, ComplementarySymmetry) {
+  for (double x : {0.2, 0.9, 1.7, 2.5, 4.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalCdf(-x), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalCdfTest, ShiftedAndScaled) {
+  EXPECT_NEAR(NormalCdf(5.0, 5.0, 3.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(8.0, 5.0, 3.0), NormalCdf(1.0), 1e-15);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 1e-3, 0.01, 0.05, 0.1,
+                                           0.25, 0.5, 0.75, 0.9, 0.95, 0.99,
+                                           0.999, 1.0 - 1e-6, 1.0 - 1e-10));
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(NormalQuantileTest, BoundaryValuesAreInfinite) {
+  EXPECT_EQ(NormalQuantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(NormalQuantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(LogGammaTest, IntegerFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-13);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-13);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-11);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-12);
+}
+
+TEST(LogGammaTest, RecurrenceRelation) {
+  // Gamma(x+1) = x Gamma(x).
+  for (double x : {0.3, 1.7, 4.2, 9.9}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-11);
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.5, 200.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.3, 10.0}) {
+    for (double x : {0.1, 1.0, 3.0, 15.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, TwoDofClosedForm) {
+  // Chi-square with 2 dof is Exp(1/2): cdf = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(ChiSquareCdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, KnownCriticalValues) {
+  // 95th percentile of chi-square with 1 dof is 3.841458820694124.
+  EXPECT_NEAR(ChiSquareCdf(3.841458820694124, 1.0), 0.95, 1e-10);
+  // 99th percentile with 10 dof is 23.209251158954356.
+  EXPECT_NEAR(ChiSquareCdf(23.209251158954356, 10.0), 0.99, 1e-10);
+}
+
+TEST(ChiSquareTest, SurvivalComplementsCdf) {
+  for (double k : {1.0, 4.0, 16.0}) {
+    for (double x : {0.5, 2.0, 8.0, 30.0}) {
+      EXPECT_NEAR(ChiSquareCdf(x, k) + ChiSquareSurvival(x, k), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquareTest, NegativeInputClamps) {
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(-1.0, 3.0), 1.0);
+}
+
+TEST(ErfTest, MatchesNormalCdfIdentity) {
+  // Phi(x) = (1 + erf(x/sqrt(2))) / 2.
+  for (double x : {-2.0, -0.5, 0.0, 0.8, 2.3}) {
+    EXPECT_NEAR(NormalCdf(x), 0.5 * (1.0 + Erf(x / std::sqrt(2.0))), 1e-14);
+  }
+}
+
+TEST(ErfTest, ErfcComplement) {
+  for (double x : {-1.0, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(Erf(x) + Erfc(x), 1.0, 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace uts::prob

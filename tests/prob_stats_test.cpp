@@ -1,0 +1,239 @@
+// Unit tests for descriptive statistics and the chi-square test
+// (src/prob/stats).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/rng.hpp"
+#include "prob/stats.hpp"
+
+namespace uts::prob {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsNeutral) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.VarianceSample(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StandardError(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.VariancePopulation(), 4.0);
+  EXPECT_DOUBLE_EQ(s.StdDevPopulation(), 2.0);
+  EXPECT_NEAR(s.VarianceSample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(11);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    whole.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.Mean(), whole.Mean(), 1e-12);
+  EXPECT_NEAR(a.VarianceSample(), whole.VarianceSample(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), whole.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericalStabilityWithLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) s.Add(v);
+  EXPECT_NEAR(s.Mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.VariancePopulation(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(ConfidenceIntervalTest, WidthScalesWithSqrtN) {
+  Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 100; ++i) small.push_back(rng.Gaussian());
+  for (int i = 0; i < 10000; ++i) large.push_back(rng.Gaussian());
+  const auto ci_small = MeanConfidenceInterval(small);
+  const auto ci_large = MeanConfidenceInterval(large);
+  // ~10x more data => ~sqrt(100)=10x narrower interval.
+  EXPECT_LT(ci_large.half_width, ci_small.half_width / 5.0);
+}
+
+TEST(ConfidenceIntervalTest, CoversTrueMeanMostOfTheTime) {
+  // Frequentist sanity: over 200 repetitions, the 95% CI should cover the
+  // true mean far more often than not.
+  Rng rng(17);
+  int covered = 0;
+  constexpr int kReps = 200;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i) xs.push_back(rng.Gaussian(1.5, 1.0));
+    const auto ci = MeanConfidenceInterval(xs);
+    if (ci.lo() <= 1.5 && 1.5 <= ci.hi()) ++covered;
+  }
+  EXPECT_GE(covered, kReps * 85 / 100);
+}
+
+TEST(ConfidenceIntervalTest, LevelControlsWidth) {
+  std::vector<double> xs;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.Gaussian());
+  const auto ci90 = MeanConfidenceInterval(xs, 0.90);
+  const auto ci99 = MeanConfidenceInterval(xs, 0.99);
+  EXPECT_LT(ci90.half_width, ci99.half_width);
+  EXPECT_DOUBLE_EQ(ci90.mean, ci99.mean);
+}
+
+TEST(ConfidenceIntervalTest, SingletonHasZeroWidth) {
+  std::vector<double> xs{3.0};
+  const auto ci = MeanConfidenceInterval(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+// ----------------------------------------------------------- chi-square
+
+TEST(ChiSquareUniformityTest, AcceptsUniformData) {
+  Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Uniform(-2.0, 5.0));
+  auto result = ChiSquareUniformityTest(xs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Uniform data should NOT be rejected at alpha = 0.01.
+  EXPECT_FALSE(result.ValueOrDie().RejectAt(0.01));
+}
+
+TEST(ChiSquareUniformityTest, RejectsGaussianData) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Gaussian());
+  auto result = ChiSquareUniformityTest(xs);
+  ASSERT_TRUE(result.ok());
+  // Strong rejection, reproducing the paper's Section 4.1.1 finding on
+  // real (non-uniform) series values.
+  EXPECT_TRUE(result.ValueOrDie().RejectAt(0.01));
+  EXPECT_LT(result.ValueOrDie().p_value, 1e-10);
+}
+
+TEST(ChiSquareUniformityTest, RejectsBimodalData) {
+  Rng rng(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(rng.Bernoulli(0.5) ? rng.Gaussian(-3.0, 0.3)
+                                    : rng.Gaussian(3.0, 0.3));
+  }
+  auto result = ChiSquareUniformityTest(xs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().RejectAt(0.01));
+}
+
+TEST(ChiSquareUniformityTest, InputValidation) {
+  std::vector<double> too_few{1.0, 2.0, 3.0};
+  EXPECT_FALSE(ChiSquareUniformityTest(too_few).ok());
+  std::vector<double> constant(100, 5.0);
+  EXPECT_FALSE(ChiSquareUniformityTest(constant).ok());
+}
+
+TEST(ChiSquareGofTest, PerfectFitHasPValueOne) {
+  std::vector<std::size_t> observed{25, 25, 25, 25};
+  std::vector<double> expected(4, 0.25);
+  auto result = ChiSquareTest(observed, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.ValueOrDie().statistic, 0.0);
+  EXPECT_NEAR(result.ValueOrDie().p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquareGofTest, StatisticMatchesHandComputation) {
+  // observed {30, 70}, expected p {0.5, 0.5}, n=100:
+  // chi2 = (30-50)^2/50 + (70-50)^2/50 = 16.
+  std::vector<std::size_t> observed{30, 70};
+  std::vector<double> expected{0.5, 0.5};
+  auto result = ChiSquareTest(observed, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.ValueOrDie().statistic, 16.0, 1e-12);
+  EXPECT_EQ(result.ValueOrDie().dof, 1.0);
+}
+
+TEST(ChiSquareGofTest, RejectsMismatchedInputs) {
+  std::vector<std::size_t> observed{10, 20};
+  std::vector<double> expected{0.5, 0.25, 0.25};
+  EXPECT_FALSE(ChiSquareTest(observed, expected).ok());
+  std::vector<double> not_normalized{0.9, 0.9};
+  EXPECT_FALSE(ChiSquareTest(observed, not_normalized).ok());
+}
+
+// ---------------------------------------------------------- correlation
+
+TEST(PearsonCorrelationTest, PerfectAndAntiCorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y).ValueOrDie(), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, z).ValueOrDie(), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, IndependentSeriesNearZero) {
+  Rng rng(41);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.Gaussian());
+    y.push_back(rng.Gaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y).ValueOrDie(), 0.0, 0.05);
+}
+
+TEST(PearsonCorrelationTest, ZeroVarianceFails) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_FALSE(PearsonCorrelation(x, y).ok());
+}
+
+TEST(AutocorrelationTest, Ar1ProcessHasRhoAtLagOne) {
+  Rng rng(43);
+  const double rho = 0.85;
+  std::vector<double> xs;
+  double v = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    v = rho * v + std::sqrt(1 - rho * rho) * rng.Gaussian();
+    xs.push_back(v);
+  }
+  EXPECT_NEAR(Autocorrelation(xs, 1).ValueOrDie(), rho, 0.03);
+  EXPECT_NEAR(Autocorrelation(xs, 2).ValueOrDie(), rho * rho, 0.05);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  Rng rng(47);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.Gaussian());
+  EXPECT_NEAR(Autocorrelation(xs, 1).ValueOrDie(), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, InputValidation) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_FALSE(Autocorrelation(xs, 0).ok());
+  EXPECT_FALSE(Autocorrelation(xs, 5).ok());
+}
+
+}  // namespace
+}  // namespace uts::prob

@@ -1,0 +1,248 @@
+// Unit + property tests for PROUD (src/measures/proud).
+//
+// The key correctness oracle is simulation: PROUD's closed-form moments of
+// Σ D_i² must match Monte Carlo estimates over actually-sampled errors, and
+// its normal-approximation match probability must track the empirical
+// probability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "measures/proud.hpp"
+#include "prob/rng.hpp"
+#include "prob/stats.hpp"
+#include "uncertain/perturb.hpp"
+
+namespace uts::measures {
+namespace {
+
+std::vector<double> RandomObs(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = rng.Gaussian();
+  return xs;
+}
+
+TEST(ProudStatsTest, ZeroSigmaGivesDeterministicDistance) {
+  Proud proud({.tau = 0.9, .sigma = 0.0});
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 2.0, 5.0};
+  const ProudStats stats = proud.DistanceStats(x, y);
+  EXPECT_DOUBLE_EQ(stats.mean_sq, 1.0 + 0.0 + 4.0);
+  EXPECT_DOUBLE_EQ(stats.var_sq, 0.0);
+  // Match probability becomes a sharp threshold on the true distance.
+  EXPECT_DOUBLE_EQ(proud.MatchProbability(x, y, std::sqrt(5.0) + 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(proud.MatchProbability(x, y, std::sqrt(5.0) - 0.01), 0.0);
+}
+
+TEST(ProudStatsTest, MomentsMatchClosedForm) {
+  // For one point with mu and v = 2 sigma^2:
+  // E[D^2] = mu^2 + v, Var[D^2] = 2v^2 + 4 mu^2 v.
+  Proud proud({.tau = 0.5, .sigma = 0.6});
+  const double v = 2.0 * 0.36;
+  const std::vector<double> x{1.5};
+  const std::vector<double> y{0.5};  // mu = 1
+  const ProudStats stats = proud.DistanceStats(x, y);
+  EXPECT_NEAR(stats.mean_sq, 1.0 + v, 1e-12);
+  EXPECT_NEAR(stats.var_sq, 2.0 * v * v + 4.0 * v, 1e-12);
+}
+
+TEST(ProudStatsTest, MomentsMatchMonteCarlo) {
+  const double sigma = 0.5;
+  Proud proud({.tau = 0.5, .sigma = sigma});
+  const auto x = RandomObs(20, 1);
+  const auto y = RandomObs(20, 2);
+  const ProudStats stats = proud.DistanceStats(x, y);
+
+  prob::Rng rng(3);
+  prob::RunningStats mc;
+  constexpr int kTrials = 60000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      // Both series carry independent N(0, sigma^2) error.
+      const double d = (x[i] + rng.Gaussian(0.0, sigma)) -
+                       (y[i] + rng.Gaussian(0.0, sigma));
+      sum += d * d;
+    }
+    mc.Add(sum);
+  }
+  EXPECT_NEAR(mc.Mean(), stats.mean_sq, 0.02 * stats.mean_sq);
+  EXPECT_NEAR(mc.VarianceSample(), stats.var_sq, 0.06 * stats.var_sq);
+}
+
+TEST(ProudProbabilityTest, MonotoneInEpsilon) {
+  Proud proud({.tau = 0.9, .sigma = 0.8});
+  const auto x = RandomObs(30, 4);
+  const auto y = RandomObs(30, 5);
+  double prev = 0.0;
+  for (double eps = 0.0; eps <= 20.0; eps += 0.5) {
+    const double p = proud.MatchProbability(x, y, eps);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_NEAR(proud.MatchProbability(x, y, 100.0), 1.0, 1e-9);
+  // At ε = 0 the normal approximation leaves a small left-tail mass
+  // (z ≈ -(Σ E[D²]) / sd, around -5 here), not an exact zero.
+  EXPECT_LT(proud.MatchProbability(x, y, 0.0), 1e-3);
+}
+
+TEST(ProudProbabilityTest, TracksEmpiricalProbability) {
+  const double sigma = 0.4;
+  Proud proud({.tau = 0.5, .sigma = sigma});
+  const auto x = RandomObs(64, 6);
+  const auto y = RandomObs(64, 7);
+
+  // Empirical Pr(dist <= eps) at a few epsilons.
+  prob::Rng rng(8);
+  constexpr int kTrials = 20000;
+  for (double eps : {6.0, 8.0, 10.0, 12.0}) {
+    int hits = 0;
+    prob::Rng trial_rng(rng.Next());
+    for (int t = 0; t < kTrials; ++t) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = (x[i] + trial_rng.Gaussian(0.0, sigma)) -
+                         (y[i] + trial_rng.Gaussian(0.0, sigma));
+        sum += d * d;
+      }
+      if (sum <= eps * eps) ++hits;
+    }
+    const double empirical = double(hits) / kTrials;
+    const double model = proud.MatchProbability(x, y, eps);
+    EXPECT_NEAR(model, empirical, 0.03) << "eps=" << eps;
+  }
+}
+
+TEST(ProudDecisionTest, MatchesIffProbabilityAtLeastTau) {
+  const auto x = RandomObs(30, 9);
+  const auto y = RandomObs(30, 10);
+  for (double tau : {0.1, 0.5, 0.9}) {
+    Proud proud({.tau = tau, .sigma = 0.7});
+    for (double eps = 1.0; eps < 15.0; eps += 0.7) {
+      const bool decision = proud.Matches(x, y, eps);
+      const double p = proud.MatchProbability(x, y, eps);
+      EXPECT_EQ(decision, p >= tau - 1e-12)
+          << "tau=" << tau << " eps=" << eps << " p=" << p;
+    }
+  }
+}
+
+TEST(ProudDecisionTest, EpsilonLimitIsNormalQuantile) {
+  Proud proud({.tau = 0.975, .sigma = 1.0});
+  EXPECT_NEAR(proud.EpsilonLimit(), 1.959963984540054, 1e-9);
+}
+
+TEST(ProudDecisionTest, HigherTauIsStricter) {
+  const auto x = RandomObs(30, 11);
+  const auto y = RandomObs(30, 12);
+  Proud lenient({.tau = 0.2, .sigma = 0.7});
+  Proud strict({.tau = 0.95, .sigma = 0.7});
+  int lenient_matches = 0, strict_matches = 0;
+  for (double eps = 1.0; eps < 15.0; eps += 0.25) {
+    if (lenient.Matches(x, y, eps)) ++lenient_matches;
+    if (strict.Matches(x, y, eps)) ++strict_matches;
+  }
+  EXPECT_GE(lenient_matches, strict_matches);
+}
+
+// ---------------------------------------------------- general moment path
+
+TEST(ProudGeneralTest, AgreesWithConstantSigmaForNormalErrors) {
+  const double sigma = 0.9;
+  const auto x_obs = RandomObs(25, 13);
+  const auto y_obs = RandomObs(25, 14);
+
+  std::vector<prob::ErrorDistributionPtr> ex(25, prob::MakeNormalError(sigma));
+  std::vector<prob::ErrorDistributionPtr> ey(25, prob::MakeNormalError(sigma));
+  uncertain::UncertainSeries x(x_obs, ex);
+  uncertain::UncertainSeries y(y_obs, ey);
+
+  Proud proud({.tau = 0.5, .sigma = sigma});
+  const ProudStats fast = proud.DistanceStats(x_obs, y_obs);
+  const ProudStats general = Proud::DistanceStatsGeneral(x, y);
+  EXPECT_NEAR(general.mean_sq, fast.mean_sq, 1e-9);
+  EXPECT_NEAR(general.var_sq, fast.var_sq, 1e-9);
+}
+
+TEST(ProudGeneralTest, SkewedErrorsMatchMonteCarlo) {
+  // Exponential errors: the general moment propagation must still match
+  // simulation (this is what "full distribution knowledge" buys).
+  const double sigma = 0.6;
+  const auto x_obs = RandomObs(16, 15);
+  const auto y_obs = RandomObs(16, 16);
+  std::vector<prob::ErrorDistributionPtr> ex(16,
+                                             prob::MakeExponentialError(sigma));
+  std::vector<prob::ErrorDistributionPtr> ey(16,
+                                             prob::MakeExponentialError(sigma));
+  uncertain::UncertainSeries x(x_obs, ex);
+  uncertain::UncertainSeries y(y_obs, ey);
+
+  const ProudStats stats = Proud::DistanceStatsGeneral(x, y);
+  prob::Rng rng(17);
+  prob::RunningStats mc;
+  auto err = prob::MakeExponentialError(sigma);
+  for (int t = 0; t < 60000; ++t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x_obs.size(); ++i) {
+      const double d =
+          (x_obs[i] + err->Sample(rng)) - (y_obs[i] + err->Sample(rng));
+      sum += d * d;
+    }
+    mc.Add(sum);
+  }
+  EXPECT_NEAR(mc.Mean(), stats.mean_sq, 0.02 * stats.mean_sq);
+  EXPECT_NEAR(mc.VarianceSample(), stats.var_sq, 0.08 * stats.var_sq);
+}
+
+TEST(ProudGeneralTest, MixedSigmaSeriesMatchesMonteCarlo) {
+  const auto x_obs = RandomObs(20, 18);
+  const auto y_obs = RandomObs(20, 19);
+  std::vector<prob::ErrorDistributionPtr> ex, ey;
+  for (std::size_t i = 0; i < 20; ++i) {
+    ex.push_back(prob::MakeNormalError(i % 5 == 0 ? 1.0 : 0.4));
+    ey.push_back(prob::MakeNormalError(i % 5 == 0 ? 1.0 : 0.4));
+  }
+  uncertain::UncertainSeries x(x_obs, ex);
+  uncertain::UncertainSeries y(y_obs, ey);
+
+  const ProudStats stats = Proud::DistanceStatsGeneral(x, y);
+  prob::Rng rng(20);
+  prob::RunningStats mc;
+  for (int t = 0; t < 60000; ++t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const double s = i % 5 == 0 ? 1.0 : 0.4;
+      const double d = (x_obs[i] + rng.Gaussian(0.0, s)) -
+                       (y_obs[i] + rng.Gaussian(0.0, s));
+      sum += d * d;
+    }
+    mc.Add(sum);
+  }
+  EXPECT_NEAR(mc.Mean(), stats.mean_sq, 0.02 * stats.mean_sq);
+  EXPECT_NEAR(mc.VarianceSample(), stats.var_sq, 0.08 * stats.var_sq);
+}
+
+TEST(ProudGeneralTest, ProbabilityGeneralMonotoneAndBounded) {
+  const auto x_obs = RandomObs(20, 21);
+  const auto y_obs = RandomObs(20, 22);
+  std::vector<prob::ErrorDistributionPtr> ex(20, prob::MakeUniformError(0.5));
+  std::vector<prob::ErrorDistributionPtr> ey(20, prob::MakeUniformError(0.5));
+  uncertain::UncertainSeries x(x_obs, ex);
+  uncertain::UncertainSeries y(y_obs, ey);
+  double prev = 0.0;
+  for (double eps = 0.0; eps < 15.0; eps += 0.5) {
+    const double p = Proud::MatchProbabilityGeneral(x, y, eps);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace uts::measures

@@ -1,0 +1,68 @@
+// Unit tests for the fixed-width table renderer (src/core/report).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace uts::core {
+namespace {
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::Num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::Num(-0.5, 2), "-0.50");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+}
+
+TEST(TextTableTest, NumWithCiFormatting) {
+  EXPECT_EQ(TextTable::NumWithCi(0.85, 0.021, 2), "0.85 +/-0.02");
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  // Each data line has the value starting at the same column.
+  std::istringstream lines(out);
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+  EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderOnlyTable) {
+  TextTable table({"a", "b"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a  b"), std::string::npos);
+  // Exactly two lines: header + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TextTableTest, NoTrailingWhitespace) {
+  TextTable table({"col", "x"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a", "2"});
+  std::istringstream lines(table.ToString());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_NE(line.back(), ' ') << "line: '" << line << "'";
+  }
+}
+
+TEST(TextTableTest, PrintWritesToStream) {
+  TextTable table({"h"});
+  table.AddRow({"v"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), table.ToString());
+}
+
+}  // namespace
+}  // namespace uts::core

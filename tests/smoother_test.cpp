@@ -1,0 +1,219 @@
+// Unit + property tests for the AR(1) Kalman/RTS smoother (src/ts/smoother)
+// and its matcher adapter — the paper's "sequential correlations" direction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/matchers.hpp"
+#include "datagen/registry.hpp"
+#include "prob/rng.hpp"
+#include "prob/stats.hpp"
+#include "ts/filters.hpp"
+#include "ts/smoother.hpp"
+#include "uncertain/error_spec.hpp"
+
+namespace uts::ts {
+namespace {
+
+/// Generate an AR(1) latent path with stationary variance 1.
+std::vector<double> Ar1Path(std::size_t n, double rho, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> x(n);
+  double v = rng.Gaussian();
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = v;
+    v = rho * v + innovation * rng.Gaussian();
+  }
+  return x;
+}
+
+TEST(EstimateAr1RhoTest, RecoversTrueRho) {
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const auto x = Ar1Path(20000, rho, 1);
+    // Noisy observations with sigma 0.5.
+    prob::Rng rng(2);
+    std::vector<double> y(x.size());
+    std::vector<double> s(x.size(), 0.5);
+    for (std::size_t t = 0; t < x.size(); ++t) y[t] = x[t] + 0.5 * rng.Gaussian();
+    auto estimated = EstimateAr1Rho(y, s);
+    ASSERT_TRUE(estimated.ok());
+    EXPECT_NEAR(estimated.ValueOrDie(), rho, 0.05) << "rho=" << rho;
+  }
+}
+
+TEST(EstimateAr1RhoTest, PureNoiseGivesMinRho) {
+  prob::Rng rng(3);
+  std::vector<double> y(2000), s(2000, 1.0);
+  for (double& v : y) v = rng.Gaussian();
+  auto estimated = EstimateAr1Rho(y, s);
+  ASSERT_TRUE(estimated.ok());
+  // Var(y) ~ noise var: the signal-variance estimate collapses to ~0.
+  EXPECT_LT(estimated.ValueOrDie(), 0.2);
+}
+
+TEST(EstimateAr1RhoTest, InputValidation) {
+  std::vector<double> short_y{1.0, 2.0};
+  std::vector<double> short_s{1.0, 1.0};
+  EXPECT_FALSE(EstimateAr1Rho(short_y, short_s).ok());
+  std::vector<double> y(20, 1.0), s(19, 1.0);
+  EXPECT_FALSE(EstimateAr1Rho(y, s).ok());
+}
+
+TEST(Ar1KalmanSmoothTest, RhoZeroIsPosteriorShrinkage) {
+  // Independent prior N(0, V): posterior mean = y * V / (V + s²).
+  const std::vector<double> y{2.0, -1.0, 0.5};
+  const std::vector<double> s{1.0, 0.5, 2.0};
+  Ar1SmootherOptions options;
+  options.rho = 1e-12;  // effectively independent, skips estimation
+  auto smoothed = Ar1KalmanSmooth(y, s, options);
+  ASSERT_TRUE(smoothed.ok());
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    const double expected = y[t] * 1.0 / (1.0 + s[t] * s[t]);
+    EXPECT_NEAR(smoothed.ValueOrDie()[t], expected, 1e-9) << t;
+  }
+}
+
+TEST(Ar1KalmanSmoothTest, TinyNoiseReproducesObservations) {
+  const auto x = Ar1Path(64, 0.8, 5);
+  const std::vector<double> s(64, 1e-6);
+  Ar1SmootherOptions options;
+  options.rho = 0.8;
+  auto smoothed = Ar1KalmanSmooth(x, s, options);
+  ASSERT_TRUE(smoothed.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(smoothed.ValueOrDie()[t], x[t], 1e-6);
+  }
+}
+
+TEST(Ar1KalmanSmoothTest, ReducesReconstructionError) {
+  // The smoother's whole point: closer to the latent truth than both the
+  // raw observations and a moving average.
+  const double rho = 0.9;
+  const double sigma = 0.8;
+  prob::RunningStats raw_err, ma_err, kalman_err;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto x = Ar1Path(256, rho, 100 + seed);
+    prob::Rng rng(200 + seed);
+    std::vector<double> y(x.size());
+    std::vector<double> s(x.size(), sigma);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      y[t] = x[t] + sigma * rng.Gaussian();
+    }
+    Ar1SmootherOptions options;
+    options.rho = rho;
+    const auto smoothed = Ar1KalmanSmooth(y, s, options).ValueOrDie();
+    FilterOptions ma_options;
+    ma_options.half_window = 2;
+    const auto ma = MovingAverage(y, ma_options);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      raw_err.Add((y[t] - x[t]) * (y[t] - x[t]));
+      ma_err.Add((ma[t] - x[t]) * (ma[t] - x[t]));
+      kalman_err.Add((smoothed[t] - x[t]) * (smoothed[t] - x[t]));
+    }
+  }
+  EXPECT_LT(kalman_err.Mean(), ma_err.Mean());
+  EXPECT_LT(ma_err.Mean(), raw_err.Mean());
+}
+
+TEST(Ar1KalmanSmoothTest, EstimatedRhoPathWorksEndToEnd) {
+  const auto x = Ar1Path(128, 0.85, 7);
+  prob::Rng rng(8);
+  std::vector<double> y(x.size());
+  std::vector<double> s(x.size(), 0.6);
+  for (std::size_t t = 0; t < x.size(); ++t) y[t] = x[t] + 0.6 * rng.Gaussian();
+  auto smoothed = Ar1KalmanSmooth(y, s);  // rho = 0 -> estimate
+  ASSERT_TRUE(smoothed.ok());
+  double err_raw = 0.0, err_smooth = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    err_raw += (y[t] - x[t]) * (y[t] - x[t]);
+    err_smooth += (smoothed.ValueOrDie()[t] - x[t]) *
+                  (smoothed.ValueOrDie()[t] - x[t]);
+  }
+  EXPECT_LT(err_smooth, err_raw);
+}
+
+TEST(Ar1KalmanSmoothTest, HeteroscedasticNoiseIsWeighted) {
+  // A point with huge reported sigma should be pulled toward its neighbors'
+  // consensus rather than trusted.
+  std::vector<double> y(21, 1.0);
+  std::vector<double> s(21, 0.1);
+  y[10] = 50.0;
+  s[10] = 100.0;
+  Ar1SmootherOptions options;
+  options.rho = 0.9;
+  auto smoothed = Ar1KalmanSmooth(y, s, options);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_LT(std::fabs(smoothed.ValueOrDie()[10]), 2.0);
+}
+
+TEST(Ar1KalmanSmoothTest, InputValidation) {
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_FALSE(Ar1KalmanSmooth({}, {}).ok());
+  EXPECT_FALSE(Ar1KalmanSmooth(y, std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(Ar1KalmanSmooth(y, std::vector<double>{1.0, 0.0}).ok());
+  Ar1SmootherOptions bad;
+  bad.rho = 1.0;
+  EXPECT_FALSE(
+      Ar1KalmanSmooth(y, std::vector<double>{1.0, 1.0}, bad).ok());
+  Ar1SmootherOptions bad_v;
+  bad_v.state_variance = 0.0;
+  EXPECT_FALSE(
+      Ar1KalmanSmooth(y, std::vector<double>{1.0, 1.0}, bad_v).ok());
+}
+
+}  // namespace
+}  // namespace uts::ts
+
+namespace uts::core {
+namespace {
+
+TEST(Ar1SmootherMatcherTest, RunsInsideTheEvaluation) {
+  auto spec = datagen::SpecByName("ECG200").ValueOrDie();
+  const ts::Dataset d =
+      datagen::GenerateScaled(spec, 51, 30, 64).ZNormalizedCopy();
+  Ar1SmootherMatcher kalman;
+  EuclideanMatcher euclid;
+  Matcher* matchers[] = {&kalman, &euclid};
+  RunOptions options;
+  options.ground_truth_k = 5;
+  options.max_queries = 10;
+  options.seed = 51;
+  auto results = RunSimilarityMatching(
+      d, uncertain::ErrorSpec::MixedSigma(prob::ErrorKind::kNormal), matchers,
+      options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  const auto& rs = results.ValueOrDie();
+  EXPECT_EQ(rs[0].name, "AR1-smoother");
+  // Correlation-aware smoothing should not be worse than raw Euclidean on
+  // strongly autocorrelated data.
+  EXPECT_GE(rs[0].f1.mean, rs[1].f1.mean - 0.02);
+}
+
+TEST(DtwMatcherTest, NamesAndEvaluation) {
+  distance::DtwOptions banded;
+  banded.band_radius = 4;
+  EXPECT_EQ(DtwMatcher().name(), "DTW");
+  EXPECT_EQ(DtwMatcher(banded).name(), "DTW(r=4)");
+
+  auto spec = datagen::SpecByName("GunPoint").ValueOrDie();
+  const ts::Dataset d =
+      datagen::GenerateScaled(spec, 53, 24, 48).ZNormalizedCopy();
+  DtwMatcher dtw(banded);
+  Matcher* matchers[] = {&dtw};
+  RunOptions options;
+  options.ground_truth_k = 5;
+  options.max_queries = 6;
+  options.seed = 53;
+  auto results = RunSimilarityMatching(
+      d, uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.4),
+      matchers, options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_GT(results.ValueOrDie()[0].f1.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace uts::core

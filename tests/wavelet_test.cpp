@@ -1,0 +1,212 @@
+// Unit + property tests for the Haar transform and the PROUD wavelet
+// synopsis (src/wavelet).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "distance/lp.hpp"
+#include "measures/proud.hpp"
+#include "prob/rng.hpp"
+#include "wavelet/haar.hpp"
+#include "wavelet/proud_synopsis.hpp"
+
+namespace uts::wavelet {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = rng.Gaussian();
+  return xs;
+}
+
+TEST(HaarTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+}
+
+TEST(HaarTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(HaarTransform(std::vector<double>{1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(HaarInverse(std::vector<double>{1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(HaarTransform(std::vector<double>{}).ok());
+}
+
+TEST(HaarTest, KnownSmallTransform) {
+  // [1, 1, 1, 1]: all energy in the average coefficient = 1 * sqrt(4) = 2.
+  auto coeffs = HaarTransform(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_NEAR(coeffs.ValueOrDie()[0], 2.0, 1e-12);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(coeffs.ValueOrDie()[i], 0.0, 1e-12);
+  }
+}
+
+TEST(HaarTest, RoundTripIsExact) {
+  for (std::size_t n : {1u, 2u, 4u, 8u, 64u, 256u}) {
+    const auto xs = RandomSeries(n, n);
+    auto coeffs = HaarTransform(xs);
+    ASSERT_TRUE(coeffs.ok());
+    auto back = HaarInverse(coeffs.ValueOrDie());
+    ASSERT_TRUE(back.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back.ValueOrDie()[i], xs[i], 1e-10);
+    }
+  }
+}
+
+TEST(HaarTest, ParsevalEnergyPreservation) {
+  const auto xs = RandomSeries(128, 5);
+  auto coeffs = HaarTransform(xs);
+  ASSERT_TRUE(coeffs.ok());
+  double ex = 0.0, ec = 0.0;
+  for (double v : xs) ex += v * v;
+  for (double v : coeffs.ValueOrDie()) ec += v * v;
+  EXPECT_NEAR(ex, ec, 1e-9);
+}
+
+TEST(HaarTest, DistancePreservation) {
+  // Orthonormality: ||T(x) - T(y)|| == ||x - y||.
+  const auto a = RandomSeries(64, 6);
+  const auto b = RandomSeries(64, 7);
+  const auto ta = HaarTransform(a).ValueOrDie();
+  const auto tb = HaarTransform(b).ValueOrDie();
+  EXPECT_NEAR(distance::Euclidean(ta, tb), distance::Euclidean(a, b), 1e-9);
+}
+
+TEST(HaarTest, PaddedTransformHandlesArbitraryLengths) {
+  const auto xs = RandomSeries(100, 8);
+  const auto coeffs = HaarTransformPadded(xs);
+  EXPECT_EQ(coeffs.size(), 128u);
+}
+
+// ----------------------------------------------------------------- synopsis
+
+class SynopsisLowerBound : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SynopsisLowerBound, SynopsisDistanceLowerBoundsTrueDistance) {
+  const std::size_t k = GetParam();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto a = RandomSeries(100, 10 + seed);
+    const auto b = RandomSeries(100, 200 + seed);
+    const HaarSynopsis sa = BuildSynopsis(a, k);
+    const HaarSynopsis sb = BuildSynopsis(b, k);
+    auto lb = SynopsisDistance(sa, sb);
+    ASSERT_TRUE(lb.ok());
+    EXPECT_LE(lb.ValueOrDie(), distance::Euclidean(a, b) + 1e-9)
+        << "k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoefficientCounts, SynopsisLowerBound,
+                         ::testing::Values(1u, 4u, 16u, 64u, 128u));
+
+TEST(SynopsisTest, FullSynopsisIsExact) {
+  const auto a = RandomSeries(64, 20);
+  const auto b = RandomSeries(64, 21);
+  const HaarSynopsis sa = BuildSynopsis(a, 64);
+  const HaarSynopsis sb = BuildSynopsis(b, 64);
+  EXPECT_NEAR(SynopsisDistance(sa, sb).ValueOrDie(),
+              distance::Euclidean(a, b), 1e-9);
+}
+
+TEST(SynopsisTest, MoreCoefficientsTightenTheBound) {
+  const auto a = RandomSeries(128, 22);
+  const auto b = RandomSeries(128, 23);
+  double prev = -1.0;
+  for (std::size_t k : {2u, 8u, 32u, 128u}) {
+    const double d = SynopsisDistance(BuildSynopsis(a, k), BuildSynopsis(b, k))
+                         .ValueOrDie();
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+}
+
+TEST(SynopsisTest, MismatchedTransformLengthsRejected) {
+  const HaarSynopsis sa = BuildSynopsis(RandomSeries(64, 24), 8);
+  const HaarSynopsis sb = BuildSynopsis(RandomSeries(100, 25), 8);
+  EXPECT_FALSE(SynopsisDistance(sa, sb).ok());
+}
+
+// ----------------------------------------------------- PROUD over synopsis
+
+TEST(ProudSynopsisTest, NoFalseDismissalsVsExactProud) {
+  // The filter-and-refine decision must equal the exact PROUD decision:
+  // the prune is an upper bound on the probability (tau >= 0.5).
+  ProudSynopsisOptions options;
+  options.proud.tau = 0.8;
+  options.proud.sigma = 0.5;
+  options.synopsis_size = 8;
+  const ProudSynopsisMatcher matcher(options);
+  const measures::Proud exact(options.proud);
+
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto x = RandomSeries(96, 300 + seed);
+    const auto y = RandomSeries(96, 500 + seed);
+    const HaarSynopsis sx = matcher.Synopsize(x);
+    const HaarSynopsis sy = matcher.Synopsize(y);
+    for (double eps : {4.0, 8.0, 12.0, 16.0, 20.0}) {
+      auto fast = matcher.Matches(sx, sy, x, y, eps);
+      ASSERT_TRUE(fast.ok());
+      EXPECT_EQ(fast.ValueOrDie(), exact.Matches(x, y, eps))
+          << "seed=" << seed << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ProudSynopsisTest, OptimisticProbabilityUpperBoundsExact) {
+  ProudSynopsisOptions options;
+  options.proud.tau = 0.9;
+  options.proud.sigma = 0.7;
+  options.synopsis_size = 4;
+  const ProudSynopsisMatcher matcher(options);
+  const measures::Proud exact(options.proud);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto x = RandomSeries(64, 700 + seed);
+    const auto y = RandomSeries(64, 900 + seed);
+    const HaarSynopsis sx = matcher.Synopsize(x);
+    const HaarSynopsis sy = matcher.Synopsize(y);
+    for (double eps : {6.0, 10.0, 14.0}) {
+      const double optimistic =
+          matcher.OptimisticMatchProbability(sx, sy, x.size(), eps)
+              .ValueOrDie();
+      const double truth = exact.MatchProbability(x, y, eps);
+      if (truth >= 0.5) {
+        EXPECT_GE(optimistic, truth - 1e-9)
+            << "seed=" << seed << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(ProudSynopsisTest, PruningActuallyHappens) {
+  ProudSynopsisOptions options;
+  options.proud.tau = 0.9;
+  options.proud.sigma = 0.3;
+  options.synopsis_size = 16;
+  const ProudSynopsisMatcher matcher(options);
+  ProudSynopsisStats stats;
+  // Distant series with a tight epsilon: the synopsis alone must reject
+  // most of them.
+  std::size_t decisions = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    auto x = RandomSeries(64, 1000 + seed);
+    auto y = RandomSeries(64, 2000 + seed);
+    for (double& v : y) v += 3.0;  // push far away
+    const HaarSynopsis sx = matcher.Synopsize(x);
+    const HaarSynopsis sy = matcher.Synopsize(y);
+    auto r = matcher.Matches(sx, sy, x, y, 2.0, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.ValueOrDie());
+    ++decisions;
+  }
+  EXPECT_EQ(stats.pruned + stats.refined, decisions);
+  EXPECT_GT(stats.pruned, decisions / 2);
+}
+
+}  // namespace
+}  // namespace uts::wavelet

@@ -15,6 +15,7 @@ core::RunOptions BenchConfig::MakeRunOptions() const {
   options.ground_truth_k = ground_truth_k;
   options.max_queries = paper_scale ? 0 : max_queries;
   options.seed = seed;
+  options.threads = threads;
   options.proud_sigma = proud_sigma;
   options.dtw_ground_truth = dtw_ground_truth;
   options.dtw_ground_truth_band = dtw_ground_truth_band;
@@ -44,6 +45,8 @@ std::vector<std::string> SplitCommaList(const std::string& arg) {
       "  --length N       cap series length\n"
       "  --queries N      cap queries per dataset\n"
       "  --k N            ground-truth set size (default 10)\n"
+      "  --threads N      query-engine worker threads (default 1, 0 = auto);\n"
+      "                   results are bit-identical at every setting\n"
       "  --seed S         base RNG seed (default 42)\n"
       "  --out DIR        directory for CSV output (default .)\n"
       "  --datasets a,b   restrict to named datasets\n"
@@ -83,6 +86,9 @@ BenchConfig ParseArgs(int argc, char** argv, const std::string& bench_name,
     } else if (arg == "--k") {
       config.ground_truth_k = std::strtoull(next_value("--k").c_str(),
                                             nullptr, 10);
+    } else if (arg == "--threads") {
+      config.threads = std::strtoull(next_value("--threads").c_str(),
+                                     nullptr, 10);
     } else if (arg == "--seed") {
       config.seed = std::strtoull(next_value("--seed").c_str(), nullptr, 10);
     } else if (arg == "--out") {
@@ -256,12 +262,12 @@ void PrintBanner(const std::string& figure, const std::string& setting,
                  const BenchConfig& config) {
   std::printf("== %s ==\n", figure.c_str());
   std::printf("setting: %s\n", setting.c_str());
-  std::printf("scale:   %s (series<=%zu length<=%zu queries<=%zu k=%zu seed=%llu)\n\n",
+  std::printf("scale:   %s (series<=%zu length<=%zu queries<=%zu k=%zu threads=%zu seed=%llu)\n\n",
               config.paper_scale ? "paper" : "quick",
               config.paper_scale ? std::size_t(0) : config.max_series,
               config.paper_scale ? std::size_t(0) : config.max_length,
               config.paper_scale ? std::size_t(0) : config.max_queries,
-              config.ground_truth_k,
+              config.ground_truth_k, config.threads,
               static_cast<unsigned long long>(config.seed));
 }
 

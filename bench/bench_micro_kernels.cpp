@@ -2,18 +2,31 @@
 /// \brief google-benchmark microbenchmarks of the distance kernels backing
 /// the paper's timing claims (Figures 11/12): Euclidean vs DUST vs PROUD
 /// per-pair cost, DTW, MUNICH estimators, the moving-average filters, and
-/// the Haar transform.
+/// the Haar transform — plus the query-engine kernels: SoA-batched vs
+/// AoS-callback Euclidean scans and the threads-scaling sweep of the k-NN
+/// ground-truth build.
+///
+/// Every run also writes its results as JSON (default
+/// `micro_kernels.json`, override with --benchmark_out=...) so successive
+/// PRs can track the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "distance/batch.hpp"
 #include "distance/dtw.hpp"
 #include "distance/lp.hpp"
 #include "measures/dust.hpp"
 #include "measures/munich.hpp"
 #include "measures/proud.hpp"
 #include "prob/rng.hpp"
+#include "query/engine.hpp"
+#include "query/search.hpp"
+#include "ts/dataset.hpp"
 #include "ts/filters.hpp"
 #include "uncertain/perturb.hpp"
 #include "wavelet/haar.hpp"
@@ -212,6 +225,125 @@ void BM_HaarTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_HaarTransform)->Arg(256)->Arg(1024);
 
+// --- Query-engine kernels: SoA-batched vs AoS-callback ----------------------
+
+ts::Dataset RandomDataset(std::size_t n_series, std::size_t length,
+                          std::uint64_t seed) {
+  ts::Dataset d("bench");
+  for (std::size_t i = 0; i < n_series; ++i) {
+    d.Add(ts::TimeSeries(RandomSeries(length, seed + i)));
+  }
+  return d;
+}
+
+// The seed's scan: vector-of-vectors storage, one std::function dispatch
+// and one scalar Euclidean (with sqrt) per candidate.
+void BM_ScanEuclideanCallbackAoS(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const ts::TimeSeries& query = d[0];
+  const query::DistanceToFn distance_to = [&](std::size_t i) {
+    return distance::Euclidean(query.values(), d[i].values());
+  };
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = distance_to(i);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ScanEuclideanCallbackAoS)->Arg(64)->Arg(290)->Arg(1024);
+
+// The engine's scan: contiguous SoA rows through the blocked batch kernel.
+void BM_ScanEuclideanBatchSoA(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    distance::SquaredEuclideanBatch(store.row(0), store, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ScanEuclideanBatchSoA)->Arg(64)->Arg(290)->Arg(1024);
+
+// The all-pairs building block: kQueryBlock queries share each candidate
+// row load, overlapping the per-pair FP-add chains.
+void BM_ScanEuclideanMultiQueryBatchSoA(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> out(distance::kQueryBlock * n);
+  for (auto _ : state) {
+    distance::SquaredEuclideanMultiQueryBatch(store, 0,
+                                              distance::kQueryBlock, 0, n,
+                                              out, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * distance::kQueryBlock * n *
+                          len);
+}
+BENCHMARK(BM_ScanEuclideanMultiQueryBatchSoA)->Arg(64)->Arg(290)->Arg(1024);
+
+void BM_ScanEuclideanEarlyAbandonBatchSoA(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> full(n);
+  distance::SquaredEuclideanBatch(store.row(0), store, full);
+  std::vector<double> sorted = full;
+  std::sort(sorted.begin(), sorted.end());
+  const double threshold_sq = sorted[n / 10];  // keep ~10% of candidates
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    distance::SquaredEuclideanEarlyAbandonBatch(store.row(0), store,
+                                                threshold_sq, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ScanEuclideanEarlyAbandonBatchSoA)->Arg(290);
+
+// End-to-end 10-NN ground-truth build (every series as a query), the
+// dominant cost of the paper's evaluation loop — seed path vs engine.
+void BM_GroundTruthKnnSeedPath(benchmark::State& state) {
+  const ts::Dataset d = RandomDataset(256, 128, 200);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < d.size(); ++q) {
+      const ts::TimeSeries& query = d[q];
+      benchmark::DoNotOptimize(query::KNearest(
+          d.size(), q, 10, [&](std::size_t i) {
+            return distance::Euclidean(query.values(), d[i].values());
+          }));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * d.size() * d.size() * 128);
+}
+BENCHMARK(BM_GroundTruthKnnSeedPath)->Unit(benchmark::kMillisecond);
+
+// Threads-scaling sweep of the same build on the engine (Arg = threads).
+void BM_GroundTruthKnnEngineThreads(benchmark::State& state) {
+  const ts::Dataset d = RandomDataset(256, 128, 200);
+  query::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  const query::DistanceMatrixEngine engine(d, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AllKNearestEuclidean(10));
+  }
+  state.SetItemsProcessed(state.iterations() * d.size() * d.size() * 128);
+}
+BENCHMARK(BM_GroundTruthKnnEngineThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_PerturbSeries(benchmark::State& state) {
   const ts::TimeSeries exact(RandomSeries(290, 28));
   const auto spec = uncertain::ErrorSpec::MixedSigma(prob::ErrorKind::kNormal);
@@ -227,11 +359,21 @@ BENCHMARK(BM_PerturbSeries);
 int main(int argc, char** argv) {
   // Tolerate the harness-style flags the bench loop passes uniformly.
   std::vector<char*> filtered;
+  bool has_out = false;
+  bool has_format = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick" || arg == "--paper") continue;
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (arg.rfind("--benchmark_out_format=", 0) == 0) has_format = true;
     filtered.push_back(argv[i]);
   }
+  // Always leave an artifact behind so perf is trackable across PRs; never
+  // override flags the caller passed explicitly.
+  std::string default_out = "--benchmark_out=micro_kernels.json";
+  std::string default_fmt = "--benchmark_out_format=json";
+  if (!has_out) filtered.push_back(default_out.data());
+  if (!has_format) filtered.push_back(default_fmt.data());
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());
   benchmark::RunSpecifiedBenchmarks();

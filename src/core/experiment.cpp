@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/timer.hpp"
+#include "query/engine.hpp"
 #include "query/search.hpp"
 #include "uncertain/perturb.hpp"
 
@@ -80,19 +81,33 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
   distance::DtwOptions gt_dtw_options;
   gt_dtw_options.band_radius = options.dtw_ground_truth_band;
 
+  // Ground truth: the k nearest under the exact Euclidean distance (or
+  // exact DTW when requested). "Distance thresholds are chosen such that
+  // in the ground truth set they return exactly 10 time series." The
+  // all-pairs sweep runs on the parallel engine — Euclidean over the SoA
+  // store (parallel over queries), DTW over the pure per-pair callback
+  // (parallel over candidates; small grain since one DTW is O(n²)).
+  query::EngineOptions engine_options;
+  engine_options.threads = options.threads;
+  if (options.dtw_ground_truth) engine_options.grain = 16;
+  const query::DistanceMatrixEngine engine(exact, engine_options);
+
+  std::vector<std::vector<query::Neighbor>> ground_truth;
+  if (options.dtw_ground_truth) {
+    ground_truth.resize(num_queries);
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      ground_truth[qi] =
+          engine.KNearest(exact.size(), qi, k, [&](std::size_t i) {
+            return distance::Dtw(exact[qi].values(), exact[i].values(),
+                                 gt_dtw_options);
+          });
+    }
+  } else {
+    ground_truth = engine.AllKNearestEuclidean(k, num_queries);
+  }
+
   for (std::size_t qi = 0; qi < num_queries; ++qi) {
-    // Ground truth: the k nearest under the exact Euclidean distance (or
-    // exact DTW when requested). "Distance thresholds are chosen such that
-    // in the ground truth set they return exactly 10 time series."
-    const auto neighbors =
-        options.dtw_ground_truth
-            ? query::KNearest(exact.size(), qi, k,
-                              [&](std::size_t i) {
-                                return distance::Dtw(exact[qi].values(),
-                                                     exact[i].values(),
-                                                     gt_dtw_options);
-                              })
-            : query::KNearestEuclidean(exact, qi, k);
+    const auto& neighbors = ground_truth[qi];
     assert(neighbors.size() == k);
     std::vector<std::size_t> relevant;
     relevant.reserve(k);

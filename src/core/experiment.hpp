@@ -52,6 +52,11 @@ struct RunOptions {
   /// Perturbation / estimator base seed.
   std::uint64_t seed = 42;
 
+  /// Worker threads for the ground-truth / calibration distance sweeps
+  /// (query::DistanceMatrixEngine): 1 = sequential, 0 = hardware
+  /// concurrency. Results are bit-identical at every setting.
+  std::size_t threads = 1;
+
   /// Build the repeated-observations dataset too (required iff a MUNICH
   /// matcher participates) with this many samples per timestamp (the
   /// paper's Figure 4 uses 5). 0 disables.

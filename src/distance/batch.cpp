@@ -1,0 +1,163 @@
+#include "distance/batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uts::distance {
+
+namespace {
+
+/// Apply `row_kernel(row_pointer)` to rows [row_begin, row_end), streaming
+/// the store in row order. out[0] corresponds to row_begin.
+template <typename RowKernel>
+void ForEachRow(const ts::SoaStore& store, std::size_t row_begin,
+                std::size_t row_end, std::span<double> out,
+                const RowKernel& row_kernel) {
+  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(out.size() == row_end - row_begin);
+  const std::size_t stride = store.stride();
+  const double* base = store.data();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    out[r - row_begin] = row_kernel(base + r * stride);
+  }
+}
+
+}  // namespace
+
+void SquaredEuclideanBatchRange(std::span<const double> query,
+                                const ts::SoaStore& store,
+                                std::size_t row_begin, std::size_t row_end,
+                                std::span<double> out) {
+  assert(query.size() == store.stride());
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  ForEachRow(store, row_begin, row_end, out, [q, n](const double* row) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double d = q[t] - row[t];
+      sum += d * d;
+    }
+    return sum;
+  });
+}
+
+void SquaredEuclideanBatch(std::span<const double> query,
+                           const ts::SoaStore& store, std::span<double> out) {
+  SquaredEuclideanBatchRange(query, store, 0, store.rows(), out);
+}
+
+void EuclideanBatchRange(std::span<const double> query,
+                         const ts::SoaStore& store, std::size_t row_begin,
+                         std::size_t row_end, std::span<double> out) {
+  SquaredEuclideanBatchRange(query, store, row_begin, row_end, out);
+  for (double& v : out) v = std::sqrt(v);
+}
+
+void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
+                    std::span<double> out) {
+  EuclideanBatchRange(query, store, 0, store.rows(), out);
+}
+
+void LpBatch(std::span<const double> query, const ts::SoaStore& store,
+             double p, std::span<double> out) {
+  assert(query.size() == store.stride());
+  assert(out.size() == store.rows());
+  assert(p >= 1.0);
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  if (p == 2.0) {
+    EuclideanBatch(query, store, out);
+    return;
+  }
+  if (p == 1.0) {
+    ForEachRow(store, 0, store.rows(), out, [q, n](const double* row) {
+      double sum = 0.0;
+      for (std::size_t t = 0; t < n; ++t) sum += std::fabs(q[t] - row[t]);
+      return sum;
+    });
+    return;
+  }
+  ForEachRow(store, 0, store.rows(), out, [q, n, p](const double* row) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      sum += std::pow(std::fabs(q[t] - row[t]), p);
+    }
+    return std::pow(sum, 1.0 / p);
+  });
+}
+
+void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
+                                     std::size_t query_begin,
+                                     std::size_t query_end,
+                                     std::size_t row_begin,
+                                     std::size_t row_end,
+                                     std::span<double> out,
+                                     std::size_t out_stride) {
+  assert(query_begin <= query_end && query_end <= store.rows());
+  assert(row_begin <= row_end && row_end <= store.rows());
+  const std::size_t rows = row_end - row_begin;
+  assert(out_stride >= rows);
+  assert(query_begin == query_end ||
+         out.size() >= (query_end - query_begin - 1) * out_stride + rows);
+  const std::size_t stride = store.stride();
+  const double* base = store.data();
+
+  std::size_t q = query_begin;
+  for (; q + kQueryBlock <= query_end; q += kQueryBlock) {
+    const double* q0 = base + q * stride;
+    const double* q1 = q0 + stride;
+    const double* q2 = q1 + stride;
+    const double* q3 = q2 + stride;
+    double* o0 = out.data() + (q - query_begin) * out_stride;
+    double* o1 = o0 + out_stride;
+    double* o2 = o1 + out_stride;
+    double* o3 = o2 + out_stride;
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const double* row = base + r * stride;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t t = 0; t < stride; ++t) {
+        const double v = row[t];
+        const double d0 = q0[t] - v;
+        s0 += d0 * d0;
+        const double d1 = q1[t] - v;
+        s1 += d1 * d1;
+        const double d2 = q2[t] - v;
+        s2 += d2 * d2;
+        const double d3 = q3[t] - v;
+        s3 += d3 * d3;
+      }
+      o0[r - row_begin] = s0;
+      o1[r - row_begin] = s1;
+      o2[r - row_begin] = s2;
+      o3[r - row_begin] = s3;
+    }
+  }
+  for (; q < query_end; ++q) {
+    SquaredEuclideanBatchRange(
+        store.row(q), store, row_begin, row_end,
+        out.subspan((q - query_begin) * out_stride, rows));
+  }
+}
+
+void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
+                                       const ts::SoaStore& store,
+                                       double threshold_sq,
+                                       std::span<double> out) {
+  assert(query.size() == store.stride());
+  assert(out.size() == store.rows());
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  ForEachRow(store, 0, store.rows(), out,
+             [q, n, threshold_sq](const double* row) {
+               double sum = 0.0;
+               for (std::size_t t = 0; t < n; ++t) {
+                 const double d = q[t] - row[t];
+                 sum += d * d;
+                 if (sum > threshold_sq) return sum;
+               }
+               return sum;
+             });
+}
+
+}  // namespace uts::distance

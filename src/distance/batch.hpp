@@ -1,0 +1,93 @@
+/// \file batch.hpp
+/// \brief Blocked batch distance kernels over a contiguous SoA store.
+///
+/// One query is compared against every row of a `ts::SoaStore` in a single
+/// streaming pass. Per pair, values are accumulated in exactly the same
+/// order as the scalar kernels in lp.hpp (one accumulator, ascending
+/// timestamp), so each batch result is bit-identical to calling the
+/// corresponding scalar kernel row by row (see the per-kernel docs) — that
+/// identity is what the parallel query engine's determinism guarantee
+/// rests on. The speedup
+/// comes purely from the layout (no per-series pointer chasing, no
+/// per-candidate `std::function` dispatch) and from deferring the `sqrt`
+/// until a caller actually needs a metric value.
+
+#ifndef UTS_DISTANCE_BATCH_HPP_
+#define UTS_DISTANCE_BATCH_HPP_
+
+#include <cstddef>
+#include <span>
+
+#include "ts/soa_store.hpp"
+
+namespace uts::distance {
+
+/// \brief out[i] = squared Euclidean distance from `query` to row i.
+/// Preconditions: query.size() == store.stride(), out.size() == store.rows().
+void SquaredEuclideanBatch(std::span<const double> query,
+                           const ts::SoaStore& store, std::span<double> out);
+
+/// \brief Row-range variant: out[i - row_begin] covers rows
+/// [row_begin, row_end). This is the unit the parallel engine hands to one
+/// worker chunk. Precondition: out.size() == row_end - row_begin.
+void SquaredEuclideanBatchRange(std::span<const double> query,
+                                const ts::SoaStore& store,
+                                std::size_t row_begin, std::size_t row_end,
+                                std::span<double> out);
+
+/// \brief out[i] = Euclidean distance from `query` to row i (sqrt applied).
+void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
+                    std::span<double> out);
+
+/// \brief Row-range variant of EuclideanBatch.
+void EuclideanBatchRange(std::span<const double> query,
+                         const ts::SoaStore& store, std::size_t row_begin,
+                         std::size_t row_end, std::span<double> out);
+
+/// \brief out[i] = Minkowski distance with exponent p >= 1 from `query` to
+/// row i. p = 1 and p = 2 take the Manhattan / Euclidean fast paths and
+/// are bit-identical to those scalar kernels (not to `Minkowski(a, b, p)`,
+/// whose pow-based accumulation may differ in the last ulp); other p match
+/// `Minkowski` exactly.
+void LpBatch(std::span<const double> query, const ts::SoaStore& store,
+             double p, std::span<double> out);
+
+/// \brief Queries per block of the multi-query kernel: independent
+/// accumulator chains that overlap the FP-add latency a single strictly
+/// ordered per-pair sum cannot hide.
+inline constexpr std::size_t kQueryBlock = 4;
+
+/// \brief All-pairs building block: squared Euclidean distances from
+/// queries [query_begin, query_end) (rows of the same store) to candidate
+/// rows [row_begin, row_end).
+/// out[(q - query_begin) * out_stride + (r - row_begin)] is the distance of
+/// pair (q, r); `out_stride` is the pitch between consecutive query rows of
+/// `out` (pass row_end - row_begin for a dense block, or a full matrix
+/// pitch to scatter a triangle into it). Each candidate row is loaded once
+/// per kQueryBlock queries, and every pair's sum still accumulates in
+/// ascending timestamp order with one accumulator — bit-identical to
+/// SquaredEuclidean(row(q), row(r)).
+void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
+                                     std::size_t query_begin,
+                                     std::size_t query_end,
+                                     std::size_t row_begin,
+                                     std::size_t row_end,
+                                     std::span<double> out,
+                                     std::size_t out_stride);
+
+/// \brief Early-abandoning batch: out[i] is the exact squared distance when
+/// it is <= threshold_sq, otherwise the first running sum that exceeded
+/// threshold_sq (a value > threshold_sq). Because partial sums of squares
+/// are nondecreasing, any decision of the form `out[i] <= t` with
+/// t <= threshold_sq is exact. Not yet wired into the engine's query paths
+/// (they report metric values, which an abandoned sum cannot provide);
+/// available for squared-threshold pruning and tracked by the
+/// microbenchmarks.
+void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
+                                       const ts::SoaStore& store,
+                                       double threshold_sq,
+                                       std::span<double> out);
+
+}  // namespace uts::distance
+
+#endif  // UTS_DISTANCE_BATCH_HPP_

@@ -1,0 +1,290 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "distance/batch.hpp"
+#include "distance/lp.hpp"
+#include "exec/parallel_for.hpp"
+
+namespace uts::query {
+
+namespace detail {
+
+void BoundedMotifHeap::Push(const MotifPair& pair) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back(pair);
+    std::push_heap(heap_.begin(), heap_.end(), Less);
+    return;
+  }
+  if (Less(pair, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Less);
+    heap_.back() = pair;
+    std::push_heap(heap_.begin(), heap_.end(), Less);
+  }
+}
+
+std::vector<MotifPair> BoundedMotifHeap::TakeSorted() {
+  std::sort(heap_.begin(), heap_.end(), Less);
+  return std::move(heap_);
+}
+
+std::vector<Neighbor> SelectKNearest(std::span<const double> distances,
+                                     std::size_t exclude, std::size_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(distances.size());
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    if (i == exclude) continue;
+    all.push_back({i, distances[i]});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace detail
+
+DistanceMatrixEngine::DistanceMatrixEngine(const ts::Dataset& dataset,
+                                           EngineOptions options)
+    : dataset_(&dataset), options_(options), store_(dataset.Packed()) {
+  if (options_.grain == 0) options_.grain = 1;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads);
+}
+
+DistanceMatrixEngine::~DistanceMatrixEngine() = default;
+
+std::size_t DistanceMatrixEngine::threads() const {
+  return pool_ ? pool_->size() : 1;
+}
+
+std::size_t DistanceMatrixEngine::MotifGrain(std::size_t n) const {
+  const std::size_t t = threads();
+  if (t <= 1) return options_.grain;
+  return std::clamp<std::size_t>(n / (16 * t), 1, options_.grain);
+}
+
+// --- Generic callback paths --------------------------------------------------
+
+namespace {
+
+/// Indices (ascending, skipping `exclude`) whose value satisfies `keep`.
+template <typename Keep>
+std::vector<std::size_t> CollectMatches(std::span<const double> values,
+                                        std::size_t exclude,
+                                        const Keep& keep) {
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i == exclude) continue;
+    if (keep(values[i])) matches.push_back(i);
+  }
+  return matches;
+}
+
+}  // namespace
+
+std::vector<double> DistanceMatrixEngine::ComputeDense(
+    std::size_t n, std::size_t exclude, const DistanceToFn& fn) const {
+  std::vector<double> values(n, 0.0);
+  exec::ParallelFor(pool_.get(), n, options_.grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (i == exclude) continue;
+                        values[i] = fn(i);
+                      }
+                    });
+  return values;
+}
+
+std::vector<Neighbor> DistanceMatrixEngine::KNearest(
+    std::size_t n, std::size_t exclude, std::size_t k,
+    const DistanceToFn& distance_to) const {
+  return detail::SelectKNearest(ComputeDense(n, exclude, distance_to),
+                                exclude, k);
+}
+
+std::vector<std::size_t> DistanceMatrixEngine::RangeSearch(
+    std::size_t n, std::size_t exclude, double epsilon,
+    const DistanceToFn& distance_to) const {
+  return CollectMatches(ComputeDense(n, exclude, distance_to), exclude,
+                        [epsilon](double d) { return d <= epsilon; });
+}
+
+std::vector<std::size_t> DistanceMatrixEngine::ProbabilisticRangeSearch(
+    std::size_t n, std::size_t exclude, double tau,
+    const MatchProbabilityFn& probability_of) const {
+  return CollectMatches(ComputeDense(n, exclude, probability_of), exclude,
+                        [tau](double p) { return p >= tau; });
+}
+
+std::vector<MotifPair> DistanceMatrixEngine::TopKMotifs(
+    std::size_t n, std::size_t k, const PairwiseDistanceFn& distance) const {
+  const std::size_t grain = MotifGrain(n);
+  std::vector<std::vector<MotifPair>> locals(exec::NumChunks(n, grain));
+  exec::ParallelFor(pool_.get(), n, grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      detail::BoundedMotifHeap heap(k);
+                      for (std::size_t a = begin; a < end; ++a) {
+                        for (std::size_t b = a + 1; b < n; ++b) {
+                          heap.Push({a, b, distance(a, b)});
+                        }
+                      }
+                      locals[begin / grain] = heap.TakeSorted();
+                    });
+  detail::BoundedMotifHeap merged(k);
+  for (const auto& local : locals) {
+    for (const MotifPair& pair : local) merged.Push(pair);
+  }
+  return merged.TakeSorted();
+}
+
+// --- Euclidean batched paths -------------------------------------------------
+
+std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
+    std::size_t query_index, std::size_t k) const {
+  const std::size_t n = dataset_->size();
+  assert(query_index < n);
+  if (store_ == nullptr) {
+    const ts::TimeSeries& query = (*dataset_)[query_index];
+    return KNearest(n, query_index, k, [&](std::size_t i) {
+      return distance::Euclidean(query.values(), (*dataset_)[i].values());
+    });
+  }
+  const std::span<const double> query = store_->row(query_index);
+  std::vector<double> distances(n, 0.0);
+  exec::ParallelFor(
+      pool_.get(), n, options_.grain,
+      [&](std::size_t begin, std::size_t end) {
+        distance::EuclideanBatchRange(
+            query, *store_, begin, end,
+            std::span<double>(distances).subspan(begin, end - begin));
+      });
+  return detail::SelectKNearest(distances, query_index, k);
+}
+
+std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
+    std::size_t k, std::size_t num_queries) const {
+  const std::size_t n = dataset_->size();
+  const std::size_t queries =
+      num_queries == 0 ? n : std::min(num_queries, n);
+  std::vector<std::vector<Neighbor>> out(queries);
+  if (store_ == nullptr) {
+    for (std::size_t q = 0; q < queries; ++q) out[q] = KNearestEuclidean(q, k);
+    return out;
+  }
+  // When every series is a query and the full matrix fits in memory,
+  // exploit symmetry: (a-b) is exactly -(b-a) in IEEE arithmetic, so
+  // d(q,c)² is bitwise d(c,q)² — compute the upper triangle only and
+  // mirror the lower. Halves the distance work of the ground-truth build.
+  constexpr std::size_t kMaxMatrixEntries = std::size_t{1} << 24;  // 128 MiB
+  if (queries == n && n * n <= kMaxMatrixEntries) {
+    std::vector<double> matrix(n * n, 0.0);
+    // Phase 1: rows of the upper trapezoid, per query block.
+    exec::ParallelFor(
+        pool_.get(), n, /*grain=*/distance::kQueryBlock,
+        [&](std::size_t begin, std::size_t end) {
+          distance::SquaredEuclideanMultiQueryBatch(
+              *store_, begin, end, begin, n,
+              std::span<double>(matrix).subspan(begin * n + begin), n);
+        });
+    // Phase 2: mirror the lower triangle (ParallelFor is a barrier, so the
+    // sources are complete).
+    exec::ParallelFor(pool_.get(), n, /*grain=*/64,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t q = begin; q < end; ++q) {
+                          double* row = matrix.data() + q * n;
+                          for (std::size_t c = 0; c < q; ++c) {
+                            row[c] = matrix[c * n + q];
+                          }
+                        }
+                      });
+    // Phase 3: sqrt each owned row in place (selection must order final
+    // metric values, like the sequential reference), then select.
+    exec::ParallelFor(
+        pool_.get(), n, /*grain=*/distance::kQueryBlock,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t q = begin; q < end; ++q) {
+            double* row = matrix.data() + q * n;
+            for (std::size_t c = 0; c < n; ++c) row[c] = std::sqrt(row[c]);
+            out[q] = detail::SelectKNearest(
+                std::span<const double>(row, n), q, k);
+          }
+        });
+    return out;
+  }
+
+  // Streaming fallback (query prefix, or matrix too large): parallelize
+  // over query blocks; the multi-query kernel loads each candidate row once
+  // per kQueryBlock queries, and each chunk writes only its own out[q]
+  // slots.
+  exec::ParallelFor(
+      pool_.get(), queries, /*grain=*/distance::kQueryBlock,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> block((end - begin) * n, 0.0);
+        distance::SquaredEuclideanMultiQueryBatch(*store_, begin, end, 0, n,
+                                                  block, n);
+        for (double& v : block) v = std::sqrt(v);
+        for (std::size_t q = begin; q < end; ++q) {
+          out[q] = detail::SelectKNearest(
+              std::span<const double>(block).subspan((q - begin) * n, n), q,
+              k);
+        }
+      });
+  return out;
+}
+
+std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
+    std::size_t query_index, double epsilon) const {
+  const std::size_t n = dataset_->size();
+  assert(query_index < n);
+  if (store_ == nullptr) {
+    const ts::TimeSeries& query = (*dataset_)[query_index];
+    return RangeSearch(n, query_index, epsilon, [&](std::size_t i) {
+      return distance::Euclidean(query.values(), (*dataset_)[i].values());
+    });
+  }
+  const std::span<const double> query = store_->row(query_index);
+  std::vector<double> distances(n, 0.0);
+  exec::ParallelFor(
+      pool_.get(), n, options_.grain,
+      [&](std::size_t begin, std::size_t end) {
+        distance::EuclideanBatchRange(
+            query, *store_, begin, end,
+            std::span<double>(distances).subspan(begin, end - begin));
+      });
+  return CollectMatches(distances, query_index,
+                        [epsilon](double d) { return d <= epsilon; });
+}
+
+std::vector<MotifPair> DistanceMatrixEngine::TopKMotifsEuclidean(
+    std::size_t k) const {
+  const std::size_t n = dataset_->size();
+  if (store_ == nullptr) {
+    return TopKMotifs(n, k, [&](std::size_t a, std::size_t b) {
+      return distance::Euclidean((*dataset_)[a].values(),
+                                 (*dataset_)[b].values());
+    });
+  }
+  // Streams rows of the SoA store through the generic chunked heap/merge;
+  // each pair is ranked by its final metric value, exactly like the
+  // sequential reference.
+  return TopKMotifs(n, k, [this](std::size_t a, std::size_t b) {
+    return std::sqrt(
+        distance::SquaredEuclidean(store_->row(a), store_->row(b)));
+  });
+}
+
+}  // namespace uts::query

@@ -1,0 +1,174 @@
+/// \file engine.hpp
+/// \brief The batched, multi-threaded query-execution engine.
+///
+/// `DistanceMatrixEngine` answers the query shapes the paper's evaluation
+/// is built from — k-NN lists (10-NN ground truth, Section 4.1.2), range
+/// queries RQ(Q,C,ε) (Eq. 1), probabilistic range queries PRQ(Q,C,ε,τ)
+/// (Eq. 2) and top-k motif pairs (Section 3.3) — over parallel blocks of
+/// candidates scheduled on an `exec::ThreadPool`.
+///
+/// Determinism guarantee: results are bit-identical to the sequential
+/// reference path at every thread count. Three ingredients make that hold:
+///
+///  1. candidate ranges are a pure blocked partition of the index space
+///     (exec::ParallelFor), never timing-dependent;
+///  2. each worker writes only pre-allocated slots of the output buffer
+///     owned by its range — there is no shared accumulator;
+///  3. reductions (k-NN selection, motif top-k merge, match collection) run
+///     over the completed buffers in ascending index order with the same
+///     (distance, index) tie-break comparator as the legacy sequential
+///     code.
+///
+/// Euclidean queries stream the dataset's contiguous SoA mirror
+/// (ts::SoaStore) through the blocked kernels of distance/batch.hpp; the
+/// callback overloads parallelize arbitrary thread-safe distances (e.g. the
+/// exact-DTW ground truth).
+
+#ifndef UTS_QUERY_ENGINE_HPP_
+#define UTS_QUERY_ENGINE_HPP_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "query/search.hpp"
+#include "ts/dataset.hpp"
+
+namespace uts::query {
+
+/// \brief Execution configuration of a DistanceMatrixEngine.
+struct EngineOptions {
+  /// Worker threads; 1 = run inline on the caller (sequential reference
+  /// path), 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 1;
+
+  /// Candidate rows per parallel chunk of a single query's scan.
+  std::size_t grain = 256;
+};
+
+/// \brief Batched parallel k-NN / RQ / PRQ / motif execution over one
+/// dataset. The engine borrows the dataset; it must outlive the engine and
+/// not be mutated while the engine is in use.
+class DistanceMatrixEngine {
+ public:
+  explicit DistanceMatrixEngine(const ts::Dataset& dataset,
+                                EngineOptions options = {});
+  ~DistanceMatrixEngine();
+
+  DistanceMatrixEngine(const DistanceMatrixEngine&) = delete;
+  DistanceMatrixEngine& operator=(const DistanceMatrixEngine&) = delete;
+
+  /// The dataset queries run against.
+  const ts::Dataset& dataset() const { return *dataset_; }
+
+  /// Resolved worker-thread count (>= 1).
+  std::size_t threads() const;
+
+  /// True iff the Euclidean paths run on the contiguous SoA store (uniform
+  /// length); otherwise they fall back to per-series span callbacks.
+  bool batched() const { return store_ != nullptr; }
+
+  /// \name Euclidean queries (batched SoA kernels)
+  /// \{
+
+  /// k nearest neighbors of series `query_index`, self-match excluded;
+  /// sorted ascending by distance, ties by index.
+  std::vector<Neighbor> KNearestEuclidean(std::size_t query_index,
+                                          std::size_t k) const;
+
+  /// k-NN lists of the first `num_queries` series (0 = every series) — the
+  /// paper's ground-truth build, parallelized over queries.
+  /// out[q] == KNearestEuclidean(q, k); candidates always span the whole
+  /// dataset.
+  std::vector<std::vector<Neighbor>> AllKNearestEuclidean(
+      std::size_t k, std::size_t num_queries = 0) const;
+
+  /// RQ(Q, C, ε): indices with distance <= epsilon, self-match excluded,
+  /// ascending.
+  std::vector<std::size_t> RangeSearchEuclidean(std::size_t query_index,
+                                                double epsilon) const;
+
+  /// Top-k closest pairs under Euclidean distance; bounded-memory (k-sized
+  /// heap per worker chunk), sorted ascending with (a, b) tie-breaks.
+  std::vector<MotifPair> TopKMotifsEuclidean(std::size_t k) const;
+  /// \}
+
+  /// \name Generic callback queries
+  /// The callback must be thread-safe when threads() > 1; it is never
+  /// invoked for the excluded index.
+  /// \{
+  std::vector<Neighbor> KNearest(std::size_t n, std::size_t exclude,
+                                 std::size_t k,
+                                 const DistanceToFn& distance_to) const;
+  std::vector<std::size_t> RangeSearch(std::size_t n, std::size_t exclude,
+                                       double epsilon,
+                                       const DistanceToFn& distance_to) const;
+  std::vector<std::size_t> ProbabilisticRangeSearch(
+      std::size_t n, std::size_t exclude, double tau,
+      const MatchProbabilityFn& probability_of) const;
+  std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,
+                                    const PairwiseDistanceFn& distance) const;
+  /// \}
+
+ private:
+  /// Chunk size of the triangular motif loops: contiguous a-chunks are
+  /// front-heavy (~grain·n pairs in the first, ~grain²/2 in the last), so
+  /// parallel runs shrink the grain until the largest chunk is a small
+  /// fraction of the total and the pool's FIFO queue can balance the tail.
+  std::size_t MotifGrain(std::size_t n) const;
+
+  /// Evaluate fn(i) for every i in [0, n) except `exclude` into a dense
+  /// buffer (slot `exclude` stays 0), in parallel chunks. The single fill
+  /// loop behind every callback query path.
+  std::vector<double> ComputeDense(std::size_t n, std::size_t exclude,
+                                   const DistanceToFn& fn) const;
+
+  const ts::Dataset* dataset_;
+  EngineOptions options_;
+  /// Co-owned snapshot of the dataset's SoA mirror: stays valid even if
+  /// the dataset is mutated (and re-packed) after engine construction.
+  std::shared_ptr<const ts::SoaStore> store_;
+  std::unique_ptr<exec::ThreadPool> pool_;  ///< Null when threads == 1.
+};
+
+namespace detail {
+
+/// \brief Bounded selector of the k smallest MotifPairs under the total
+/// order (distance, a, b). Replaces the old materialize-all-pairs +
+/// partial_sort motif search with O(k) memory.
+class BoundedMotifHeap {
+ public:
+  explicit BoundedMotifHeap(std::size_t k) : k_(k) {}
+
+  static bool Less(const MotifPair& x, const MotifPair& y) {
+    if (x.distance != y.distance) return x.distance < y.distance;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+
+  void Push(const MotifPair& pair);
+
+  /// The retained pairs, sorted ascending; the heap is left empty.
+  std::vector<MotifPair> TakeSorted();
+
+ private:
+  std::size_t k_;
+  std::vector<MotifPair> heap_;  ///< Max-heap under Less.
+};
+
+/// \brief Select the k nearest from a dense distance buffer (one slot per
+/// candidate index; slot `exclude` is ignored), with the legacy
+/// (distance, index) comparator. Distances must be final metric values —
+/// selecting on squared values would order sqrt-rounding collisions
+/// (distinct squares whose roots round to the same double) differently
+/// than the sequential reference.
+std::vector<Neighbor> SelectKNearest(std::span<const double> distances,
+                                     std::size_t exclude, std::size_t k);
+
+}  // namespace detail
+
+}  // namespace uts::query
+
+#endif  // UTS_QUERY_ENGINE_HPP_

@@ -1,30 +1,26 @@
 #include "query/search.hpp"
 
-#include <algorithm>
+#include <vector>
 
-#include "distance/lp.hpp"
+#include "query/engine.hpp"
 
 namespace uts::query {
+
+// The callback overloads are the sequential reference path. They share the
+// engine's selection internals (detail::SelectKNearest, BoundedMotifHeap),
+// so the parallel engine is bit-identical to them by construction; the
+// callbacks themselves are invoked in ascending index order and need not be
+// thread-safe here.
 
 std::vector<Neighbor> KNearest(std::size_t n, std::size_t exclude,
                                std::size_t k,
                                const DistanceToFn& distance_to) {
-  std::vector<Neighbor> all;
-  all.reserve(n);
+  std::vector<double> distances(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     if (i == exclude) continue;
-    all.push_back({i, distance_to(i)});
+    distances[i] = distance_to(i);
   }
-  const std::size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
-                    all.end(), [](const Neighbor& a, const Neighbor& b) {
-                      if (a.distance != b.distance) {
-                        return a.distance < b.distance;
-                      }
-                      return a.index < b.index;
-                    });
-  all.resize(take);
-  return all;
+  return detail::SelectKNearest(distances, exclude, k);
 }
 
 std::vector<std::size_t> RangeSearch(std::size_t n, std::size_t exclude,
@@ -36,24 +32,6 @@ std::vector<std::size_t> RangeSearch(std::size_t n, std::size_t exclude,
     if (distance_to(i) <= epsilon) matches.push_back(i);
   }
   return matches;
-}
-
-std::vector<Neighbor> KNearestEuclidean(const ts::Dataset& dataset,
-                                        std::size_t query_index,
-                                        std::size_t k) {
-  const auto& query = dataset[query_index];
-  return KNearest(dataset.size(), query_index, k, [&](std::size_t i) {
-    return distance::Euclidean(query.values(), dataset[i].values());
-  });
-}
-
-std::vector<std::size_t> RangeSearchEuclidean(const ts::Dataset& dataset,
-                                              std::size_t query_index,
-                                              double epsilon) {
-  const auto& query = dataset[query_index];
-  return RangeSearch(dataset.size(), query_index, epsilon, [&](std::size_t i) {
-    return distance::Euclidean(query.values(), dataset[i].values());
-  });
 }
 
 std::vector<std::size_t> ProbabilisticRangeSearch(
@@ -69,31 +47,36 @@ std::vector<std::size_t> ProbabilisticRangeSearch(
 
 std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,
                                   const PairwiseDistanceFn& distance) {
-  std::vector<MotifPair> pairs;
-  pairs.reserve(n * (n - 1) / 2);
+  // Bounded k-sized max-heap: O(k) memory instead of materializing all
+  // n(n-1)/2 pairs before a partial_sort.
+  detail::BoundedMotifHeap heap(k);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
-      pairs.push_back({a, b, distance(a, b)});
+      heap.Push({a, b, distance(a, b)});
     }
   }
-  const std::size_t take = std::min(k, pairs.size());
-  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<long>(take),
-                    pairs.end(), [](const MotifPair& x, const MotifPair& y) {
-                      if (x.distance != y.distance) {
-                        return x.distance < y.distance;
-                      }
-                      if (x.a != y.a) return x.a < y.a;
-                      return x.b < y.b;
-                    });
-  pairs.resize(take);
-  return pairs;
+  return heap.TakeSorted();
+}
+
+// The Euclidean conveniences route through a sequential DistanceMatrixEngine
+// so they use the same batched SoA kernels as the parallel path.
+
+std::vector<Neighbor> KNearestEuclidean(const ts::Dataset& dataset,
+                                        std::size_t query_index,
+                                        std::size_t k) {
+  return DistanceMatrixEngine(dataset).KNearestEuclidean(query_index, k);
+}
+
+std::vector<std::size_t> RangeSearchEuclidean(const ts::Dataset& dataset,
+                                              std::size_t query_index,
+                                              double epsilon) {
+  return DistanceMatrixEngine(dataset).RangeSearchEuclidean(query_index,
+                                                            epsilon);
 }
 
 std::vector<MotifPair> TopKMotifsEuclidean(const ts::Dataset& dataset,
                                            std::size_t k) {
-  return TopKMotifs(dataset.size(), k, [&](std::size_t a, std::size_t b) {
-    return distance::Euclidean(dataset[a].values(), dataset[b].values());
-  });
+  return DistanceMatrixEngine(dataset).TopKMotifsEuclidean(k);
 }
 
 }  // namespace uts::query

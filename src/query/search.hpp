@@ -5,6 +5,13 @@
 /// (Eq. 1) over exact distances, and the generic machinery that the
 /// evaluation methodology builds on — the 10-NN ground-truth sets and the
 /// 10th-nearest-neighbor threshold calibration of Section 4.1.2.
+///
+/// These free functions are the sequential reference API. The Euclidean
+/// conveniences route through a single-threaded query::DistanceMatrixEngine
+/// (engine.hpp) and therefore use the same batched SoA kernels as the
+/// parallel path; the callback overloads share the engine's selection
+/// internals, so engine results are bit-identical to them at any thread
+/// count.
 
 #ifndef UTS_QUERY_SEARCH_HPP_
 #define UTS_QUERY_SEARCH_HPP_
@@ -72,8 +79,9 @@ struct MotifPair {
 /// \brief Top-k motif search — "DUST ... can be used to answer top-k
 /// nearest neighbor queries, or perform top-k motif search" (Section 3.3):
 /// the k closest pairs in a collection under an arbitrary pairwise
-/// distance. O(n²) distance evaluations; result sorted by ascending
-/// distance, ties broken by (a, b) for determinism.
+/// distance. O(n²) distance evaluations but only O(k) memory (bounded
+/// max-heap); result sorted by ascending distance, ties broken by (a, b)
+/// for determinism.
 using PairwiseDistanceFn =
     std::function<double(std::size_t, std::size_t)>;
 std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,

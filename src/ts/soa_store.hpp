@@ -1,0 +1,68 @@
+/// \file soa_store.hpp
+/// \brief Contiguous structure-of-arrays backing store for a fixed-length
+/// time-series collection.
+///
+/// The evaluation of Dallachiesa et al. is dominated by all-pairs distance
+/// sweeps (10-NN ground truth, threshold calibration, PRQ scoring). Those
+/// kernels are memory-bound, so the series values are packed into one flat
+/// row-major `std::vector<double>` with a fixed row stride: a kernel streams
+/// consecutive cache lines instead of chasing one heap allocation per series.
+/// Rows are handed out as `std::span` views; the store never owns labels or
+/// ids — it is a pure value mirror of a `Dataset`.
+
+#ifndef UTS_TS_SOA_STORE_HPP_
+#define UTS_TS_SOA_STORE_HPP_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace uts::ts {
+
+/// \brief Flat row-major values of `rows()` series of equal length
+/// `stride()`.
+class SoaStore {
+ public:
+  SoaStore() = default;
+
+  /// Construct from packed values; precondition: `stride > 0` and
+  /// `values.size()` is a multiple of `stride`, or both are zero.
+  SoaStore(std::vector<double> values, std::size_t stride)
+      : values_(std::move(values)), stride_(stride) {
+    assert((stride_ == 0 && values_.empty()) ||
+           (stride_ > 0 && values_.size() % stride_ == 0));
+    rows_ = stride_ == 0 ? 0 : values_.size() / stride_;
+  }
+
+  /// Number of series.
+  std::size_t rows() const { return rows_; }
+
+  /// Length of every series (elements between consecutive rows).
+  std::size_t stride() const { return stride_; }
+
+  /// True iff the store holds no series.
+  bool empty() const { return rows_ == 0; }
+
+  /// Row view of series i; precondition i < rows().
+  std::span<const double> row(std::size_t i) const {
+    assert(i < rows_);
+    return {values_.data() + i * stride_, stride_};
+  }
+
+  /// The packed values, row-major.
+  std::span<const double> values() const { return values_; }
+
+  /// Raw base pointer (row i starts at data() + i * stride()).
+  const double* data() const { return values_.data(); }
+
+ private:
+  std::vector<double> values_;
+  std::size_t stride_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_SOA_STORE_HPP_

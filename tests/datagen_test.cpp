@@ -102,8 +102,12 @@ TEST(SyntheticControlTest, ShiftClassesJumpAtShiftTime) {
     if (s.label() != 4 && s.label() != 5) continue;
     const double head = (s[0] + s[1] + s[2] + s[3] + s[4]) / 5.0;
     const double tail = (s[55] + s[56] + s[57] + s[58] + s[59]) / 5.0;
-    if (s.label() == 4) EXPECT_GT(tail, head + 3.0);
-    if (s.label() == 5) EXPECT_LT(tail, head - 3.0);
+    if (s.label() == 4) {
+      EXPECT_GT(tail, head + 3.0);
+    }
+    if (s.label() == 5) {
+      EXPECT_LT(tail, head - 3.0);
+    }
   }
 }
 

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
+#include "distance/batch.hpp"
 #include "distance/dtw.hpp"
 #include "distance/lp.hpp"
 #include "prob/rng.hpp"
+#include "ts/soa_store.hpp"
 
 namespace uts::distance {
 namespace {
@@ -209,6 +213,93 @@ TEST(LbKeoghTest, ZeroWhenCandidateInsideEnvelope) {
   const Envelope env = BuildEnvelope(q, 3);
   // The query itself is inside its own envelope.
   EXPECT_DOUBLE_EQ(LbKeogh(env, q), 0.0);
+}
+
+// ------------------------------------------------- batch kernels (SoA)
+
+ts::SoaStore RandomStore(std::size_t rows, std::size_t stride,
+                         std::uint64_t seed) {
+  std::vector<double> values;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = RandomSeries(stride, seed + r);
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  return ts::SoaStore(std::move(values), stride);
+}
+
+TEST(BatchKernelTest, BitIdenticalToScalarKernelsRowByRow) {
+  const ts::SoaStore store = RandomStore(37, 29, 500);
+  const auto query = RandomSeries(29, 999);
+  const std::size_t n = store.rows();
+  std::vector<double> out(n);
+
+  SquaredEuclideanBatch(query, store, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], SquaredEuclidean(query, store.row(i))) << i;
+  }
+  EuclideanBatch(query, store, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], Euclidean(query, store.row(i))) << i;
+  }
+  LpBatch(query, store, 1.0, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], Manhattan(query, store.row(i))) << i;
+  }
+  LpBatch(query, store, 2.0, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], Euclidean(query, store.row(i))) << i;
+  }
+  LpBatch(query, store, 3.0, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], Minkowski(query, store.row(i), 3.0)) << i;
+  }
+}
+
+TEST(BatchKernelTest, RangeVariantCoversArbitrarySubranges) {
+  const ts::SoaStore store = RandomStore(40, 16, 600);
+  const auto query = RandomSeries(16, 601);
+  std::vector<double> full(store.rows());
+  SquaredEuclideanBatch(query, store, full);
+  for (auto [begin, end] : {std::pair<std::size_t, std::size_t>{0, 40},
+                            {7, 40}, {0, 9}, {13, 14}, {20, 20}}) {
+    std::vector<double> part(end - begin, -1.0);
+    SquaredEuclideanBatchRange(query, store, begin, end, part);
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_EQ(part[i - begin], full[i]) << begin << ":" << end;
+    }
+  }
+}
+
+TEST(BatchKernelTest, EarlyAbandonIsExactForSquaredThresholdDecisions) {
+  const ts::SoaStore store = RandomStore(50, 24, 700);
+  const auto query = RandomSeries(24, 701);
+  std::vector<double> exact(store.rows());
+  SquaredEuclideanBatch(query, store, exact);
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+  const double threshold_sq = sorted[sorted.size() / 3];
+  std::vector<double> abandoned(store.rows());
+  SquaredEuclideanEarlyAbandonBatch(query, store, threshold_sq, abandoned);
+  for (std::size_t i = 0; i < store.rows(); ++i) {
+    EXPECT_EQ(abandoned[i] <= threshold_sq, exact[i] <= threshold_sq) << i;
+    if (exact[i] <= threshold_sq) {
+      EXPECT_EQ(abandoned[i], exact[i]) << i;
+    }
+  }
+}
+
+TEST(BatchKernelTest, MultiQueryBitIdenticalIncludingRemainderTail) {
+  // 7 queries: one full 4-query block plus a 3-query scalar tail.
+  const ts::SoaStore store = RandomStore(23, 19, 800);
+  std::vector<double> out(7 * 23);
+  SquaredEuclideanMultiQueryBatch(store, 2, 9, 0, 23, out, 23);
+  for (std::size_t q = 2; q < 9; ++q) {
+    for (std::size_t r = 0; r < 23; ++r) {
+      EXPECT_EQ(out[(q - 2) * 23 + r],
+                SquaredEuclidean(store.row(q), store.row(r)))
+          << q << "," << r;
+    }
+  }
 }
 
 }  // namespace

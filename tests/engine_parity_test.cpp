@@ -1,0 +1,391 @@
+// Parity suite for the parallel query engine (src/query/engine):
+// k-NN / RQ / PRQ / motif results must be bit-identical — indices AND
+// distances — to the sequential reference at 1, 2 and 8 threads, including
+// tie-heavy inputs. The references below are verbatim ports of the seed's
+// sequential implementations, so the engine is also checked against the
+// pre-refactor semantics, not just against itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/matchers.hpp"
+#include "distance/dtw.hpp"
+#include "distance/lp.hpp"
+#include "prob/rng.hpp"
+#include "query/engine.hpp"
+#include "query/search.hpp"
+#include "uncertain/error_spec.hpp"
+
+namespace uts::query {
+namespace {
+
+ts::Dataset GaussianDataset(std::size_t n, std::size_t len,
+                            std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("gauss");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian();
+    d.Add(ts::TimeSeries(std::move(values), int(i % 3)));
+  }
+  return d;
+}
+
+// Values on a tiny integer grid: squared distances collide constantly, so
+// every tie-break path in selection and merging is exercised.
+ts::Dataset TieHeavyDataset(std::size_t n, std::size_t len,
+                            std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("ties");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = static_cast<double>(rng.Next() % 2);
+    d.Add(ts::TimeSeries(std::move(values), int(i % 2)));
+  }
+  return d;
+}
+
+// --- Verbatim sequential references (the seed's implementations) ------------
+
+std::vector<Neighbor> ReferenceKNearest(const ts::Dataset& d,
+                                        std::size_t query, std::size_t k) {
+  std::vector<Neighbor> all;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == query) continue;
+    all.push_back(
+        {i, distance::Euclidean(d[query].values(), d[i].values())});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(take);
+  return all;
+}
+
+std::vector<std::size_t> ReferenceRangeSearch(const ts::Dataset& d,
+                                              std::size_t query,
+                                              double epsilon) {
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == query) continue;
+    if (distance::Euclidean(d[query].values(), d[i].values()) <= epsilon) {
+      matches.push_back(i);
+    }
+  }
+  return matches;
+}
+
+std::vector<MotifPair> ReferenceTopKMotifs(const ts::Dataset& d,
+                                           std::size_t k) {
+  std::vector<MotifPair> pairs;
+  for (std::size_t a = 0; a < d.size(); ++a) {
+    for (std::size_t b = a + 1; b < d.size(); ++b) {
+      pairs.push_back(
+          {a, b, distance::Euclidean(d[a].values(), d[b].values())});
+    }
+  }
+  const std::size_t take = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<long>(take),
+                    pairs.end(), [](const MotifPair& x, const MotifPair& y) {
+                      if (x.distance != y.distance) {
+                        return x.distance < y.distance;
+                      }
+                      if (x.a != y.a) return x.a < y.a;
+                      return x.b < y.b;
+                    });
+  pairs.resize(take);
+  return pairs;
+}
+
+void ExpectNeighborsIdentical(const std::vector<Neighbor>& got,
+                              const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;  // bitwise
+  }
+}
+
+void ExpectMotifsIdentical(const std::vector<MotifPair>& got,
+                           const std::vector<MotifPair>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].a, want[i].a) << "rank " << i;
+    EXPECT_EQ(got[i].b, want[i].b) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;  // bitwise
+  }
+}
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+EngineOptions SmallChunkOptions(std::size_t threads) {
+  EngineOptions options;
+  options.threads = threads;
+  options.grain = 16;  // force multiple chunks even on small datasets
+  return options;
+}
+
+// --- k-NN --------------------------------------------------------------------
+
+TEST(EngineParityTest, KNearestMatchesReferenceAtEveryThreadCount) {
+  for (std::uint64_t seed : {11u, 12u}) {
+    const ts::Dataset gauss = GaussianDataset(60, 32, seed);
+    const ts::Dataset ties = TieHeavyDataset(60, 8, seed);
+    for (const ts::Dataset* d : {&gauss, &ties}) {
+      for (std::size_t threads : kThreadCounts) {
+        DistanceMatrixEngine engine(*d, SmallChunkOptions(threads));
+        ASSERT_TRUE(engine.batched());
+        for (std::size_t q : {std::size_t{0}, std::size_t{7},
+                              std::size_t{59}}) {
+          ExpectNeighborsIdentical(engine.KNearestEuclidean(q, 10),
+                                   ReferenceKNearest(*d, q, 10));
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineParityTest, AllKNearestMatchesPerQueryResults) {
+  const ts::Dataset d = TieHeavyDataset(50, 8, 3);
+  for (std::size_t threads : kThreadCounts) {
+    DistanceMatrixEngine engine(d, SmallChunkOptions(threads));
+    const auto all = engine.AllKNearestEuclidean(5);
+    ASSERT_EQ(all.size(), d.size());
+    for (std::size_t q = 0; q < d.size(); ++q) {
+      ExpectNeighborsIdentical(all[q], ReferenceKNearest(d, q, 5));
+    }
+  }
+}
+
+TEST(EngineParityTest, AllKNearestHonorsQueryPrefixCap) {
+  const ts::Dataset d = GaussianDataset(40, 16, 4);
+  DistanceMatrixEngine engine(d, SmallChunkOptions(8));
+  const auto all = engine.AllKNearestEuclidean(3, 12);
+  ASSERT_EQ(all.size(), 12u);
+  for (std::size_t q = 0; q < all.size(); ++q) {
+    ExpectNeighborsIdentical(all[q], ReferenceKNearest(d, q, 3));
+  }
+}
+
+TEST(EngineParityTest, KNearestEdgeCases) {
+  const ts::Dataset d = GaussianDataset(10, 8, 5);
+  for (std::size_t threads : kThreadCounts) {
+    DistanceMatrixEngine engine(d, SmallChunkOptions(threads));
+    EXPECT_TRUE(engine.KNearestEuclidean(0, 0).empty());
+    // k exceeding the candidate count clamps, like the reference.
+    ExpectNeighborsIdentical(engine.KNearestEuclidean(3, 100),
+                             ReferenceKNearest(d, 3, 100));
+  }
+}
+
+// --- Range queries -----------------------------------------------------------
+
+TEST(EngineParityTest, RangeSearchMatchesReferenceIncludingExactBoundary) {
+  const ts::Dataset gauss = GaussianDataset(60, 32, 21);
+  const ts::Dataset ties = TieHeavyDataset(60, 8, 22);
+  for (const ts::Dataset* d : {&gauss, &ties}) {
+    for (std::size_t threads : kThreadCounts) {
+      DistanceMatrixEngine engine(*d, SmallChunkOptions(threads));
+      for (std::size_t q : {std::size_t{0}, std::size_t{31}}) {
+        // epsilon equal to an exact attained distance makes the <= boundary
+        // decisive; on the tie-heavy grid many candidates sit exactly on it.
+        const double epsilon =
+            distance::Euclidean((*d)[q].values(), (*d)[(q + 5) % 60].values());
+        const auto got = engine.RangeSearchEuclidean(q, epsilon);
+        const auto want = ReferenceRangeSearch(*d, q, epsilon);
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
+// --- Probabilistic range queries --------------------------------------------
+
+TEST(EngineParityTest, ProbabilisticRangeSearchMatchesSequentialShim) {
+  // A pure, thread-safe match-probability stub with exact tau collisions.
+  const auto probability_of = [](std::size_t i) {
+    return static_cast<double>((i * 2654435761u) % 97u) / 96.0;
+  };
+  const std::size_t n = 200;
+  const double tau = probability_of(7);  // attained exactly by several items
+  const auto want = ProbabilisticRangeSearch(n, 3, tau, probability_of);
+  const ts::Dataset d = GaussianDataset(8, 4, 9);  // engine host dataset
+  for (std::size_t threads : kThreadCounts) {
+    DistanceMatrixEngine engine(d, SmallChunkOptions(threads));
+    EXPECT_EQ(engine.ProbabilisticRangeSearch(n, 3, tau, probability_of),
+              want);
+  }
+}
+
+// --- Motifs ------------------------------------------------------------------
+
+TEST(EngineParityTest, TopKMotifsMatchesReferenceAtEveryThreadCount) {
+  const ts::Dataset gauss = GaussianDataset(40, 16, 31);
+  const ts::Dataset ties = TieHeavyDataset(40, 8, 32);
+  for (const ts::Dataset* d : {&gauss, &ties}) {
+    const auto want = ReferenceTopKMotifs(*d, 15);
+    for (std::size_t threads : kThreadCounts) {
+      DistanceMatrixEngine engine(*d, SmallChunkOptions(threads));
+      ExpectMotifsIdentical(engine.TopKMotifsEuclidean(15), want);
+    }
+  }
+}
+
+TEST(EngineParityTest, TopKMotifsEdgeCases) {
+  const ts::Dataset d = GaussianDataset(12, 8, 33);
+  for (std::size_t threads : kThreadCounts) {
+    DistanceMatrixEngine engine(d, SmallChunkOptions(threads));
+    EXPECT_TRUE(engine.TopKMotifsEuclidean(0).empty());
+    // k exceeding the pair count returns all pairs, sorted.
+    ExpectMotifsIdentical(engine.TopKMotifsEuclidean(1000),
+                          ReferenceTopKMotifs(d, 1000));
+  }
+  // Degenerate collections: no pairs to rank.
+  EXPECT_TRUE(TopKMotifs(0, 5, [](std::size_t, std::size_t) { return 0.0; })
+                  .empty());
+  EXPECT_TRUE(TopKMotifs(1, 5, [](std::size_t, std::size_t) { return 0.0; })
+                  .empty());
+}
+
+TEST(EngineParityTest, SequentialShimsMatchEngine) {
+  // The free functions are documented as the sequential reference path.
+  const ts::Dataset d = TieHeavyDataset(30, 8, 41);
+  ExpectNeighborsIdentical(KNearestEuclidean(d, 4, 6),
+                           ReferenceKNearest(d, 4, 6));
+  ExpectMotifsIdentical(TopKMotifsEuclidean(d, 10),
+                        ReferenceTopKMotifs(d, 10));
+  const double epsilon =
+      distance::Euclidean(d[2].values(), d[17].values());
+  EXPECT_EQ(RangeSearchEuclidean(d, 2, epsilon),
+            ReferenceRangeSearch(d, 2, epsilon));
+}
+
+// --- Generic callback path (exact-DTW ground truth) -------------------------
+
+TEST(EngineParityTest, CallbackKNearestMatchesFreeFunctionUnderDtw) {
+  const ts::Dataset d = GaussianDataset(24, 12, 51);
+  distance::DtwOptions dtw_options;
+  for (std::size_t q : {std::size_t{0}, std::size_t{13}}) {
+    const auto distance_to = [&](std::size_t i) {
+      return distance::Dtw(d[q].values(), d[i].values(), dtw_options);
+    };
+    const auto want = KNearest(d.size(), q, 5, distance_to);
+    for (std::size_t threads : kThreadCounts) {
+      DistanceMatrixEngine engine(d, SmallChunkOptions(threads));
+      ExpectNeighborsIdentical(engine.KNearest(d.size(), q, 5, distance_to),
+                               want);
+    }
+  }
+}
+
+// --- Fallback & degenerate datasets -----------------------------------------
+
+TEST(EngineParityTest, NonUniformLengthFallsBackToCallbackPath) {
+  ts::Dataset d("ragged");
+  d.Add(ts::TimeSeries({1.0, 2.0, 3.0}));
+  d.Add(ts::TimeSeries({1.0, 2.0}));
+  d.Add(ts::TimeSeries({0.0, 0.0, 0.0, 0.0}));
+  DistanceMatrixEngine engine(d, SmallChunkOptions(8));
+  EXPECT_FALSE(engine.batched());
+  // Length-aware callback queries still run (and in parallel).
+  const auto distance_to = [&](std::size_t i) {
+    return std::fabs(static_cast<double>(i) - 1.0);
+  };
+  const auto want = KNearest(d.size(), 1, 2, distance_to);
+  ExpectNeighborsIdentical(engine.KNearest(d.size(), 1, 2, distance_to),
+                           want);
+}
+
+TEST(EngineParityTest, EngineSnapshotSurvivesDatasetMutation) {
+  // The engine co-owns the SoA snapshot taken at construction: mutating
+  // (and thereby re-packing) the dataset afterwards must not invalidate a
+  // live engine, which keeps answering from its snapshot.
+  ts::Dataset d = GaussianDataset(20, 8, 91);
+  const auto want = ReferenceKNearest(d, 2, 4);
+  DistanceMatrixEngine engine(d, SmallChunkOptions(2));
+  d[0].mutable_values()[0] += 100.0;  // drops the dataset's packed cache
+  ExpectNeighborsIdentical(engine.KNearestEuclidean(2, 4), want);
+}
+
+TEST(EngineParityTest, EmptyDataset) {
+  const ts::Dataset d("empty");
+  DistanceMatrixEngine engine(d, SmallChunkOptions(8));
+  EXPECT_FALSE(engine.batched());
+  EXPECT_TRUE(engine.AllKNearestEuclidean(5).empty());
+  EXPECT_TRUE(engine.TopKMotifsEuclidean(5).empty());
+}
+
+// --- End-to-end: the evaluation runner --------------------------------------
+
+TEST(EngineParityTest, SimilarityMatchingIsThreadCountInvariant) {
+  const ts::Dataset d = GaussianDataset(40, 24, 61).ZNormalizedCopy();
+  const auto spec =
+      uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.5);
+
+  auto run_with = [&](std::size_t threads) {
+    core::EuclideanMatcher euclid;
+    core::Matcher* matchers[] = {&euclid};
+    core::RunOptions options;
+    options.ground_truth_k = 5;
+    options.max_queries = 15;
+    options.seed = 77;
+    options.threads = threads;
+    options.measure_time = false;
+    auto run = core::RunSimilarityMatching(d, spec, matchers, options);
+    EXPECT_TRUE(run.ok()) << run.status();
+    return std::move(run).ValueOrDie();
+  };
+
+  const auto reference = run_with(1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto got = run_with(threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t m = 0; m < got.size(); ++m) {
+      EXPECT_EQ(got[m].per_query_f1, reference[m].per_query_f1);
+      EXPECT_EQ(got[m].per_query_precision,
+                reference[m].per_query_precision);
+      EXPECT_EQ(got[m].per_query_recall, reference[m].per_query_recall);
+    }
+  }
+}
+
+TEST(EngineParityTest, DtwGroundTruthIsThreadCountInvariant) {
+  const ts::Dataset d = GaussianDataset(20, 12, 71).ZNormalizedCopy();
+  const auto spec =
+      uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.4);
+
+  auto run_with = [&](std::size_t threads) {
+    core::EuclideanMatcher euclid;
+    core::Matcher* matchers[] = {&euclid};
+    core::RunOptions options;
+    options.ground_truth_k = 4;
+    options.max_queries = 8;
+    options.seed = 78;
+    options.threads = threads;
+    options.measure_time = false;
+    options.dtw_ground_truth = true;
+    options.dtw_ground_truth_band = 3;
+    auto run = core::RunSimilarityMatching(d, spec, matchers, options);
+    EXPECT_TRUE(run.ok()) << run.status();
+    return std::move(run).ValueOrDie();
+  };
+
+  const auto reference = run_with(1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto got = run_with(threads);
+    ASSERT_EQ(got.size(), reference.size());
+    EXPECT_EQ(got[0].per_query_f1, reference[0].per_query_f1);
+  }
+}
+
+}  // namespace
+}  // namespace uts::query

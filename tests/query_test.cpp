@@ -72,7 +72,9 @@ TEST(KNearestEuclideanTest, MatchesBruteForce) {
       const bool in_result =
           std::any_of(nn.begin(), nn.end(),
                       [i](const Neighbor& n) { return n.index == i; });
-      if (!in_result) EXPECT_GE(dist, worst - 1e-12);
+      if (!in_result) {
+        EXPECT_GE(dist, worst - 1e-12);
+      }
     }
     // Distances sorted ascending.
     for (std::size_t k = 1; k < nn.size(); ++k) {

@@ -26,6 +26,7 @@
 #include "prob/rng.hpp"
 #include "query/engine.hpp"
 #include "query/search.hpp"
+#include "query/uncertain_engine.hpp"
 #include "ts/dataset.hpp"
 #include "ts/filters.hpp"
 #include "uncertain/perturb.hpp"
@@ -343,6 +344,174 @@ void BM_GroundTruthKnnEngineThreads(benchmark::State& state) {
 BENCHMARK(BM_GroundTruthKnnEngineThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Uncertain-measure sweeps: scalar path vs UncertainEngine ----------------
+
+uncertain::UncertainDataset RandomUncertainDataset(std::size_t n_series,
+                                                   std::size_t length,
+                                                   std::uint64_t seed,
+                                                   prob::ErrorKind kind,
+                                                   double sigma) {
+  auto err = prob::MakeError(kind, sigma);
+  uncertain::UncertainDataset d;
+  d.name = "bench-uncertain";
+  for (std::size_t i = 0; i < n_series; ++i) {
+    d.series.emplace_back(
+        RandomSeries(length, seed + i),
+        std::vector<prob::ErrorDistributionPtr>(length, err));
+  }
+  return d;
+}
+
+// The pre-engine path: one Dust::Distance call per candidate, per-point
+// memoized table resolution, vector-of-vectors storage.
+void BM_DustScanScalarClosedForm(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 300, prob::ErrorKind::kNormal, 0.5);
+  measures::Dust dust;
+  (void)dust.Distance(d[0], d[1]);  // warm the table cache
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(dust.Distance(d[0], d[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_DustScanScalarClosedForm)->Unit(benchmark::kMillisecond);
+
+// The engine's sweep: SoA rows through the closed-form DustBatchRange fast
+// path (dust(Δ) = |Δ| / sqrt(2(σx²+σy²)), no table loads).
+void BM_DustScanEngineClosedForm(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 300, prob::ErrorKind::kNormal, 0.5);
+  auto engine = query::UncertainEngine::Create(d).ValueOrDie();
+  if (!engine->BuildDustTables().ok()) state.SkipWithError("table build");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->DustDistances(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_DustScanEngineClosedForm)->Unit(benchmark::kMillisecond);
+
+// Table-lookup flavor (uniform error => numeric tables): scalar vs the
+// blocked DustLut batch kernel.
+void BM_DustScanScalarLookup(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 301, prob::ErrorKind::kUniform, 0.5);
+  measures::Dust dust;
+  (void)dust.Distance(d[0], d[1]);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(dust.Distance(d[0], d[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_DustScanScalarLookup)->Unit(benchmark::kMillisecond);
+
+void BM_DustScanEngineLookup(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 301, prob::ErrorKind::kUniform, 0.5);
+  auto engine = query::UncertainEngine::Create(d).ValueOrDie();
+  if (!engine->BuildDustTables().ok()) state.SkipWithError("table build");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->DustDistances(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_DustScanEngineLookup)->Unit(benchmark::kMillisecond);
+
+// PROUD ε_norm sweep: per-candidate scalar MatchProbability calls vs the
+// fused constant-σ moment batch kernel over the SoA store.
+void BM_ProudScanScalar(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 302, prob::ErrorKind::kNormal, 0.5);
+  measures::Proud proud({.tau = 0.9, .sigma = 0.5});
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          proud.MatchProbability(d[0].observations(), d[i].observations(),
+                                 8.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ProudScanScalar)->Unit(benchmark::kMillisecond);
+
+void BM_ProudScanEngineMomentBatch(benchmark::State& state) {
+  const std::size_t n = 512, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 302, prob::ErrorKind::kNormal, 0.5);
+  query::UncertainEngineOptions options;
+  options.proud_sigma = 0.5;
+  auto engine = query::UncertainEngine::Create(d, options).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->ProudMatchProbabilities(0, 8.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ProudScanEngineMomentBatch)->Unit(benchmark::kMillisecond);
+
+// The general-moment sweep reads the precomputed m2/m3/m4 columns instead
+// of six virtual CentralMoment calls per point pair.
+void BM_ProudScanGeneralScalar(benchmark::State& state) {
+  const std::size_t n = 128, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 303, prob::ErrorKind::kExponential, 0.5);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          measures::Proud::MatchProbabilityGeneral(d[0], d[i], 8.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ProudScanGeneralScalar)->Unit(benchmark::kMillisecond);
+
+void BM_ProudScanGeneralEngineColumns(benchmark::State& state) {
+  const std::size_t n = 128, len = 290;
+  const auto d =
+      RandomUncertainDataset(n, len, 303, prob::ErrorKind::kExponential, 0.5);
+  auto engine = query::UncertainEngine::Create(d).ValueOrDie();
+  if (!engine->BuildProudMomentColumns().ok()) {
+    state.SkipWithError("moment columns");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->ProudGeneralMatchProbabilities(0, 8.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_ProudScanGeneralEngineColumns)->Unit(benchmark::kMillisecond);
+
+// MUNICH bounds filter: per-pair interval rescans vs the engine's
+// precomputed min/max columns (both feed the same estimator afterwards).
+void BM_MunichBoundsFromColumns(benchmark::State& state) {
+  const std::size_t n = 64, len = 290;
+  ts::Dataset exact("bench");
+  for (std::size_t i = 0; i < n; ++i) {
+    exact.Add(ts::TimeSeries(RandomSeries(len, 304 + i)));
+  }
+  const auto spec =
+      uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 0.5);
+  const auto pdf = uncertain::PerturbDataset(exact, spec, 305);
+  const auto samples =
+      uncertain::PerturbDatasetMultiSample(exact, spec, 5, 306);
+  query::UncertainEngineOptions options;
+  // ε = 0 keeps every pair out of reach: the sweep cost is the bounds
+  // filter alone (certain-reject for all candidates).
+  auto engine = query::UncertainEngine::Create(pdf, options).ValueOrDie();
+  if (!engine->AttachSamples(samples).ok()) state.SkipWithError("attach");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->MunichMatchProbabilities(0, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+}
+BENCHMARK(BM_MunichBoundsFromColumns)->Unit(benchmark::kMillisecond);
 
 void BM_PerturbSeries(benchmark::State& state) {
   const ts::TimeSeries exact(RandomSeries(290, 28));

@@ -60,6 +60,7 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
                                ? options.proud_sigma
                                : spec.RepresentativeSigma();
   context.seed = options.seed;
+  context.threads = options.threads;
 
   for (Matcher* matcher : matchers) {
     UTS_RETURN_NOT_OK(matcher->Bind(context));
@@ -121,17 +122,17 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
       auto eps = matcher.CalibrationDistance(qi, calibration_index);
       if (!eps.ok()) return eps.status();
 
+      // Retrieval through the matcher's batched sweep (engine-aware
+      // matchers run it on query::UncertainEngine with options.threads
+      // workers; the default is the sequential Matches loop). Results are
+      // bit-identical either way.
       Stopwatch watch;
-      std::vector<std::size_t> retrieved;
-      for (std::size_t ci = 0; ci < exact.size(); ++ci) {
-        if (ci == qi) continue;
-        auto matched = matcher.Matches(qi, ci, eps.ValueOrDie());
-        if (!matched.ok()) return matched.status();
-        if (matched.ValueOrDie()) retrieved.push_back(ci);
-      }
+      auto retrieved = matcher.Retrieve(qi, exact.size(), eps.ValueOrDie());
+      if (!retrieved.ok()) return retrieved.status();
       total_micros[m] += watch.ElapsedMicros();
 
-      const SetMetrics metrics = ComputeSetMetrics(retrieved, relevant);
+      const SetMetrics metrics =
+          ComputeSetMetrics(retrieved.ValueOrDie(), relevant);
       results[m].per_query_f1.push_back(metrics.f1);
       results[m].per_query_precision.push_back(metrics.precision);
       results[m].per_query_recall.push_back(metrics.recall);

@@ -26,12 +26,27 @@ Status RequireSamples(const EvalContext& context) {
   return Status::OK();
 }
 
-/// Deterministic per-pair stream for Monte Carlo estimators.
+/// Deterministic per-pair stream for Monte Carlo estimators (the shared
+/// counter-based derivation — see prob::PairStreamSeed — so engine sweeps
+/// and sequential loops draw identical materializations).
 std::uint64_t PairSeed(const EvalContext& context, std::size_t qi,
                        std::size_t ci) {
   const std::size_t n = context.pdf != nullptr ? context.pdf->size()
                                                : context.samples->size();
-  return prob::DeriveSeed(context.seed, qi * n + ci + 0x9a1);
+  return prob::PairStreamSeed(context.seed, qi, ci, n);
+}
+
+/// UncertainEngine over the bound pdf dataset with the run's thread count
+/// and seed, or null when the dataset is not engine-shaped (empty or
+/// non-uniform lengths) — callers then keep the sequential scalar path.
+std::unique_ptr<query::UncertainEngine> MakeEngine(
+    const EvalContext& context, query::UncertainEngineOptions options) {
+  options.threads = context.threads;
+  options.seed = context.seed;
+  auto engine =
+      query::UncertainEngine::Create(*context.pdf, std::move(options));
+  if (!engine.ok()) return nullptr;
+  return std::move(engine).ValueOrDie();
 }
 
 }  // namespace
@@ -67,6 +82,9 @@ Status ProudMatcher::Bind(const EvalContext& context) {
   options.tau = tau_;
   options.sigma = sigma_override_.value_or(context.reported_sigma);
   proud_ = std::make_unique<measures::Proud>(options);
+  query::UncertainEngineOptions engine_options;
+  engine_options.proud_sigma = options.sigma;
+  engine_ = MakeEngine(context, std::move(engine_options));
   return Status::OK();
 }
 
@@ -94,6 +112,15 @@ Result<bool> ProudMatcher::Matches(std::size_t qi, std::size_t ci,
   assert(proud_ != nullptr);
   return proud_->Matches((*ctx_->pdf)[qi].observations(),
                          (*ctx_->pdf)[ci].observations(), epsilon);
+}
+
+Result<std::vector<std::size_t>> ProudMatcher::Retrieve(std::size_t qi,
+                                                        std::size_t n,
+                                                        double epsilon) {
+  if (engine_ == nullptr || n != engine_->size()) {
+    return Matcher::Retrieve(qi, n, epsilon);
+  }
+  return engine_->ProbabilisticRangeSearchProud(qi, epsilon, tau_);
 }
 
 // ----------------------------------------------------------- PROUD-wavelet
@@ -153,10 +180,19 @@ Result<bool> ProudSynopsisMatcherAdapter::Matches(std::size_t qi,
 Status DustMatcher::Bind(const EvalContext& context) {
   UTS_RETURN_NOT_OK(RequirePdf(context));
   ctx_ = &context;
-  // Prewarm the lookup tables for every distinct error pair in the bound
-  // dataset, so that query timing (Figures 11/12) measures matching, not
-  // lazy table construction. The original DUST builds its tables up front
-  // the same way.
+  // Build the lookup tables for every distinct error pair up front, so that
+  // query timing (Figures 11/12) measures matching, not lazy table
+  // construction. The original DUST builds its tables the same way. The
+  // engine's cache is immutable after this point and therefore
+  // thread-shared by the parallel sweeps.
+  query::UncertainEngineOptions engine_options;
+  engine_options.dust = dust_.options();
+  engine_ = MakeEngine(context, std::move(engine_options));
+  // Tables are borrowed from the matcher's persistent scalar cache, so
+  // re-binding across datasets under one error spec reuses them instead of
+  // re-running the numeric integration.
+  if (engine_ != nullptr) return engine_->BuildDustTables(dust_);
+  // Engine-less fallback (non-uniform lengths): prewarm the scalar cache.
   std::map<std::string, prob::ErrorDistributionPtr> distinct;
   for (const auto& series : context.pdf->series) {
     for (std::size_t i = 0; i < series.size(); ++i) {
@@ -176,6 +212,7 @@ Status DustMatcher::Bind(const EvalContext& context) {
 Result<double> DustMatcher::CalibrationDistance(std::size_t qi,
                                                 std::size_t ci) {
   assert(ctx_ != nullptr);
+  if (engine_ != nullptr) return engine_->DustDistance(qi, ci);
   return dust_.Distance((*ctx_->pdf)[qi], (*ctx_->pdf)[ci]);
 }
 
@@ -184,6 +221,15 @@ Result<bool> DustMatcher::Matches(std::size_t qi, std::size_t ci,
   auto d = CalibrationDistance(qi, ci);
   if (!d.ok()) return d.status();
   return d.ValueOrDie() <= epsilon;
+}
+
+Result<std::vector<std::size_t>> DustMatcher::Retrieve(std::size_t qi,
+                                                       std::size_t n,
+                                                       double epsilon) {
+  if (engine_ == nullptr || n != engine_->size()) {
+    return Matcher::Retrieve(qi, n, epsilon);
+  }
+  return engine_->RangeSearchDust(qi, epsilon);
 }
 
 // ----------------------------------------------------------------- DUST-DTW
@@ -245,6 +291,16 @@ std::uint64_t FingerprintSamples(const EvalContext& context) {
 Status MunichMatcher::Bind(const EvalContext& context) {
   UTS_RETURN_NOT_OK(RequireSamples(context));
   ctx_ = &context;
+  engine_ = nullptr;
+  if (context.pdf != nullptr) {
+    query::UncertainEngineOptions engine_options;
+    engine_options.munich = munich_.options();
+    engine_ = MakeEngine(context, std::move(engine_options));
+    if (engine_ != nullptr &&
+        !engine_->AttachSamples(*context.samples).ok()) {
+      engine_ = nullptr;  // keep the sequential path on shape mismatches
+    }
+  }
   const std::uint64_t fingerprint = FingerprintSamples(context);
   if (fingerprint != bound_fingerprint_) {
     prob_cache_.clear();
@@ -276,8 +332,8 @@ Result<double> MunichMatcher::CalibrationDistance(std::size_t qi,
   return distance::Euclidean(q.values(), c.values());
 }
 
-Result<bool> MunichMatcher::Matches(std::size_t qi, std::size_t ci,
-                                    double epsilon) {
+Result<double> MunichMatcher::ProbabilityFor(std::size_t qi, std::size_t ci,
+                                             double epsilon) {
   assert(ctx_ != nullptr);
   std::uint64_t eps_bits;
   static_assert(sizeof(eps_bits) == sizeof(epsilon));
@@ -291,7 +347,54 @@ Result<bool> MunichMatcher::Matches(std::size_t qi, std::size_t ci,
     if (!prob.ok()) return prob.status();
     it = prob_cache_.emplace(key, prob.ValueOrDie()).first;
   }
-  return it->second >= munich_.options().tau;
+  return it->second;
+}
+
+Result<bool> MunichMatcher::Matches(std::size_t qi, std::size_t ci,
+                                    double epsilon) {
+  auto prob = ProbabilityFor(qi, ci, epsilon);
+  if (!prob.ok()) return prob.status();
+  return prob.ValueOrDie() >= munich_.options().tau;
+}
+
+Result<std::vector<std::size_t>> MunichMatcher::Retrieve(std::size_t qi,
+                                                         std::size_t n,
+                                                         double epsilon) {
+  assert(ctx_ != nullptr);
+  if (engine_ == nullptr || n != engine_->size()) {
+    return Matcher::Retrieve(qi, n, epsilon);
+  }
+  std::uint64_t eps_bits;
+  static_assert(sizeof(eps_bits) == sizeof(epsilon));
+  std::memcpy(&eps_bits, &epsilon, sizeof(eps_bits));
+  const double tau = munich_.options().tau;
+  bool all_cached = true;
+  for (std::size_t ci = 0; ci < n && all_cached; ++ci) {
+    if (ci == qi) continue;
+    all_cached = prob_cache_.count({qi, ci, eps_bits}) != 0;
+  }
+  std::vector<std::size_t> matches;
+  if (!all_cached) {
+    // One parallel estimator sweep fills the whole row of the τ-sweep
+    // cache; per-pair counter seeds make it bit-identical to the
+    // sequential Matches loop. Threshold the fresh row directly — cached
+    // entries (emplace never overwrites) hold the same pure-function
+    // values the sweep just recomputed.
+    auto probs = engine_->MunichMatchProbabilities(qi, epsilon);
+    if (!probs.ok()) return probs.status();
+    const std::vector<double>& p = probs.ValueOrDie();
+    for (std::size_t ci = 0; ci < n; ++ci) {
+      if (ci == qi) continue;
+      prob_cache_.emplace(std::make_tuple(qi, ci, eps_bits), p[ci]);
+      if (p[ci] >= tau) matches.push_back(ci);
+    }
+    return matches;
+  }
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    if (ci == qi) continue;
+    if (prob_cache_.at({qi, ci, eps_bits}) >= tau) matches.push_back(ci);
+  }
+  return matches;
 }
 
 // --------------------------------------------------------------- MUNICH-DTW

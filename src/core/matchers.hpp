@@ -29,6 +29,7 @@
 #include "measures/dust.hpp"
 #include "measures/munich.hpp"
 #include "measures/proud.hpp"
+#include "query/uncertain_engine.hpp"
 #include "ts/filters.hpp"
 #include "ts/smoother.hpp"
 #include "wavelet/proud_synopsis.hpp"
@@ -63,6 +64,10 @@ class ProudMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
+  /// Batched ε_norm sweep on the bound UncertainEngine (bit-identical to
+  /// the sequential Matches loop at any thread count).
+  Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
+                                            double epsilon) override;
   bool has_tau() const override { return true; }
   double tau() const override { return tau_; }
   void set_tau(double tau) override;
@@ -71,6 +76,7 @@ class ProudMatcher final : public Matcher {
   double tau_;
   std::optional<double> sigma_override_;
   std::unique_ptr<measures::Proud> proud_;
+  std::unique_ptr<query::UncertainEngine> engine_;
   const EvalContext* ctx_ = nullptr;
 };
 
@@ -119,12 +125,18 @@ class DustMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
+  /// Batched DUST range sweep on the bound UncertainEngine (bit-identical
+  /// to the sequential Matches loop at any thread count).
+  Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
+                                            double epsilon) override;
 
-  /// The underlying distance, for diagnostics.
+  /// The underlying scalar distance (the engine-less fallback path), for
+  /// diagnostics.
   measures::Dust& dust() { return dust_; }
 
  private:
   measures::Dust dust_;
+  std::unique_ptr<query::UncertainEngine> engine_;
   const EvalContext* ctx_ = nullptr;
 };
 
@@ -162,12 +174,23 @@ class MunichMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
+  /// Batched estimator sweep on the bound UncertainEngine. Per-pair Monte
+  /// Carlo streams are counter-seeded exactly like the sequential path, so
+  /// results are bit-identical at any thread count; computed probabilities
+  /// land in the same τ-sweep cache the sequential path uses.
+  Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
+                                            double epsilon) override;
   bool has_tau() const override { return true; }
   double tau() const override { return munich_.options().tau; }
   void set_tau(double tau) override;
 
  private:
+  /// Cached probability of (qi, ci, ε), or the freshly computed one.
+  Result<double> ProbabilityFor(std::size_t qi, std::size_t ci,
+                                double epsilon);
+
   measures::Munich munich_;
+  std::unique_ptr<query::UncertainEngine> engine_;
   const EvalContext* ctx_ = nullptr;
   std::uint64_t bound_fingerprint_ = 0;
   std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>, double>

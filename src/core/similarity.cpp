@@ -1,0 +1,18 @@
+#include "core/similarity.hpp"
+
+namespace uts::core {
+
+Result<std::vector<std::size_t>> Matcher::Retrieve(std::size_t qi,
+                                                   std::size_t n,
+                                                   double epsilon) {
+  std::vector<std::size_t> retrieved;
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    if (ci == qi) continue;
+    auto matched = Matches(qi, ci, epsilon);
+    if (!matched.ok()) return matched.status();
+    if (matched.ValueOrDie()) retrieved.push_back(ci);
+  }
+  return retrieved;
+}
+
+}  // namespace uts::core

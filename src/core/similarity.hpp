@@ -19,8 +19,10 @@
 #ifndef UTS_CORE_SIMILARITY_HPP_
 #define UTS_CORE_SIMILARITY_HPP_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "ts/dataset.hpp"
@@ -47,6 +49,11 @@ struct EvalContext {
   /// Base seed of this run; matchers with stochastic estimators derive
   /// per-pair seeds from it.
   std::uint64_t seed = 0;
+
+  /// Worker threads engine-aware matchers may use for their retrieval
+  /// sweeps (query::UncertainEngine): 1 = sequential, 0 = hardware
+  /// concurrency. Retrieval results are bit-identical at every setting.
+  std::size_t threads = 1;
 };
 
 /// \brief A similarity-matching technique under evaluation.
@@ -76,6 +83,16 @@ class Matcher {
   /// `epsilon` (in the same space as `CalibrationDistance`).
   virtual Result<bool> Matches(std::size_t qi, std::size_t ci,
                                double epsilon) = 0;
+
+  /// Retrieve every matching candidate of query `qi` among indices [0, n)
+  /// (self excluded, ascending) under threshold `epsilon` — the retrieval
+  /// step of the evaluation loop. The default is the sequential reference:
+  /// one `Matches` call per candidate. Engine-aware matchers (DUST, PROUD,
+  /// MUNICH) override it with parallel batched sweeps whose results are
+  /// bit-identical to the default at every `EvalContext::threads` setting.
+  virtual Result<std::vector<std::size_t>> Retrieve(std::size_t qi,
+                                                    std::size_t n,
+                                                    double epsilon);
 
   /// Whether this matcher has a probabilistic threshold τ (MUNICH, PROUD).
   virtual bool has_tau() const { return false; }

@@ -140,6 +140,132 @@ void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
   }
 }
 
+void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
+                    const DustLut& lut, std::size_t row_begin,
+                    std::size_t row_end, std::span<double> out) {
+  assert(query.size() == store.stride());
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  if (lut.values == nullptr) {
+    // Normal-error closed form: dust(Δ) = |Δ| · scale, no table loads.
+    const double scale = lut.scale;
+    ForEachRow(store, row_begin, row_end, out, [q, n, scale](const double* row) {
+      double sum = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const double d = std::fabs(q[t] - row[t]) * scale;
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+    });
+    return;
+  }
+  ForEachRow(store, row_begin, row_end, out, [q, n, &lut](const double* row) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double d = lut.Eval(q[t] - row[t]);
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  });
+}
+
+void DustClassedBatchRange(std::span<const double> query,
+                           const ts::SoaStore& store,
+                           std::span<const DustLut* const> query_luts,
+                           std::span<const std::uint16_t> class_ids,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::span<double> out) {
+  assert(query.size() == store.stride());
+  assert(query_luts.size() == store.stride());
+  assert(class_ids.size() == store.rows() * store.stride());
+  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(out.size() == row_end - row_begin);
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  const DustLut* const* luts = query_luts.data();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const double* row = store.data() + r * n;
+    const std::uint16_t* ids = class_ids.data() + r * n;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double d = luts[t][ids[t]].Eval(q[t] - row[t]);
+      sum += d * d;
+    }
+    out[r - row_begin] = std::sqrt(sum);
+  }
+}
+
+void ProudMomentBatchRange(std::span<const double> query,
+                           const ts::SoaStore& store, double v,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::span<double> mean_out,
+                           std::span<double> var_out) {
+  assert(query.size() == store.stride());
+  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(mean_out.size() == row_end - row_begin);
+  assert(var_out.size() == row_end - row_begin);
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  const std::size_t stride = store.stride();
+  const double* base = store.data();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const double* row = base + r * stride;
+    double mean_sq = 0.0;
+    double var_sq = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double mu = q[t] - row[t];
+      const double mu2 = mu * mu;
+      mean_sq += mu2 + v;
+      var_sq += 2.0 * v * v + 4.0 * mu2 * v;
+    }
+    mean_out[r - row_begin] = mean_sq;
+    var_out[r - row_begin] = var_sq;
+  }
+}
+
+void ProudGeneralMomentBatchRange(
+    std::span<const double> query_obs, std::span<const double> query_m2,
+    std::span<const double> query_m3, std::span<const double> query_m4,
+    const ts::SoaStore& store, const ts::SoaStore& m2_store,
+    const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+    std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
+    std::span<double> var_out) {
+  const std::size_t n = query_obs.size();
+  assert(n == store.stride() && n == m2_store.stride() &&
+         n == m3_store.stride() && n == m4_store.stride());
+  assert(query_m2.size() == n && query_m3.size() == n && query_m4.size() == n);
+  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(mean_out.size() == row_end - row_begin);
+  assert(var_out.size() == row_end - row_begin);
+  const double* qo = query_obs.data();
+  const double* q2 = query_m2.data();
+  const double* q3 = query_m3.data();
+  const double* q4 = query_m4.data();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const double* ro = store.data() + r * n;
+    const double* r2 = m2_store.data() + r * n;
+    const double* r3 = m3_store.data() + r * n;
+    const double* r4 = m4_store.data() + r * n;
+    double mean_sq = 0.0;
+    double var_sq = 0.0;
+    // Mirrors Proud::DistanceStatsGeneral term by term (the query plays the
+    // x role): m2 = m2x + m2y, m3 = m3x − m3y, m4 = m4x + 6 m2x m2y + m4y.
+    for (std::size_t t = 0; t < n; ++t) {
+      const double mu = qo[t] - ro[t];
+      const double m2 = q2[t] + r2[t];
+      const double m3 = q3[t] - r3[t];
+      const double m4 = q4[t] + 6.0 * q2[t] * r2[t] + r4[t];
+      const double mean_d2 = mu * mu + m2;
+      const double mean_d4 =
+          mu * mu * mu * mu + 6.0 * mu * mu * m2 + 4.0 * mu * m3 + m4;
+      mean_sq += mean_d2;
+      var_sq += mean_d4 - mean_d2 * mean_d2;
+    }
+    mean_out[r - row_begin] = mean_sq;
+    var_out[r - row_begin] = var_sq;
+  }
+}
+
 void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
                                        const ts::SoaStore& store,
                                        double threshold_sq,

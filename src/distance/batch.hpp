@@ -15,7 +15,9 @@
 #ifndef UTS_DISTANCE_BATCH_HPP_
 #define UTS_DISTANCE_BATCH_HPP_
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "ts/soa_store.hpp"
@@ -74,6 +76,84 @@ void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
                                      std::size_t row_end,
                                      std::span<double> out,
                                      std::size_t out_stride);
+
+/// \brief Immutable view of one DUST per-point dissimilarity table: either a
+/// piecewise-linear lookup over |Δ| (the numeric-integration path) or the
+/// normal-error closed form dust(Δ) = |Δ| · scale with
+/// scale = 1 / sqrt(2 (σx² + σy²)).
+///
+/// `Eval` is the single evaluation routine shared by the scalar measure
+/// (measures::DustTable::Dust delegates here) and the batch kernels below,
+/// so the two paths are bit-identical by construction. Views borrow the
+/// table storage; the owner must outlive them. A view is trivially shareable
+/// across threads once built.
+struct DustLut {
+  const double* values = nullptr;  ///< Table cells; nullptr => closed form.
+  std::size_t size = 0;            ///< Number of cells.
+  double step = 0.0;               ///< Δ between consecutive cells.
+  double delta_max = 0.0;          ///< Δ of the last cell (clamp beyond).
+  double scale = 0.0;              ///< Closed-form Gaussian scale.
+
+  /// dust(Δ); linear interpolation between cells, clamped at delta_max.
+  double Eval(double delta) const {
+    delta = std::fabs(delta);
+    if (values == nullptr) return delta * scale;
+    if (delta >= delta_max) return values[size - 1];
+    const double pos = delta / step;
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= size) return values[size - 1];
+    return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+  }
+};
+
+/// \brief DUST 1-vs-all sweep, single shared error pair: out[r - row_begin] =
+/// sqrt( Σ_t dust(q[t] - row[t])² ) with every point evaluated through `lut`.
+/// The accumulation order (one sum, ascending timestamp) matches
+/// measures::Dust::Distance exactly, so results are bit-identical to the
+/// scalar path. The closed-form case needs no table loads at all — this is
+/// the hot path for the paper's constant-σ normal-error experiments.
+void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
+                    const DustLut& lut, std::size_t row_begin,
+                    std::size_t row_end, std::span<double> out);
+
+/// \brief DUST 1-vs-all sweep with per-point error classes. Candidate r's
+/// error class at timestamp t is `class_ids[r * store.stride() + t]`;
+/// `query_luts[t]` points at the K-entry row of the pair-table matrix
+/// selected by the query's own class at t, so the table of the point pair is
+/// `query_luts[t][class_ids[...]]`. Same accumulation order as the scalar
+/// measure (bit-identical results).
+void DustClassedBatchRange(std::span<const double> query,
+                           const ts::SoaStore& store,
+                           std::span<const DustLut* const> query_luts,
+                           std::span<const std::uint16_t> class_ids,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::span<double> out);
+
+/// \brief PROUD constant-σ moment sweep (v = 2σ²): for each candidate row,
+/// one contiguous pass accumulating — in exactly the order of
+/// measures::Proud::DistanceStats —
+///   mean_out[r - row_begin] = Σ_t ((q[t] - row[t])² + v)
+///   var_out[r - row_begin]  = Σ_t (2v² + 4 (q[t] - row[t])² v)
+/// Results are bit-identical to calling the scalar DistanceStats per pair.
+void ProudMomentBatchRange(std::span<const double> query,
+                           const ts::SoaStore& store, double v,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::span<double> mean_out,
+                           std::span<double> var_out);
+
+/// \brief PROUD general moment sweep over precomputed per-series central
+/// moment columns (the "moment prefixes": m2/m3/m4 share the layout of
+/// `store`). Accumulates exactly like measures::Proud::DistanceStatsGeneral
+/// — bit-identical — but reads the precomputed columns instead of paying
+/// six virtual CentralMoment calls per point pair.
+void ProudGeneralMomentBatchRange(
+    std::span<const double> query_obs, std::span<const double> query_m2,
+    std::span<const double> query_m3, std::span<const double> query_m4,
+    const ts::SoaStore& store, const ts::SoaStore& m2_store,
+    const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+    std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
+    std::span<double> var_out);
 
 /// \brief Early-abandoning batch: out[i] is the exact squared distance when
 /// it is <= threshold_sq, otherwise the first running sum that exceeded

@@ -160,17 +160,6 @@ Result<DustTable> DustTable::Build(const prob::ErrorDistribution& ex,
   return table;
 }
 
-double DustTable::Dust(double delta) const {
-  delta = std::fabs(delta);
-  if (closed_form_) return delta * gaussian_scale_;
-  if (delta >= delta_max_) return dust_values_.back();
-  const double pos = delta / step_;
-  const auto idx = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(idx);
-  if (idx + 1 >= dust_values_.size()) return dust_values_.back();
-  return dust_values_[idx] * (1.0 - frac) + dust_values_[idx + 1] * frac;
-}
-
 double DustTable::Phi(double delta) const {
   delta = std::fabs(delta);
   if (closed_form_) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "distance/batch.hpp"
 #include "distance/dtw.hpp"
 #include "prob/distribution.hpp"
 #include "uncertain/uncertain_series.hpp"
@@ -95,8 +96,26 @@ class DustTable {
                                  const prob::ErrorDistribution& ey,
                                  const DustOptions& options);
 
-  /// Interpolated dust value at observed difference Δ >= 0.
-  double Dust(double delta) const;
+  /// Interpolated dust value at observed difference Δ >= 0. Evaluates
+  /// through the same distance::DustLut::Eval the batch kernels use, so the
+  /// scalar and batched paths are bit-identical by construction.
+  double Dust(double delta) const { return Lut().Eval(delta); }
+
+  /// Borrowed immutable view for the batch kernels; valid while this table
+  /// lives at its current address (tables are heap-pinned in Dust's cache
+  /// and in UncertainEngine, both immutable after build).
+  distance::DustLut Lut() const {
+    distance::DustLut lut;
+    if (closed_form_) {
+      lut.scale = gaussian_scale_;
+      return lut;
+    }
+    lut.values = dust_values_.data();
+    lut.size = dust_values_.size();
+    lut.step = step_;
+    lut.delta_max = delta_max_;
+    return lut;
+  }
 
   /// Interpolated φ(Δ) (before flooring), for diagnostics and tests.
   double Phi(double delta) const;
@@ -147,6 +166,16 @@ class Dust {
   /// Build (and cache) the table for an error pair ahead of time.
   Status Prewarm(const prob::ErrorDistributionPtr& ex,
                  const prob::ErrorDistributionPtr& ey);
+
+  /// The cached table of an error pair (building it on first use). The
+  /// returned pointer is heap-pinned and stays valid for this instance's
+  /// lifetime — the cache only ever grows — which lets a
+  /// query::UncertainEngine borrow tables from a persistent Dust instance
+  /// instead of re-running the numeric integration on every rebuild.
+  Result<const DustTable*> Table(const prob::ErrorDistributionPtr& ex,
+                                 const prob::ErrorDistributionPtr& ey) {
+    return TableForFast(ex, ey);
+  }
 
   /// Number of distinct tables currently cached.
   std::size_t CacheSize() const { return cache_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "prob/rng.hpp"
 
@@ -22,11 +23,10 @@ struct IntervalDistance {
   double max_abs;
 };
 
-IntervalDistance IntervalDistanceAt(const MultiSampleSeries& x,
-                                    const MultiSampleSeries& y,
-                                    std::size_t i, std::size_t j) {
-  const auto [lx, ux] = x.BoundingInterval(i);
-  const auto [ly, uy] = y.BoundingInterval(j);
+/// The single definition of the interval arithmetic, shared by the
+/// sample-scanning and precomputed-column bounds paths so they stay
+/// bit-identical.
+IntervalDistance IntervalMinMax(double lx, double ux, double ly, double uy) {
   IntervalDistance d;
   if (ux < ly) {
     d.min_abs = ly - ux;
@@ -37,6 +37,14 @@ IntervalDistance IntervalDistanceAt(const MultiSampleSeries& x,
   }
   d.max_abs = std::max(std::fabs(ux - ly), std::fabs(uy - lx));
   return d;
+}
+
+IntervalDistance IntervalDistanceAt(const MultiSampleSeries& x,
+                                    const MultiSampleSeries& y,
+                                    std::size_t i, std::size_t j) {
+  const auto [lx, ux] = x.BoundingInterval(i);
+  const auto [ly, uy] = y.BoundingInterval(j);
+  return IntervalMinMax(lx, ux, ly, uy);
 }
 
 /// Squared differences of every sample pair at one timestamp.
@@ -99,6 +107,22 @@ DistanceBounds Munich::EuclideanBounds(const MultiSampleSeries& x,
   double upper_sq = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     const IntervalDistance d = IntervalDistanceAt(x, y, i, i);
+    lower_sq += d.min_abs * d.min_abs;
+    upper_sq += d.max_abs * d.max_abs;
+  }
+  return {std::sqrt(lower_sq), std::sqrt(upper_sq)};
+}
+
+DistanceBounds Munich::EuclideanBoundsFromIntervals(
+    std::span<const double> x_lo, std::span<const double> x_hi,
+    std::span<const double> y_lo, std::span<const double> y_hi) {
+  assert(x_lo.size() == x_hi.size() && x_lo.size() == y_lo.size() &&
+         x_lo.size() == y_hi.size());
+  double lower_sq = 0.0;
+  double upper_sq = 0.0;
+  for (std::size_t i = 0; i < x_lo.size(); ++i) {
+    const IntervalDistance d =
+        IntervalMinMax(x_lo[i], x_hi[i], y_lo[i], y_hi[i]);
     lower_sq += d.min_abs * d.min_abs;
     upper_sq += d.max_abs * d.max_abs;
   }

@@ -37,6 +37,7 @@
 #define UTS_MEASURES_MUNICH_HPP_
 
 #include <cstdint>
+#include <span>
 
 #include "common/result.hpp"
 #include "distance/dtw.hpp"
@@ -86,6 +87,15 @@ class Munich {
   static DistanceBounds EuclideanBounds(
       const uncertain::MultiSampleSeries& x,
       const uncertain::MultiSampleSeries& y);
+
+  /// The same bounds from already-materialized per-timestamp intervals
+  /// [x_lo[i], x_hi[i]] and [y_lo[i], y_hi[i]] — the arithmetic behind
+  /// EuclideanBounds, exposed so query::UncertainEngine's precomputed
+  /// interval columns produce bit-identical bounds without rescanning the
+  /// samples.
+  static DistanceBounds EuclideanBoundsFromIntervals(
+      std::span<const double> x_lo, std::span<const double> x_hi,
+      std::span<const double> y_lo, std::span<const double> y_hi);
 
   /// Bounding-interval bounds on the DTW distance of every materialization.
   static DistanceBounds DtwBounds(const uncertain::MultiSampleSeries& x,

@@ -25,10 +25,7 @@ ProudStats Proud::DistanceStats(std::span<const double> x_obs,
   return stats;
 }
 
-double Proud::MatchProbability(std::span<const double> x_obs,
-                               std::span<const double> y_obs,
-                               double epsilon) const {
-  const ProudStats stats = DistanceStats(x_obs, y_obs);
+double Proud::ProbabilityFromStats(const ProudStats& stats, double epsilon) {
   if (stats.var_sq <= 0.0) {
     // Degenerate (σ = 0): the distance is deterministic.
     return stats.mean_sq <= epsilon * epsilon ? 1.0 : 0.0;
@@ -38,13 +35,23 @@ double Proud::MatchProbability(std::span<const double> x_obs,
   return prob::NormalCdf(eps_norm);
 }
 
-bool Proud::Matches(std::span<const double> x_obs,
-                    std::span<const double> y_obs, double epsilon) const {
-  const ProudStats stats = DistanceStats(x_obs, y_obs);
+bool Proud::DecideFromStats(const ProudStats& stats, double epsilon,
+                            double tau) {
   if (stats.var_sq <= 0.0) return stats.mean_sq <= epsilon * epsilon;
   const double eps_norm =
       (epsilon * epsilon - stats.mean_sq) / std::sqrt(stats.var_sq);
-  return eps_norm >= EpsilonLimit();
+  return eps_norm >= prob::NormalQuantile(tau);
+}
+
+double Proud::MatchProbability(std::span<const double> x_obs,
+                               std::span<const double> y_obs,
+                               double epsilon) const {
+  return ProbabilityFromStats(DistanceStats(x_obs, y_obs), epsilon);
+}
+
+bool Proud::Matches(std::span<const double> x_obs,
+                    std::span<const double> y_obs, double epsilon) const {
+  return DecideFromStats(DistanceStats(x_obs, y_obs), epsilon, options_.tau);
 }
 
 double Proud::EpsilonLimit() const {
@@ -82,13 +89,7 @@ ProudStats Proud::DistanceStatsGeneral(const uncertain::UncertainSeries& x,
 double Proud::MatchProbabilityGeneral(const uncertain::UncertainSeries& x,
                                       const uncertain::UncertainSeries& y,
                                       double epsilon) {
-  const ProudStats stats = DistanceStatsGeneral(x, y);
-  if (stats.var_sq <= 0.0) {
-    return stats.mean_sq <= epsilon * epsilon ? 1.0 : 0.0;
-  }
-  const double eps_norm =
-      (epsilon * epsilon - stats.mean_sq) / std::sqrt(stats.var_sq);
-  return prob::NormalCdf(eps_norm);
+  return ProbabilityFromStats(DistanceStatsGeneral(x, y), epsilon);
 }
 
 }  // namespace uts::measures

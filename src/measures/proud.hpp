@@ -96,6 +96,16 @@ class Proud {
                                         const uncertain::UncertainSeries& y,
                                         double epsilon);
 
+  /// Pr(distance ≤ ε) from already-accumulated moments — the single
+  /// expression behind MatchProbability and MatchProbabilityGeneral, shared
+  /// with the batched query::UncertainEngine sweeps so batch decisions are
+  /// bit-identical to the scalar matcher.
+  static double ProbabilityFromStats(const ProudStats& stats, double epsilon);
+
+  /// The ε_norm ≥ Φ⁻¹(τ) PRQ decision (Eq. 10) from accumulated moments.
+  static bool DecideFromStats(const ProudStats& stats, double epsilon,
+                              double tau);
+
  private:
   ProudOptions options_;
 };

@@ -34,6 +34,18 @@ inline std::uint64_t DeriveSeed(std::uint64_t parent, std::uint64_t stream) {
   return SplitMix64(s);
 }
 
+/// \brief Counter-based Monte Carlo stream seed of the (query, candidate)
+/// pair (qi, ci) in a collection of n series.
+///
+/// A pure function of the pair counter qi·n + ci, so sequential loops and
+/// parallel sweeps (query::UncertainEngine) draw identical streams in any
+/// evaluation order. The single definition shared by the engine and the
+/// evaluation matchers — the two may never diverge.
+inline std::uint64_t PairStreamSeed(std::uint64_t base, std::uint64_t qi,
+                                    std::uint64_t ci, std::uint64_t n) {
+  return DeriveSeed(base, qi * n + ci + 0x9a1);
+}
+
 /// \brief xoshiro256++ generator with convenience samplers.
 ///
 /// Satisfies the `UniformRandomBitGenerator` concept, so it can also feed

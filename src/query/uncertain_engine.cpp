@@ -1,0 +1,451 @@
+#include "query/uncertain_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "exec/parallel_for.hpp"
+#include "prob/rng.hpp"
+#include "query/engine.hpp"
+
+namespace uts::query {
+
+namespace {
+
+/// Top-k by descending score (probability), ties by ascending index — the
+/// selection order of the probabilistic k-NN queries. `exclude` is skipped.
+std::vector<Neighbor> SelectTopKByScore(std::span<const double> scores,
+                                        std::size_t exclude, std::size_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i == exclude) continue;
+    all.push_back({i, scores[i]});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance > b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace
+
+UncertainEngine::UncertainEngine(UncertainEngineOptions options)
+    : options_(options) {
+  if (options_.grain == 0) options_.grain = 1;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads);
+  proud_v_ = 2.0 * options_.proud_sigma * options_.proud_sigma;
+}
+
+UncertainEngine::~UncertainEngine() = default;
+
+std::size_t UncertainEngine::threads() const {
+  return pool_ ? pool_->size() : 1;
+}
+
+Result<std::unique_ptr<UncertainEngine>> UncertainEngine::Create(
+    const uncertain::UncertainDataset& pdf, UncertainEngineOptions options) {
+  if (pdf.size() == 0) {
+    return Status::InvalidArgument("uncertain engine needs a non-empty "
+                                   "dataset");
+  }
+  const std::size_t n = pdf.size();
+  const std::size_t len = pdf[0].size();
+  if (len == 0) {
+    return Status::InvalidArgument("uncertain engine needs non-empty series");
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (pdf[s].size() != len) {
+      return Status::InvalidArgument(
+          "uncertain engine needs series of uniform length");
+    }
+  }
+
+  std::unique_ptr<UncertainEngine> engine(
+      new UncertainEngine(std::move(options)));
+
+  // --- Pack observations + error-class ids ---------------------------------
+  // Class resolution is layered like measures::Dust's table cache: a
+  // last-seen-pointer memo (consecutive points usually share one
+  // distribution), then a pointer-keyed map, and only for a never-seen
+  // pointer the semantic string key — so the common constant-error dataset
+  // pays one Key() call total, not one per point.
+  std::vector<double> values;
+  values.reserve(n * len);
+  std::map<std::string, std::uint16_t> class_of;
+  std::map<const void*, std::uint16_t> class_of_ptr;
+  const prob::ErrorDistribution* last_ptr = nullptr;
+  std::uint16_t last_id = 0;
+  engine->class_ids_.resize(n * len);
+  for (std::size_t s = 0; s < n; ++s) {
+    const uncertain::UncertainSeries& series = pdf[s];
+    for (std::size_t t = 0; t < len; ++t) {
+      values.push_back(series.observation(t));
+      const auto& err = series.error(t);
+      if (err.get() != last_ptr) {
+        auto pit = class_of_ptr.find(err.get());
+        if (pit == class_of_ptr.end()) {
+          auto [it, inserted] = class_of.emplace(
+              err->Key(),
+              static_cast<std::uint16_t>(engine->class_dists_.size()));
+          if (inserted) {
+            if (engine->class_dists_.size() >= 0xffff) {
+              return Status::NotSupported(
+                  "uncertain engine supports at most 65535 distinct error "
+                  "models");
+            }
+            engine->class_dists_.push_back(err);
+          }
+          pit = class_of_ptr.emplace(err.get(), it->second).first;
+        }
+        last_ptr = err.get();
+        last_id = pit->second;
+      }
+      engine->class_ids_[s * len + t] = last_id;
+    }
+  }
+  engine->num_classes_ = engine->class_dists_.size();
+  engine->store_ = ts::SoaStore(std::move(values), len);
+  return engine;
+}
+
+Status UncertainEngine::BuildProudMomentColumns() {
+  if (proud_moments_ready_) return Status::OK();
+  // Per-class central moments scattered into per-point SoA columns — the
+  // "moment prefixes" the general sweep streams instead of paying six
+  // virtual CentralMoment calls per point pair.
+  std::vector<double> m2_of_class, m3_of_class, m4_of_class;
+  for (const auto& dist : class_dists_) {
+    m2_of_class.push_back(dist->CentralMoment(2));
+    m3_of_class.push_back(dist->CentralMoment(3));
+    m4_of_class.push_back(dist->CentralMoment(4));
+  }
+  const std::size_t total = size() * length();
+  std::vector<double> m2(total), m3(total), m4(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::uint16_t c = class_ids_[i];
+    m2[i] = m2_of_class[c];
+    m3[i] = m3_of_class[c];
+    m4[i] = m4_of_class[c];
+  }
+  m2_store_ = ts::SoaStore(std::move(m2), length());
+  m3_store_ = ts::SoaStore(std::move(m3), length());
+  m4_store_ = ts::SoaStore(std::move(m4), length());
+  proud_moments_ready_ = true;
+  return Status::OK();
+}
+
+// --- DUST --------------------------------------------------------------------
+
+Status UncertainEngine::BuildDustTables(measures::Dust& shared_cache) {
+  if (dust_ready_) return Status::OK();
+  const std::size_t k = num_classes_;
+  dust_luts_.assign(k * k, distance::DustLut{});
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a; b < k; ++b) {
+      // The cache canonicalizes pair order internally (Dust::TableFor), so
+      // borrowed tables are bitwise the ones the scalar measure serves.
+      auto table = shared_cache.Table(class_dists_[a], class_dists_[b]);
+      if (!table.ok()) return table.status();
+      const distance::DustLut lut = table.ValueOrDie()->Lut();
+      dust_luts_[a * k + b] = lut;
+      dust_luts_[b * k + a] = lut;
+    }
+  }
+  dust_ready_ = true;
+  return Status::OK();
+}
+
+Status UncertainEngine::BuildDustTables() {
+  if (dust_ready_) return Status::OK();
+  // Own a private scalar cache and delegate: canonicalization and table
+  // construction live in measures::Dust alone, so privately built and
+  // borrowed engines can never diverge.
+  owned_dust_cache_ = std::make_unique<measures::Dust>(options_.dust);
+  return BuildDustTables(*owned_dust_cache_);
+}
+
+Result<std::vector<double>> UncertainEngine::DustDistances(
+    std::size_t query) const {
+  assert(query < size());
+  if (!dust_ready_) {
+    return Status::InvalidArgument(
+        "DUST tables not built; call BuildDustTables first");
+  }
+  const std::size_t n = size();
+  const std::size_t len = length();
+  std::vector<double> distances(n, 0.0);
+  const std::span<const double> qrow = store_.row(query);
+  if (num_classes_ == 1) {
+    const distance::DustLut& lut = PairLut(0, 0);
+    exec::ParallelFor(pool_.get(), n, options_.grain,
+                      [&](std::size_t begin, std::size_t end) {
+                        distance::DustBatchRange(
+                            qrow, store_, lut, begin, end,
+                            std::span<double>(distances)
+                                .subspan(begin, end - begin));
+                      });
+    return distances;
+  }
+  std::vector<const distance::DustLut*> qluts(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
+  }
+  exec::ParallelFor(pool_.get(), n, options_.grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      distance::DustClassedBatchRange(
+                          qrow, store_, qluts, class_ids_, begin, end,
+                          std::span<double>(distances)
+                              .subspan(begin, end - begin));
+                    });
+  return distances;
+}
+
+Result<double> UncertainEngine::DustDistance(std::size_t query,
+                                             std::size_t candidate) const {
+  assert(query < size() && candidate < size());
+  if (!dust_ready_) {
+    return Status::InvalidArgument(
+        "DUST tables not built; call BuildDustTables first");
+  }
+  const std::span<const double> q = store_.row(query);
+  const std::span<const double> c = store_.row(candidate);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < q.size(); ++t) {
+    const double d =
+        PairLut(class_id(query, t), class_id(candidate, t)).Eval(q[t] - c[t]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Result<std::vector<Neighbor>> UncertainEngine::KNearestDust(
+    std::size_t query, std::size_t k) const {
+  auto distances = DustDistances(query);
+  if (!distances.ok()) return distances.status();
+  return detail::SelectKNearest(distances.ValueOrDie(), query, k);
+}
+
+Result<std::vector<std::size_t>> UncertainEngine::RangeSearchDust(
+    std::size_t query, double epsilon) const {
+  auto distances = DustDistances(query);
+  if (!distances.ok()) return distances.status();
+  const std::vector<double>& d = distances.ValueOrDie();
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == query) continue;
+    if (d[i] <= epsilon) matches.push_back(i);
+  }
+  return matches;
+}
+
+// --- PROUD -------------------------------------------------------------------
+
+std::vector<double> UncertainEngine::ProudMatchProbabilities(
+    std::size_t query, double epsilon) const {
+  assert(query < size());
+  const std::size_t n = size();
+  std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
+  const std::span<const double> qrow = store_.row(query);
+  exec::ParallelFor(
+      pool_.get(), n, options_.grain,
+      [&](std::size_t begin, std::size_t end) {
+        distance::ProudMomentBatchRange(
+            qrow, store_, proud_v_, begin, end,
+            std::span<double>(mean).subspan(begin, end - begin),
+            std::span<double>(var).subspan(begin, end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
+          probs[i] = measures::Proud::ProbabilityFromStats(
+              {mean[i], var[i]}, epsilon);
+        }
+      });
+  return probs;
+}
+
+std::vector<std::size_t> UncertainEngine::ProbabilisticRangeSearchProud(
+    std::size_t query, double epsilon, double tau) const {
+  assert(query < size());
+  const std::size_t n = size();
+  std::vector<double> mean(n, 0.0), var(n, 0.0);
+  std::vector<std::uint8_t> matched(n, 0);
+  const std::span<const double> qrow = store_.row(query);
+  exec::ParallelFor(
+      pool_.get(), n, options_.grain,
+      [&](std::size_t begin, std::size_t end) {
+        distance::ProudMomentBatchRange(
+            qrow, store_, proud_v_, begin, end,
+            std::span<double>(mean).subspan(begin, end - begin),
+            std::span<double>(var).subspan(begin, end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
+          matched[i] = measures::Proud::DecideFromStats({mean[i], var[i]},
+                                                        epsilon, tau)
+                           ? 1
+                           : 0;
+        }
+      });
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == query) continue;
+    if (matched[i] != 0) matches.push_back(i);
+  }
+  return matches;
+}
+
+std::vector<Neighbor> UncertainEngine::KNearestProud(std::size_t query,
+                                                     double epsilon,
+                                                     std::size_t k) const {
+  return SelectTopKByScore(ProudMatchProbabilities(query, epsilon), query, k);
+}
+
+Result<std::vector<double>> UncertainEngine::ProudGeneralMatchProbabilities(
+    std::size_t query, double epsilon) const {
+  assert(query < size());
+  if (!proud_moments_ready_) {
+    return Status::InvalidArgument(
+        "PROUD moment columns not built; call BuildProudMomentColumns "
+        "first");
+  }
+  const std::size_t n = size();
+  std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
+  exec::ParallelFor(
+      pool_.get(), n, options_.grain,
+      [&](std::size_t begin, std::size_t end) {
+        distance::ProudGeneralMomentBatchRange(
+            store_.row(query), m2_store_.row(query), m3_store_.row(query),
+            m4_store_.row(query), store_, m2_store_, m3_store_, m4_store_,
+            begin, end, std::span<double>(mean).subspan(begin, end - begin),
+            std::span<double>(var).subspan(begin, end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
+          probs[i] = measures::Proud::ProbabilityFromStats(
+              {mean[i], var[i]}, epsilon);
+        }
+      });
+  return probs;
+}
+
+// --- MUNICH ------------------------------------------------------------------
+
+Status UncertainEngine::AttachSamples(
+    const uncertain::MultiSampleDataset& samples) {
+  if (samples.size() != size()) {
+    return Status::InvalidArgument(
+        "sample-model dataset size does not match the pdf dataset");
+  }
+  const std::size_t n = size();
+  const std::size_t len = length();
+  std::vector<double> lo(n * len), hi(n * len);
+  for (std::size_t s = 0; s < n; ++s) {
+    const uncertain::MultiSampleSeries& series = samples[s];
+    if (series.size() != len) {
+      return Status::InvalidArgument(
+          "sample-model series length does not match the pdf dataset");
+    }
+    for (std::size_t t = 0; t < len; ++t) {
+      if (series.num_samples(t) == 0) {
+        return Status::InvalidArgument("timestamp without observations");
+      }
+      std::tie(lo[s * len + t], hi[s * len + t]) = series.BoundingInterval(t);
+    }
+  }
+  sample_lo_ = ts::SoaStore(std::move(lo), len);
+  sample_hi_ = ts::SoaStore(std::move(hi), len);
+  samples_ = &samples;
+  return Status::OK();
+}
+
+std::uint64_t UncertainEngine::MunichPairSeed(std::size_t qi,
+                                              std::size_t ci) const {
+  // Counter-based: the stream of pair (qi, ci) depends only on the pair
+  // counter qi·n + ci and the engine seed — never on evaluation order or
+  // thread placement. Shared with the evaluation matchers, so engine
+  // sweeps reproduce the sequential results bit-exactly.
+  return prob::PairStreamSeed(options_.seed, qi, ci, size());
+}
+
+Result<double> UncertainEngine::MunichPairProbability(std::size_t qi,
+                                                      std::size_t ci,
+                                                      double epsilon) const {
+  const uncertain::MultiSampleSeries& x = (*samples_)[qi];
+  const uncertain::MultiSampleSeries& y = (*samples_)[ci];
+  measures::MunichOptions options = options_.munich;
+  if (options.use_bounds_filter) {
+    const measures::DistanceBounds bounds =
+        measures::Munich::EuclideanBoundsFromIntervals(
+            sample_lo_.row(qi), sample_hi_.row(qi), sample_lo_.row(ci),
+            sample_hi_.row(ci));
+    if (bounds.upper <= epsilon) return 1.0;
+    if (bounds.lower > epsilon) return 0.0;
+    // The filter did not decide; hand the estimator a filter-free matcher
+    // so the bounds are not recomputed from the raw samples.
+    options.use_bounds_filter = false;
+  }
+  return measures::Munich(options).MatchProbability(x, y, epsilon,
+                                                    MunichPairSeed(qi, ci));
+}
+
+Result<std::vector<double>> UncertainEngine::MunichMatchProbabilities(
+    std::size_t query, double epsilon) const {
+  assert(query < size());
+  if (samples_ == nullptr) {
+    return Status::InvalidArgument(
+        "no sample-model dataset attached (required by MUNICH)");
+  }
+  const std::size_t n = size();
+  std::vector<double> probs(n, 0.0);
+  std::vector<Status> statuses(exec::NumChunks(n, options_.grain),
+                               Status::OK());
+  exec::ParallelFor(pool_.get(), n, options_.grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      Status& status = statuses[begin / options_.grain];
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (i == query) continue;
+                        auto p = MunichPairProbability(query, i, epsilon);
+                        if (!p.ok()) {
+                          status = p.status();
+                          return;
+                        }
+                        probs[i] = p.ValueOrDie();
+                      }
+                    });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return probs;
+}
+
+Result<std::vector<std::size_t>> UncertainEngine::ProbabilisticRangeSearchMunich(
+    std::size_t query, double epsilon, double tau) const {
+  auto probs = MunichMatchProbabilities(query, epsilon);
+  if (!probs.ok()) return probs.status();
+  const std::vector<double>& p = probs.ValueOrDie();
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i == query) continue;
+    if (p[i] >= tau) matches.push_back(i);
+  }
+  return matches;
+}
+
+Result<std::vector<Neighbor>> UncertainEngine::KNearestMunich(
+    std::size_t query, double epsilon, std::size_t k) const {
+  auto probs = MunichMatchProbabilities(query, epsilon);
+  if (!probs.ok()) return probs.status();
+  return SelectTopKByScore(probs.ValueOrDie(), query, k);
+}
+
+}  // namespace uts::query

@@ -1,0 +1,280 @@
+/// \file uncertain_engine.hpp
+/// \brief The batched, multi-threaded query engine for the *uncertain*
+/// measures — MUNICH, PROUD and DUST — the techniques every reported figure
+/// of the paper (Fig. 4–17) is driven by.
+///
+/// `UncertainEngine` is the uncertain-measure sibling of
+/// `DistanceMatrixEngine` (engine.hpp): it answers 1-vs-all sweeps — dense
+/// distance/probability vectors, k-NN lists, range queries RQ and
+/// probabilistic range queries PRQ(Q,C,ε,τ) (Eq. 2) — over parallel blocks
+/// of candidates scheduled on an `exec::ThreadPool`, streaming contiguous
+/// `ts::SoaStore` snapshots instead of per-series heap allocations.
+///
+/// Per measure, the engine precomputes at build time:
+///
+///  * **DUST** — a thread-shared lookup-table cache: one
+///    `measures::DustTable` per distinct (error-class, error-class) pair,
+///    built once by `BuildDustTables` and immutable afterwards, exposed to
+///    the blocked batch kernels of distance/batch.hpp as borrowed
+///    `distance::DustLut` views. The all-normal-error case takes the closed
+///    form dust(Δ) = Δ / sqrt(2(σx² + σy²)) — no table loads at all.
+///  * **PROUD** — per-series central-moment prefixes (m2/m3/m4 columns in
+///    SoA layout), so the general-moment ε_norm sweep is one contiguous
+///    pass per candidate with zero virtual dispatch; the paper-faithful
+///    constant-σ sweep is a single fused pass over the observation rows.
+///  * **MUNICH** — per-series bounding-interval columns (min/max per
+///    timestamp) for the certain-accept / certain-reject filter, plus
+///    deterministic *counter-based* RNG seeding: the Monte Carlo stream of
+///    pair (q, c) is seeded by the pure function
+///    `DeriveSeed(seed, q·n + c + 0x9a1)` of the pair counter alone, so
+///    parallel and sequential runs draw identical materializations.
+///
+/// Determinism guarantee: results are bit-identical to the scalar measure
+/// APIs (measures::Dust::Distance, measures::Proud::Matches,
+/// measures::Munich::MatchProbability with the same per-pair seeds) at every
+/// thread count. The ingredients are the same as DistanceMatrixEngine's —
+/// pure blocked partitions (exec::ParallelFor), disjoint pre-allocated
+/// output slots, ordered post-barrier reductions — plus two structural ones:
+/// every batch kernel accumulates in exactly the scalar measure's operation
+/// order (distance/batch.hpp documents each identity), and the scalar
+/// measures themselves evaluate through the very code the kernels use
+/// (DustTable::Dust == DustLut::Eval; Proud decisions go through
+/// Proud::DecideFromStats; MUNICH bounds go through
+/// Munich::EuclideanBoundsFromIntervals).
+
+#ifndef UTS_QUERY_UNCERTAIN_ENGINE_HPP_
+#define UTS_QUERY_UNCERTAIN_ENGINE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "distance/batch.hpp"
+#include "exec/thread_pool.hpp"
+#include "measures/dust.hpp"
+#include "measures/munich.hpp"
+#include "measures/proud.hpp"
+#include "query/search.hpp"
+#include "ts/soa_store.hpp"
+#include "uncertain/uncertain_series.hpp"
+
+namespace uts::query {
+
+/// \brief Execution + measure configuration of an UncertainEngine.
+struct UncertainEngineOptions {
+  /// Worker threads; 1 = run inline on the caller (sequential reference
+  /// path), 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 1;
+
+  /// Candidate rows per parallel chunk of a single query's sweep. Smaller
+  /// than DistanceMatrixEngine's default because MUNICH estimators cost
+  /// orders of magnitude more per candidate than a Euclidean row.
+  std::size_t grain = 64;
+
+  /// DUST table construction parameters.
+  measures::DustOptions dust;
+
+  /// MUNICH estimator configuration (τ is *not* consulted by the engine;
+  /// PRQ methods take τ explicitly so a τ sweep reuses one engine).
+  measures::MunichOptions munich;
+
+  /// The constant per-point σ PROUD is told (its "a priori knowledge").
+  double proud_sigma = 1.0;
+
+  /// Base seed of the MUNICH Monte Carlo pair streams; the same value used
+  /// with the scalar API reproduces engine results bit-exactly.
+  std::uint64_t seed = 0x5eed;
+};
+
+/// \brief Batched parallel MUNICH / PROUD / DUST query execution over one
+/// pdf-model dataset (plus an optional sample-model dataset for MUNICH).
+///
+/// The engine borrows both datasets; they must outlive it and not be
+/// mutated while it is in use. All query methods are const and safe to call
+/// concurrently once construction (and `BuildDustTables`, if used) is done.
+class UncertainEngine {
+ public:
+  /// Build the engine: packs the observations into a SoA store and assigns
+  /// error-class ids. Requires a non-empty dataset of uniform length.
+  /// Measure-specific precomputations are explicit setup steps so callers
+  /// only pay for what they query: `BuildDustTables` before the DUST
+  /// queries, `BuildProudMomentColumns` before the general-moment PROUD
+  /// sweep (the constant-σ PROUD and MUNICH paths need neither).
+  static Result<std::unique_ptr<UncertainEngine>> Create(
+      const uncertain::UncertainDataset& pdf,
+      UncertainEngineOptions options = {});
+
+  ~UncertainEngine();
+
+  UncertainEngine(const UncertainEngine&) = delete;
+  UncertainEngine& operator=(const UncertainEngine&) = delete;
+
+  /// Number of series.
+  std::size_t size() const { return store_.rows(); }
+
+  /// Shared series length.
+  std::size_t length() const { return store_.stride(); }
+
+  /// Resolved worker-thread count (>= 1).
+  std::size_t threads() const;
+
+  /// Number of distinct error classes across the dataset.
+  std::size_t num_error_classes() const { return num_classes_; }
+
+  const UncertainEngineOptions& options() const { return options_; }
+
+  /// \name DUST
+  /// \{
+
+  /// Build the immutable lookup-table cache: one table per unordered pair
+  /// of error classes, canonicalized exactly like measures::Dust's cache.
+  /// Idempotent; must complete before the DUST queries below. Not
+  /// thread-safe against concurrent queries (call during setup).
+  Status BuildDustTables();
+
+  /// Same, but borrow the tables from a persistent scalar cache instead of
+  /// building privately: re-binding to new data with the same error models
+  /// (e.g. one spec across many datasets) then reuses the already-built
+  /// tables instead of re-running the numeric integration. `shared_cache`
+  /// must outlive this engine and use the same DustOptions; its cache is
+  /// append-only, so borrowed table addresses stay valid.
+  Status BuildDustTables(measures::Dust& shared_cache);
+
+  /// True once BuildDustTables has succeeded.
+  bool dust_ready() const { return dust_ready_; }
+
+  /// Dense DUST(query, ·) sweep over every series (self slot included).
+  Result<std::vector<double>> DustDistances(std::size_t query) const;
+
+  /// DUST distance of one pair, through the same tables/kernels.
+  Result<double> DustDistance(std::size_t query, std::size_t candidate) const;
+
+  /// k nearest neighbors under DUST, self excluded; ascending distance,
+  /// ties by index (the legacy comparator).
+  Result<std::vector<Neighbor>> KNearestDust(std::size_t query,
+                                             std::size_t k) const;
+
+  /// RQ(Q, C, ε) under DUST: indices with distance <= epsilon, self
+  /// excluded, ascending.
+  Result<std::vector<std::size_t>> RangeSearchDust(std::size_t query,
+                                                   double epsilon) const;
+  /// \}
+
+  /// \name PROUD (paper-faithful constant-σ model)
+  /// \{
+
+  /// Dense Pr(distance(query, ·) ≤ ε) sweep (self slot included).
+  std::vector<double> ProudMatchProbabilities(std::size_t query,
+                                              double epsilon) const;
+
+  /// PRQ(Q, C, ε, τ) via the ε_norm ≥ Φ⁻¹(τ) test — bit-identical to
+  /// measures::Proud::Matches per candidate. Self excluded, ascending.
+  std::vector<std::size_t> ProbabilisticRangeSearchProud(std::size_t query,
+                                                         double epsilon,
+                                                         double tau) const;
+
+  /// k candidates with the highest match probability at ε, self excluded;
+  /// descending probability, ties by index. `Neighbor::distance` carries
+  /// the probability.
+  std::vector<Neighbor> KNearestProud(std::size_t query, double epsilon,
+                                      std::size_t k) const;
+
+  /// Precompute the per-series central-moment columns (the "moment
+  /// prefixes") the general-moment sweep reads. Idempotent; immutable once
+  /// built. Kept out of Create so the constant-σ/DUST/MUNICH callers do
+  /// not pay 3·n·len doubles they never read.
+  Status BuildProudMomentColumns();
+
+  /// True once BuildProudMomentColumns has run.
+  bool proud_moments_ready() const { return proud_moments_ready_; }
+
+  /// Dense sweep through the exact per-point moment propagation
+  /// (Proud::MatchProbabilityGeneral), reading the precomputed moment
+  /// columns instead of per-point virtual dispatch.
+  Result<std::vector<double>> ProudGeneralMatchProbabilities(
+      std::size_t query, double epsilon) const;
+  /// \}
+
+  /// \name MUNICH (requires AttachSamples)
+  /// \{
+
+  /// Attach the repeated-observations dataset and precompute its
+  /// bounding-interval columns. Series count and lengths must match the
+  /// pdf dataset.
+  Status AttachSamples(const uncertain::MultiSampleDataset& samples);
+
+  /// True once a sample-model dataset is attached.
+  bool has_samples() const { return samples_ != nullptr; }
+
+  /// The deterministic Monte Carlo seed of pair (qi, ci): the pair counter
+  /// qi·n + ci hashed with the engine seed. Pure function — independent of
+  /// thread count, evaluation order, and which queries ran before.
+  std::uint64_t MunichPairSeed(std::size_t qi, std::size_t ci) const;
+
+  /// Dense Pr(distance(query, ·) ≤ ε) sweep via the configured estimator
+  /// with the interval-bounds filter applied first (when enabled). The self
+  /// slot is 0 (never evaluated). Bit-identical to
+  /// measures::Munich::MatchProbability with MunichPairSeed per pair.
+  Result<std::vector<double>> MunichMatchProbabilities(std::size_t query,
+                                                       double epsilon) const;
+
+  /// PRQ(Q, C, ε, τ): probability ≥ τ, self excluded, ascending.
+  Result<std::vector<std::size_t>> ProbabilisticRangeSearchMunich(
+      std::size_t query, double epsilon, double tau) const;
+
+  /// k candidates with the highest MUNICH match probability at ε, self
+  /// excluded; descending probability, ties by index.
+  Result<std::vector<Neighbor>> KNearestMunich(std::size_t query,
+                                               double epsilon,
+                                               std::size_t k) const;
+  /// \}
+
+ private:
+  explicit UncertainEngine(UncertainEngineOptions options);
+
+  /// Class id of series `s` at timestamp `t`.
+  std::uint16_t class_id(std::size_t s, std::size_t t) const {
+    return class_ids_[s * store_.stride() + t];
+  }
+
+  /// The lut of class pair (a, b).
+  const distance::DustLut& PairLut(std::size_t a, std::size_t b) const {
+    return dust_luts_[a * num_classes_ + b];
+  }
+
+  /// MUNICH probability of one pair (bounds filter + estimator), reading
+  /// the precomputed interval columns.
+  Result<double> MunichPairProbability(std::size_t qi, std::size_t ci,
+                                       double epsilon) const;
+
+  UncertainEngineOptions options_;
+
+  ts::SoaStore store_;  ///< Packed observations.
+  /// PROUD moment columns; empty until BuildProudMomentColumns.
+  ts::SoaStore m2_store_, m3_store_, m4_store_;
+  bool proud_moments_ready_ = false;
+  double proud_v_ = 2.0;  ///< v = 2σ² of the constant-σ PROUD model.
+
+  std::vector<std::uint16_t> class_ids_;  ///< rows×stride error-class ids.
+  std::vector<prob::ErrorDistributionPtr> class_dists_;  ///< Representatives.
+  std::size_t num_classes_ = 0;
+
+  /// Table storage: the no-arg BuildDustTables owns a private scalar cache
+  /// (so canonicalization lives in measures::Dust alone); the shared-cache
+  /// overload borrows the caller's instead. The K×K lut matrix views
+  /// whichever cache built the tables; immutable after BuildDustTables.
+  std::unique_ptr<measures::Dust> owned_dust_cache_;
+  std::vector<distance::DustLut> dust_luts_;
+  bool dust_ready_ = false;
+
+  const uncertain::MultiSampleDataset* samples_ = nullptr;  ///< Borrowed.
+  ts::SoaStore sample_lo_, sample_hi_;  ///< Bounding-interval columns.
+
+  std::unique_ptr<exec::ThreadPool> pool_;  ///< Null when threads == 1.
+};
+
+}  // namespace uts::query
+
+#endif  // UTS_QUERY_UNCERTAIN_ENGINE_HPP_

@@ -68,6 +68,46 @@ TEST(DustTableTest, NumericMatchesGaussianClosedForm) {
   }
 }
 
+TEST(DustTableTest, NumericSimpsonTracksClosedFormWithinPinnedTolerance) {
+  // Property pin for the engine's closed-form fast path: over the whole
+  // lookup range the adaptive-Simpson table and the analytic
+  // dust(Δ) = Δ / sqrt(2 (σx² + σy²)) must agree within a fixed tolerance.
+  // A regression that loosens the integrator or the table resolution (or a
+  // fast path that drifts from the numeric definition) trips this.
+  DustOptions numeric;
+  numeric.use_closed_form_normal = false;
+  auto num_table = DustTable::Build(*prob::MakeNormalError(0.4),
+                                    *prob::MakeNormalError(0.9), numeric);
+  ASSERT_TRUE(num_table.ok()) << num_table.status();
+  const double scale = 1.0 / std::sqrt(2.0 * (0.16 + 0.81));
+  double max_abs_err = 0.0;
+  for (double d = 0.0; d <= 10.0; d += 0.05) {
+    max_abs_err = std::max(max_abs_err,
+                           std::fabs(num_table.ValueOrDie().Dust(d) -
+                                     d * scale));
+  }
+  EXPECT_LE(max_abs_err, 2.5e-3);  // pinned
+}
+
+TEST(DustTableTest, LutViewEvaluatesBitwiseLikeTheTable) {
+  // The batch kernels evaluate through DustLut::Eval; the scalar Dust()
+  // delegates to the same code. Pin the bitwise identity for both the
+  // closed-form and the numeric-table paths so the two can never drift.
+  DustOptions options;
+  for (auto table_result :
+       {DustTable::Build(*prob::MakeNormalError(0.5),
+                         *prob::MakeNormalError(0.8), options),
+        DustTable::Build(*prob::MakeUniformError(0.5),
+                         *prob::MakeUniformError(0.5), options)}) {
+    ASSERT_TRUE(table_result.ok());
+    const DustTable& table = table_result.ValueOrDie();
+    const distance::DustLut lut = table.Lut();
+    for (double d = -20.0; d <= 20.0; d += 0.37) {
+      EXPECT_EQ(table.Dust(d), lut.Eval(d)) << "delta=" << d;  // bitwise
+    }
+  }
+}
+
 TEST(DustTableTest, ReflexivityDustOfZeroIsZero) {
   DustOptions options;
   for (auto err :
@@ -111,6 +151,58 @@ TEST(DustTableTest, UniformErrorSaturatesBeyondOverlap) {
   // Saturated: beyond the overlap every difference looks equally far.
   EXPECT_NEAR(outside1, outside2, 1e-6);
   EXPECT_DOUBLE_EQ(table.ValueOrDie().Phi(overlap_edge + 1.0), 0.0);
+}
+
+TEST(DustTableTest, PhiFloorSaturationValueIsPinnedAtOverlapBoundary) {
+  // Regression for the uniform-error saturation (Section 4.2.1): past the
+  // support-overlap boundary δ = 2a (a = σ√3) the overlap integral is
+  // exactly zero, the phi_floor kicks in, and every saturated cell must
+  // equal sqrt(log φ(0) − log phi_floor) — finite, and constant from the
+  // boundary to the clamp edge. Before this pin the saturating value was
+  // implied but untested; a phi_floor regression (e.g. flooring after the
+  // log) would produce ±Inf/NaN here.
+  DustOptions options;
+  const double sigma = 0.5;
+  auto table_result = DustTable::Build(*prob::MakeUniformError(sigma),
+                                       *prob::MakeUniformError(sigma),
+                                       options);
+  ASSERT_TRUE(table_result.ok());
+  const DustTable& table = table_result.ValueOrDie();
+  const double overlap_edge = 2.0 * sigma * std::sqrt(3.0);
+  const double saturated =
+      std::sqrt(std::log(table.phi0()) - std::log(options.phi_floor));
+  ASSERT_TRUE(std::isfinite(saturated));
+  // Just inside the boundary: strictly below saturation and finite.
+  const double inside = table.Dust(overlap_edge - 0.05);
+  EXPECT_TRUE(std::isfinite(inside));
+  EXPECT_LT(inside, saturated);
+  // Outside (including the table clamp region): exactly the pinned value,
+  // up to the table's linear interpolation at the boundary cell.
+  for (double delta : {overlap_edge + 0.1, overlap_edge + 2.0, 100.0}) {
+    const double v = table.Dust(delta);
+    EXPECT_TRUE(std::isfinite(v)) << "delta=" << delta;
+    EXPECT_NEAR(v, saturated, 1e-9) << "delta=" << delta;
+  }
+}
+
+TEST(DustDistanceTest, UniformSaturationNeverLeaksNanOrInf) {
+  // Sequence-level guard: far-apart series under pure uniform error hit the
+  // saturated cells at every point; DUST(X, Y) must stay finite (the
+  // documented "large, constant dissimilarity" behaviour) and reproducible.
+  auto err = prob::MakeUniformError(0.5);
+  std::vector<double> far_a(24, 0.0), far_b(24, 8.0);
+  auto x = MakeSeries(far_a, err);
+  auto y = MakeSeries(far_b, err);
+  Dust dust;
+  auto d = dust.Distance(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isfinite(d.ValueOrDie()));
+  EXPECT_GT(d.ValueOrDie(), 0.0);
+  // sqrt(n) · saturated-cell value, by Eq. 13.
+  auto table = DustTable::Build(*err, *err, dust.options());
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(d.ValueOrDie(),
+              std::sqrt(24.0) * table.ValueOrDie().Dust(8.0), 1e-9);
 }
 
 TEST(DustTableTest, TailedUniformAvoidsSaturation) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "distance/lp.hpp"
@@ -137,6 +138,39 @@ TEST(MunichMonteCarloTest, ConvergesToExact) {
       Munich::MonteCarloMatchProbability(x, y, eps, 200000, 1234);
   // Binomial standard error at n=200k is <= 0.0012; allow 4 sigma.
   EXPECT_NEAR(mc, exact, 0.005);
+}
+
+TEST(MunichMonteCarloTest, ConvergenceBoundOnPaperConfiguration) {
+  // Figure 4's configuration (length n = 6, s = 5 samples/timestamp) is
+  // exactly countable, so the Monte Carlo estimator can be held to its
+  // binomial error bound: |mc(N) − exact| ≤ 4·sqrt(p(1−p)/N) at every
+  // sample count, and the mean absolute error must shrink as N grows.
+  const auto x = RandomMultiSample(6, 5, 80);
+  const auto y = RandomMultiSample(6, 5, 81);
+  const double eps = 3.0;
+  const double exact = Munich::ExactMatchProbability(x, y, eps).ValueOrDie();
+  ASSERT_GT(exact, 0.0);
+  ASSERT_LT(exact, 1.0);
+  const double spread = std::sqrt(exact * (1.0 - exact));
+  const std::uint64_t seeds[] = {7, 8, 9};
+  std::vector<double> mean_errs;
+  for (std::size_t samples : {std::size_t{2000}, std::size_t{20000},
+                              std::size_t{200000}}) {
+    const double bound = 4.0 * spread / std::sqrt(double(samples));
+    double total_err = 0.0;
+    for (std::uint64_t seed : seeds) {
+      const double mc =
+          Munich::MonteCarloMatchProbability(x, y, eps, samples, seed);
+      EXPECT_LE(std::fabs(mc - exact), bound)
+          << "samples=" << samples << " seed=" << seed;
+      total_err += std::fabs(mc - exact);
+    }
+    mean_errs.push_back(total_err / 3.0);
+  }
+  // 100× more samples must visibly shrink the mean error (the per-N bound
+  // above already pins the O(1/sqrt(N)) rate; adjacent steps with only 3
+  // seeds may tie by luck, so compare the extremes).
+  EXPECT_LT(mean_errs.back(), mean_errs.front());
 }
 
 TEST(MunichMonteCarloTest, DeterministicPerSeed) {

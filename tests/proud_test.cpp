@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "measures/proud.hpp"
@@ -115,6 +116,56 @@ TEST(ProudProbabilityTest, TracksEmpiricalProbability) {
     const double empirical = double(hits) / kTrials;
     const double model = proud.MatchProbability(x, y, eps);
     EXPECT_NEAR(model, empirical, 0.03) << "eps=" << eps;
+  }
+}
+
+TEST(ProudProbabilityTest, EpsNormStrictlyMonotoneInEpsilon) {
+  // ε_norm = (ε² − E[dist]) / sqrt(Var[dist]) (Eq. 8–11) must be strictly
+  // increasing in ε for any fixed pair — the property the PRQ decision and
+  // the τ-threshold calibration rest on.
+  Proud proud({.tau = 0.5, .sigma = 0.7});
+  const auto x = RandomObs(24, 23);
+  const auto y = RandomObs(24, 24);
+  const ProudStats stats = proud.DistanceStats(x, y);
+  ASSERT_GT(stats.var_sq, 0.0);
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double eps = 0.0; eps <= 25.0; eps += 0.25) {
+    const double eps_norm =
+        (eps * eps - stats.mean_sq) / std::sqrt(stats.var_sq);
+    EXPECT_GT(eps_norm, prev) << "eps=" << eps;
+    prev = eps_norm;
+  }
+}
+
+TEST(ProudDecisionTest, DecisionMonotoneInTau) {
+  // Raising τ can only shrink the accepted set: for every ε, a match at
+  // τ_hi implies a match at every τ_lo ≤ τ_hi. Exercised through the
+  // DecideFromStats helper the batched engine shares with the scalar path.
+  const auto x = RandomObs(24, 25);
+  const auto y = RandomObs(24, 26);
+  Proud proud({.tau = 0.5, .sigma = 0.6});
+  const ProudStats stats = proud.DistanceStats(x, y);
+  const double taus[] = {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99};
+  for (double eps = 0.5; eps <= 15.0; eps += 0.5) {
+    bool prev_matched = true;  // τ = 0⁺ accepts whenever any τ does
+    for (double tau : taus) {
+      const bool matched = Proud::DecideFromStats(stats, eps, tau);
+      EXPECT_TRUE(prev_matched || !matched)
+          << "non-monotone at eps=" << eps << " tau=" << tau;
+      prev_matched = matched;
+    }
+  }
+}
+
+TEST(ProudDecisionTest, DecideFromStatsIsTheMatchesDecision) {
+  const auto x = RandomObs(20, 27);
+  const auto y = RandomObs(20, 28);
+  for (double tau : {0.2, 0.5, 0.8}) {
+    Proud proud({.tau = tau, .sigma = 0.5});
+    for (double eps = 1.0; eps < 12.0; eps += 0.5) {
+      EXPECT_EQ(proud.Matches(x, y, eps),
+                Proud::DecideFromStats(proud.DistanceStats(x, y), eps, tau));
+    }
   }
 }
 

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "prob/special.hpp"
+#include "query/engine_context.hpp"
 
 namespace uts::bench {
 
@@ -23,6 +25,18 @@ core::RunOptions BenchConfig::MakeRunOptions() const {
 }
 
 namespace {
+
+/// The supplied run-wide engine context, or a local one in `local` sized
+/// to `threads` when the caller did not pass any.
+query::EngineContext* EnsureEngines(
+    std::optional<query::EngineContext>& local, std::size_t threads,
+    query::EngineContext* supplied) {
+  if (supplied != nullptr) return supplied;
+  query::EngineContextOptions engine_options;
+  engine_options.threads = threads;
+  local.emplace(engine_options);
+  return &*local;
+}
 
 std::vector<std::string> SplitCommaList(const std::string& arg) {
   std::vector<std::string> out;
@@ -204,8 +218,16 @@ Result<double> OptimizeTau(const std::vector<ts::Dataset>& datasets,
 Result<std::vector<core::MatcherResult>> RunPooled(
     const std::vector<ts::Dataset>& datasets,
     const uncertain::ErrorSpec& spec, std::vector<core::Matcher*> matchers,
-    const BenchConfig& config) {
-  const core::RunOptions options = config.MakeRunOptions();
+    const BenchConfig& config, query::EngineContext* engines) {
+  core::RunOptions options = config.MakeRunOptions();
+
+  // One engine context for the whole harness call (or the caller's,
+  // spanning a whole figure): one thread pool across every dataset, τ grid
+  // point and matcher; one SoA pack per distinct perturbed dataset (τ
+  // sweeps rebind to bit-identical data and reuse it).
+  std::optional<query::EngineContext> local_engines;
+  options.engine_context = EnsureEngines(local_engines, options.threads,
+                                         engines);
 
   std::vector<std::vector<core::MatcherResult>> parts;
   for (const auto& dataset : datasets) {
@@ -238,8 +260,14 @@ Result<std::vector<core::MatcherResult>> RunPooled(
 Result<std::vector<PerDatasetRow>> RunPerDataset(
     const std::vector<ts::Dataset>& datasets,
     const uncertain::ErrorSpec& spec, std::vector<core::Matcher*> matchers,
-    const BenchConfig& config) {
-  const core::RunOptions options = config.MakeRunOptions();
+    const BenchConfig& config, query::EngineContext* engines) {
+  core::RunOptions options = config.MakeRunOptions();
+
+  // One shared engine context per harness call (see RunPooled).
+  std::optional<query::EngineContext> local_engines;
+  options.engine_context = EnsureEngines(local_engines, options.threads,
+                                         engines);
+
   std::vector<PerDatasetRow> rows;
   for (const auto& dataset : datasets) {
     if (config.sweep_tau) {

@@ -28,6 +28,10 @@
 #include "ts/dataset.hpp"
 #include "uncertain/error_spec.hpp"
 
+namespace uts::query {
+class EngineContext;
+}  // namespace uts::query
+
 namespace uts::bench {
 
 /// \brief Scale and output configuration shared by all harnesses.
@@ -77,9 +81,15 @@ Result<double> OptimizeTau(const std::vector<ts::Dataset>& datasets,
 /// ("we report the average results over the full time series for all
 /// datasets"). When `sweep_tau` is set, probabilistic matchers are tuned
 /// first via OptimizeTau.
+///
+/// `engines` is the run-wide shared engine context (one thread pool, one
+/// SoA pack and one uncertain engine per evaluation). Null = create one
+/// internally for this call; figure drivers looping over configurations
+/// pass one so the whole figure shares a single pool.
 Result<std::vector<core::MatcherResult>> RunPooled(
     const std::vector<ts::Dataset>& datasets, const uncertain::ErrorSpec& spec,
-    std::vector<core::Matcher*> matchers, const BenchConfig& config);
+    std::vector<core::Matcher*> matchers, const BenchConfig& config,
+    query::EngineContext* engines = nullptr);
 
 /// \brief Per-dataset results (Figures 8-10, 15-17 are per-dataset bars).
 struct PerDatasetRow {
@@ -88,9 +98,11 @@ struct PerDatasetRow {
 };
 
 /// \brief Evaluate matchers per dataset, with one shared τ tuned up front.
+/// `engines` as in RunPooled.
 Result<std::vector<PerDatasetRow>> RunPerDataset(
     const std::vector<ts::Dataset>& datasets, const uncertain::ErrorSpec& spec,
-    std::vector<core::Matcher*> matchers, const BenchConfig& config);
+    std::vector<core::Matcher*> matchers, const BenchConfig& config,
+    query::EngineContext* engines = nullptr);
 
 /// \brief Print the standard harness banner.
 void PrintBanner(const std::string& figure, const std::string& setting,

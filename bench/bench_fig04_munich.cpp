@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "query/engine_context.hpp"
 
 namespace uts::bench {
 namespace {
@@ -64,6 +65,14 @@ int Run(int argc, char** argv) {
   core::EuclideanMatcher euclid;
   std::vector<core::Matcher*> matchers{&munich, &proud, &dust, &euclid};
 
+  // One engine context for the whole figure: every error distribution, σ
+  // grid point, τ tuning run and matcher shares one pool; within one (d, σ)
+  // configuration the τ sweep rebinds to bit-identical data and reuses the
+  // packed engines.
+  query::EngineContextOptions engine_options;
+  engine_options.threads = run_config.threads;
+  query::EngineContext engines(engine_options);
+
   for (int d = 0; d < 3; ++d) {
     core::TextTable table({"sigma", "MUNICH", "PROUD", "DUST", "Euclidean"});
     for (double sigma : sigmas) {
@@ -71,6 +80,7 @@ int Run(int argc, char** argv) {
       core::RunOptions options = run_config.MakeRunOptions();
       options.munich_samples_per_point = 5;  // "5 samples as input"
       options.proud_sigma = sigma;
+      options.engine_context = &engines;
 
       if (run_config.sweep_tau) {
         for (core::Matcher* m : {static_cast<core::Matcher*>(&munich),

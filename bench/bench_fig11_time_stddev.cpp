@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "core/timer.hpp"
+#include "query/engine_context.hpp"
 
 namespace uts::bench {
 namespace {
@@ -30,12 +31,17 @@ int Run(int argc, char** argv) {
   io::CsvWriter csv({"sigma", "PROUD_ms", "DUST_ms", "Euclidean_ms"});
   core::TextTable table({"sigma", "PROUD (ms)", "DUST (ms)", "Euclidean (ms)"});
 
+  // One engine context (one thread pool) for the whole σ sweep.
+  query::EngineContextOptions engine_options;
+  engine_options.threads = config.threads;
+  query::EngineContext engines(engine_options);
+
   for (double sigma : SigmaGrid()) {
     const auto spec =
         uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, sigma);
     std::vector<core::Matcher*> matchers{
         bundle.proud.get(), bundle.dust.get(), bundle.euclidean.get()};
-    auto pooled = RunPooled(datasets, spec, matchers, config);
+    auto pooled = RunPooled(datasets, spec, matchers, config, &engines);
     if (!pooled.ok()) {
       std::fprintf(stderr, "%s\n", pooled.status().ToString().c_str());
       return 1;
@@ -63,6 +69,7 @@ int Run(int argc, char** argv) {
     core::RunOptions options = config.MakeRunOptions();
     options.max_queries = 5;
     options.munich_samples_per_point = 5;
+    options.engine_context = &engines;
     auto run = core::RunSimilarityMatching(
         d, uncertain::ErrorSpec::Constant(prob::ErrorKind::kNormal, 1.0),
         matchers, options);

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "query/engine_context.hpp"
 #include "ts/normalize.hpp"
 #include "ts/resample.hpp"
 
@@ -46,6 +47,11 @@ int Run(int argc, char** argv) {
   core::TextTable table(
       {"length", "PROUD (ms)", "DUST (ms)", "Euclidean (ms)"});
 
+  // One engine context (one thread pool) for the whole length sweep.
+  query::EngineContextOptions engine_options;
+  engine_options.threads = config.threads;
+  query::EngineContext engines(engine_options);
+
   for (std::size_t length : lengths) {
     std::vector<ts::Dataset> resampled;
     resampled.reserve(base.size());
@@ -53,7 +59,7 @@ int Run(int argc, char** argv) {
 
     std::vector<core::Matcher*> matchers{
         bundle.proud.get(), bundle.dust.get(), bundle.euclidean.get()};
-    auto pooled = RunPooled(resampled, spec, matchers, config);
+    auto pooled = RunPooled(resampled, spec, matchers, config, &engines);
     if (!pooled.ok()) {
       std::fprintf(stderr, "%s\n", pooled.status().ToString().c_str());
       return 1;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <thread>
 
 #include "core/timer.hpp"
 #include "query/engine.hpp"
+#include "query/engine_context.hpp"
 #include "query/search.hpp"
 #include "uncertain/perturb.hpp"
 
@@ -39,10 +42,34 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
     return Status::InvalidArgument("no matchers supplied");
   }
 
+  // --- Engine context ------------------------------------------------------
+  // The single resource root of this evaluation: one shared thread pool,
+  // one SoA pack per dataset, one uncertain engine for all matchers. An
+  // externally supplied context (options.engine_context) persists those
+  // resources across runs — τ sweeps re-perturb to bit-identical data and
+  // therefore keep the packed engines.
+  std::optional<query::EngineContext> local_engines;
+  query::EngineContext* engines = options.engine_context;
+  if (engines == nullptr) {
+    query::EngineContextOptions engine_options;
+    engine_options.threads = options.threads;
+    local_engines.emplace(engine_options);
+    engines = &*local_engines;
+  } else {
+    const std::size_t want =
+        options.threads == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : options.threads;
+    if (engines->threads() != want) {
+      return Status::InvalidArgument(
+          "engine_context thread count does not match RunOptions::threads");
+    }
+  }
+
   // --- Perturb -------------------------------------------------------------
-  const uncertain::UncertainDataset pdf =
+  uncertain::UncertainDataset pdf =
       uncertain::PerturbDataset(exact, spec, options.seed);
-  uncertain::MultiSampleDataset samples;
+  std::optional<uncertain::MultiSampleDataset> samples;
   const bool want_samples = options.munich_samples_per_point > 0;
   if (want_samples) {
     // An independent seed stream: the sample-model observations are a
@@ -52,15 +79,20 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
         prob::DeriveSeed(options.seed, 0xface));
   }
 
+  const double reported_sigma = options.proud_sigma > 0.0
+                                    ? options.proud_sigma
+                                    : spec.RepresentativeSigma();
+  UTS_RETURN_NOT_OK(engines->BindData(std::move(pdf), std::move(samples),
+                                      options.seed, reported_sigma));
+
   EvalContext context;
   context.exact = &exact;
-  context.pdf = &pdf;
-  context.samples = want_samples ? &samples : nullptr;
-  context.reported_sigma = options.proud_sigma > 0.0
-                               ? options.proud_sigma
-                               : spec.RepresentativeSigma();
+  context.pdf = engines->pdf();
+  context.samples = engines->samples();
+  context.reported_sigma = reported_sigma;
   context.seed = options.seed;
   context.threads = options.threads;
+  context.engines = engines;
 
   for (Matcher* matcher : matchers) {
     UTS_RETURN_NOT_OK(matcher->Bind(context));
@@ -85,13 +117,12 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
   // Ground truth: the k nearest under the exact Euclidean distance (or
   // exact DTW when requested). "Distance thresholds are chosen such that
   // in the ground truth set they return exactly 10 time series." The
-  // all-pairs sweep runs on the parallel engine — Euclidean over the SoA
-  // store (parallel over queries), DTW over the pure per-pair callback
-  // (parallel over candidates; small grain since one DTW is O(n²)).
-  query::EngineOptions engine_options;
-  engine_options.threads = options.threads;
-  if (options.dtw_ground_truth) engine_options.grain = 16;
-  const query::DistanceMatrixEngine engine(exact, engine_options);
+  // all-pairs sweep runs on the context's shared certain engine — Euclidean
+  // over the SoA store (parallel over queries), DTW over the pure per-pair
+  // callback (parallel over candidates; small grain since one DTW is
+  // O(n²)). Repeated runs over the same exact dataset reuse the engine.
+  const query::DistanceMatrixEngine& engine =
+      engines->Certain(exact, options.dtw_ground_truth ? 16 : 0);
 
   std::vector<std::vector<query::Neighbor>> ground_truth;
   if (options.dtw_ground_truth) {

@@ -37,6 +37,10 @@
 #include "ts/dataset.hpp"
 #include "uncertain/error_spec.hpp"
 
+namespace uts::query {
+class EngineContext;
+}  // namespace uts::query
+
 namespace uts::core {
 
 /// \brief Options of one similarity-matching run.
@@ -75,6 +79,16 @@ struct RunOptions {
 
   /// Sakoe–Chiba band for the DTW ground truth (kNoBand = unconstrained).
   std::size_t dtw_ground_truth_band = distance::DtwOptions::kNoBand;
+
+  /// Run-wide shared engine context (query::EngineContext): one thread
+  /// pool, one SoA pack per dataset and one uncertain engine serve every
+  /// matcher of the evaluation. Borrowed — it must outlive the run and be
+  /// configured with the same thread count as `threads`. Passing one
+  /// context across repeated runs (τ sweeps, per-dataset loops) reuses the
+  /// pool and, when the perturbed data is bit-identical, the packed
+  /// engines too. When null the run creates a private context internally;
+  /// results are bit-identical either way.
+  query::EngineContext* engine_context = nullptr;
 };
 
 /// \brief Aggregated outcome of one matcher on one run.

@@ -6,6 +6,7 @@
 
 #include "distance/lp.hpp"
 #include "prob/rng.hpp"
+#include "query/engine_context.hpp"
 
 namespace uts::core {
 
@@ -14,6 +15,16 @@ namespace {
 Status RequirePdf(const EvalContext& context) {
   if (context.pdf == nullptr) {
     return Status::InvalidArgument("context has no pdf-model dataset");
+  }
+  return Status::OK();
+}
+
+/// Unbound-matcher guard: every public query method is UB-free by
+/// returning a Status instead of dereferencing never-bound state.
+Status RequireBound(const EvalContext* ctx, const char* name) {
+  if (ctx == nullptr) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " matcher is not bound; call Bind first");
   }
   return Status::OK();
 }
@@ -36,19 +47,6 @@ std::uint64_t PairSeed(const EvalContext& context, std::size_t qi,
   return prob::PairStreamSeed(context.seed, qi, ci, n);
 }
 
-/// UncertainEngine over the bound pdf dataset with the run's thread count
-/// and seed, or null when the dataset is not engine-shaped (empty or
-/// non-uniform lengths) — callers then keep the sequential scalar path.
-std::unique_ptr<query::UncertainEngine> MakeEngine(
-    const EvalContext& context, query::UncertainEngineOptions options) {
-  options.threads = context.threads;
-  options.seed = context.seed;
-  auto engine =
-      query::UncertainEngine::Create(*context.pdf, std::move(options));
-  if (!engine.ok()) return nullptr;
-  return std::move(engine).ValueOrDie();
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------- Euclidean
@@ -61,7 +59,7 @@ Status EuclideanMatcher::Bind(const EvalContext& context) {
 
 Result<double> EuclideanMatcher::CalibrationDistance(std::size_t qi,
                                                      std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "Euclidean"));
   return distance::Euclidean((*ctx_->pdf)[qi].observations(),
                              (*ctx_->pdf)[ci].observations());
 }
@@ -82,9 +80,12 @@ Status ProudMatcher::Bind(const EvalContext& context) {
   options.tau = tau_;
   options.sigma = sigma_override_.value_or(context.reported_sigma);
   proud_ = std::make_unique<measures::Proud>(options);
-  query::UncertainEngineOptions engine_options;
-  engine_options.proud_sigma = options.sigma;
-  engine_ = MakeEngine(context, std::move(engine_options));
+  // Borrow the run's shared engine; declined (e.g. a σ override differing
+  // from the run-level σ, or a non-engine-shaped dataset) means the
+  // sequential scalar path below — bit-identical either way.
+  engine_ = context.engines != nullptr
+                ? context.engines->AcquireProud(options.sigma)
+                : nullptr;
   return Status::OK();
 }
 
@@ -99,7 +100,7 @@ void ProudMatcher::set_tau(double tau) {
 
 Result<double> ProudMatcher::CalibrationDistance(std::size_t qi,
                                                  std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "PROUD"));
   // ε for PROUD is a Euclidean threshold (Section 4.1.2: "Since the
   // distances in MUNICH and PROUD are based on the Euclidean distance, we
   // will use the same threshold for both methods, ε_eucl").
@@ -109,7 +110,7 @@ Result<double> ProudMatcher::CalibrationDistance(std::size_t qi,
 
 Result<bool> ProudMatcher::Matches(std::size_t qi, std::size_t ci,
                                    double epsilon) {
-  assert(proud_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "PROUD"));
   return proud_->Matches((*ctx_->pdf)[qi].observations(),
                          (*ctx_->pdf)[ci].observations(), epsilon);
 }
@@ -117,6 +118,7 @@ Result<bool> ProudMatcher::Matches(std::size_t qi, std::size_t ci,
 Result<std::vector<std::size_t>> ProudMatcher::Retrieve(std::size_t qi,
                                                         std::size_t n,
                                                         double epsilon) {
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "PROUD"));
   if (engine_ == nullptr || n != engine_->size()) {
     return Matcher::Retrieve(qi, n, epsilon);
   }
@@ -161,7 +163,7 @@ void ProudSynopsisMatcherAdapter::set_tau(double tau) {
 
 Result<double> ProudSynopsisMatcherAdapter::CalibrationDistance(
     std::size_t qi, std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "PROUD-wavelet"));
   return distance::Euclidean((*ctx_->pdf)[qi].observations(),
                              (*ctx_->pdf)[ci].observations());
 }
@@ -169,7 +171,7 @@ Result<double> ProudSynopsisMatcherAdapter::CalibrationDistance(
 Result<bool> ProudSynopsisMatcherAdapter::Matches(std::size_t qi,
                                                   std::size_t ci,
                                                   double epsilon) {
-  assert(matcher_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "PROUD-wavelet"));
   return matcher_->Matches(synopses_[qi], synopses_[ci],
                            (*ctx_->pdf)[qi].observations(),
                            (*ctx_->pdf)[ci].observations(), epsilon, &stats_);
@@ -180,18 +182,17 @@ Result<bool> ProudSynopsisMatcherAdapter::Matches(std::size_t qi,
 Status DustMatcher::Bind(const EvalContext& context) {
   UTS_RETURN_NOT_OK(RequirePdf(context));
   ctx_ = &context;
-  // Build the lookup tables for every distinct error pair up front, so that
-  // query timing (Figures 11/12) measures matching, not lazy table
-  // construction. The original DUST builds its tables the same way. The
-  // engine's cache is immutable after this point and therefore
-  // thread-shared by the parallel sweeps.
-  query::UncertainEngineOptions engine_options;
-  engine_options.dust = dust_.options();
-  engine_ = MakeEngine(context, std::move(engine_options));
-  // Tables are borrowed from the matcher's persistent scalar cache, so
-  // re-binding across datasets under one error spec reuses them instead of
-  // re-running the numeric integration.
-  if (engine_ != nullptr) return engine_->BuildDustTables(dust_);
+  // Borrow the run's shared engine with the lookup tables for every
+  // distinct error pair built up front, so that query timing (Figures
+  // 11/12) measures matching, not lazy table construction. The original
+  // DUST builds its tables the same way. The tables live in the context's
+  // persistent cache, so re-binding across datasets under one error spec
+  // reuses them instead of re-running the numeric integration, and they
+  // are immutable afterwards — thread-shared by the parallel sweeps.
+  engine_ = context.engines != nullptr
+                ? context.engines->AcquireDust(dust_.options())
+                : nullptr;
+  if (engine_ != nullptr) return Status::OK();
   // Engine-less fallback (non-uniform lengths): prewarm the scalar cache.
   std::map<std::string, prob::ErrorDistributionPtr> distinct;
   for (const auto& series : context.pdf->series) {
@@ -211,7 +212,7 @@ Status DustMatcher::Bind(const EvalContext& context) {
 
 Result<double> DustMatcher::CalibrationDistance(std::size_t qi,
                                                 std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "DUST"));
   if (engine_ != nullptr) return engine_->DustDistance(qi, ci);
   return dust_.Distance((*ctx_->pdf)[qi], (*ctx_->pdf)[ci]);
 }
@@ -226,6 +227,7 @@ Result<bool> DustMatcher::Matches(std::size_t qi, std::size_t ci,
 Result<std::vector<std::size_t>> DustMatcher::Retrieve(std::size_t qi,
                                                        std::size_t n,
                                                        double epsilon) {
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "DUST"));
   if (engine_ == nullptr || n != engine_->size()) {
     return Matcher::Retrieve(qi, n, epsilon);
   }
@@ -242,7 +244,7 @@ Status DustDtwMatcher::Bind(const EvalContext& context) {
 
 Result<double> DustDtwMatcher::CalibrationDistance(std::size_t qi,
                                                    std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "DUST-DTW"));
   return dust_.DtwDistance((*ctx_->pdf)[qi], (*ctx_->pdf)[ci], dtw_options_);
 }
 
@@ -291,16 +293,12 @@ std::uint64_t FingerprintSamples(const EvalContext& context) {
 Status MunichMatcher::Bind(const EvalContext& context) {
   UTS_RETURN_NOT_OK(RequireSamples(context));
   ctx_ = &context;
-  engine_ = nullptr;
-  if (context.pdf != nullptr) {
-    query::UncertainEngineOptions engine_options;
-    engine_options.munich = munich_.options();
-    engine_ = MakeEngine(context, std::move(engine_options));
-    if (engine_ != nullptr &&
-        !engine_->AttachSamples(*context.samples).ok()) {
-      engine_ = nullptr;  // keep the sequential path on shape mismatches
-    }
-  }
+  // Borrow the run's shared engine with the sample dataset attached;
+  // declined (pdf/sample shape mismatch, conflicting estimator config of
+  // an earlier MUNICH matcher) means the sequential path — bit-identical.
+  engine_ = context.engines != nullptr
+                ? context.engines->AcquireMunich(munich_.options())
+                : nullptr;
   const std::uint64_t fingerprint = FingerprintSamples(context);
   if (fingerprint != bound_fingerprint_) {
     prob_cache_.clear();
@@ -317,7 +315,7 @@ void MunichMatcher::set_tau(double tau) {
 
 Result<double> MunichMatcher::CalibrationDistance(std::size_t qi,
                                                   std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "MUNICH"));
   // "We will use the same threshold for both methods, ε_eucl" (Section
   // 4.1.2): the threshold is the Euclidean distance on the single-value
   // observations, which matches the noise scale of the materialized
@@ -334,7 +332,7 @@ Result<double> MunichMatcher::CalibrationDistance(std::size_t qi,
 
 Result<double> MunichMatcher::ProbabilityFor(std::size_t qi, std::size_t ci,
                                              double epsilon) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "MUNICH"));
   std::uint64_t eps_bits;
   static_assert(sizeof(eps_bits) == sizeof(epsilon));
   std::memcpy(&eps_bits, &epsilon, sizeof(eps_bits));
@@ -360,7 +358,7 @@ Result<bool> MunichMatcher::Matches(std::size_t qi, std::size_t ci,
 Result<std::vector<std::size_t>> MunichMatcher::Retrieve(std::size_t qi,
                                                          std::size_t n,
                                                          double epsilon) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "MUNICH"));
   if (engine_ == nullptr || n != engine_->size()) {
     return Matcher::Retrieve(qi, n, epsilon);
   }
@@ -407,7 +405,7 @@ Status MunichDtwMatcher::Bind(const EvalContext& context) {
 
 Result<double> MunichDtwMatcher::CalibrationDistance(std::size_t qi,
                                                      std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "MUNICH-DTW"));
   // Single-observation view for ε, matching the materialization noise
   // scale (see MunichMatcher::CalibrationDistance).
   if (ctx_->pdf != nullptr) {
@@ -421,7 +419,7 @@ Result<double> MunichDtwMatcher::CalibrationDistance(std::size_t qi,
 
 Result<bool> MunichDtwMatcher::Matches(std::size_t qi, std::size_t ci,
                                        double epsilon) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "MUNICH-DTW"));
   const auto& x = (*ctx_->samples)[qi];
   const auto& y = (*ctx_->samples)[ci];
   // Bounds filter first (certain accept / certain reject), then Monte Carlo.
@@ -452,7 +450,7 @@ Status DtwMatcher::Bind(const EvalContext& context) {
 
 Result<double> DtwMatcher::CalibrationDistance(std::size_t qi,
                                                std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "DTW"));
   return distance::Dtw((*ctx_->pdf)[qi].observations(),
                        (*ctx_->pdf)[ci].observations(), options_);
 }
@@ -489,7 +487,7 @@ Status Ar1SmootherMatcher::Bind(const EvalContext& context) {
 
 Result<double> Ar1SmootherMatcher::CalibrationDistance(std::size_t qi,
                                                        std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "AR1-smoother"));
   assert(qi < smoothed_.size() && ci < smoothed_.size());
   return distance::Euclidean(smoothed_[qi], smoothed_[ci]);
 }
@@ -562,7 +560,7 @@ Status FilteredMatcher::Bind(const EvalContext& context) {
 
 Result<double> FilteredMatcher::CalibrationDistance(std::size_t qi,
                                                     std::size_t ci) {
-  assert(ctx_ != nullptr);
+  UTS_RETURN_NOT_OK(RequireBound(ctx_, "filtered"));
   assert(qi < filtered_.size() && ci < filtered_.size());
   return distance::Euclidean(filtered_[qi], filtered_[ci]);
 }

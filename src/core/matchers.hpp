@@ -64,8 +64,8 @@ class ProudMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
-  /// Batched ε_norm sweep on the bound UncertainEngine (bit-identical to
-  /// the sequential Matches loop at any thread count).
+  /// Batched ε_norm sweep on the run's shared UncertainEngine
+  /// (bit-identical to the sequential Matches loop at any thread count).
   Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
                                             double epsilon) override;
   bool has_tau() const override { return true; }
@@ -76,7 +76,9 @@ class ProudMatcher final : public Matcher {
   double tau_;
   std::optional<double> sigma_override_;
   std::unique_ptr<measures::Proud> proud_;
-  std::unique_ptr<query::UncertainEngine> engine_;
+  /// Borrowed view of the context's shared engine (EvalContext::engines);
+  /// null = sequential scalar path. Re-acquired at every Bind.
+  query::UncertainEngine* engine_ = nullptr;
   const EvalContext* ctx_ = nullptr;
 };
 
@@ -125,8 +127,8 @@ class DustMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
-  /// Batched DUST range sweep on the bound UncertainEngine (bit-identical
-  /// to the sequential Matches loop at any thread count).
+  /// Batched DUST range sweep on the run's shared UncertainEngine
+  /// (bit-identical to the sequential Matches loop at any thread count).
   Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
                                             double epsilon) override;
 
@@ -136,7 +138,9 @@ class DustMatcher final : public Matcher {
 
  private:
   measures::Dust dust_;
-  std::unique_ptr<query::UncertainEngine> engine_;
+  /// Borrowed view of the context's shared engine (EvalContext::engines);
+  /// null = sequential scalar path. Re-acquired at every Bind.
+  query::UncertainEngine* engine_ = nullptr;
   const EvalContext* ctx_ = nullptr;
 };
 
@@ -174,10 +178,10 @@ class MunichMatcher final : public Matcher {
   Result<double> CalibrationDistance(std::size_t qi, std::size_t ci) override;
   Result<bool> Matches(std::size_t qi, std::size_t ci,
                        double epsilon) override;
-  /// Batched estimator sweep on the bound UncertainEngine. Per-pair Monte
-  /// Carlo streams are counter-seeded exactly like the sequential path, so
-  /// results are bit-identical at any thread count; computed probabilities
-  /// land in the same τ-sweep cache the sequential path uses.
+  /// Batched estimator sweep on the run's shared UncertainEngine. Per-pair
+  /// Monte Carlo streams are counter-seeded exactly like the sequential
+  /// path, so results are bit-identical at any thread count; computed
+  /// probabilities land in the same τ-sweep cache the sequential path uses.
   Result<std::vector<std::size_t>> Retrieve(std::size_t qi, std::size_t n,
                                             double epsilon) override;
   bool has_tau() const override { return true; }
@@ -190,7 +194,9 @@ class MunichMatcher final : public Matcher {
                                 double epsilon);
 
   measures::Munich munich_;
-  std::unique_ptr<query::UncertainEngine> engine_;
+  /// Borrowed view of the context's shared engine (EvalContext::engines);
+  /// null = sequential scalar path. Re-acquired at every Bind.
+  query::UncertainEngine* engine_ = nullptr;
   const EvalContext* ctx_ = nullptr;
   std::uint64_t bound_fingerprint_ = 0;
   std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>, double>

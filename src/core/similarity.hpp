@@ -28,6 +28,10 @@
 #include "ts/dataset.hpp"
 #include "uncertain/uncertain_series.hpp"
 
+namespace uts::query {
+class EngineContext;
+}  // namespace uts::query
+
 namespace uts::core {
 
 /// \brief Everything a matcher may look at for one experiment run.
@@ -54,6 +58,13 @@ struct EvalContext {
   /// sweeps (query::UncertainEngine): 1 = sequential, 0 = hardware
   /// concurrency. Retrieval results are bit-identical at every setting.
   std::size_t threads = 1;
+
+  /// The run-wide shared engine context (one thread pool, one SoA pack,
+  /// one uncertain engine for every matcher of the run). Engine-aware
+  /// matchers acquire borrowed engine views from it at Bind; when null
+  /// they keep their sequential scalar paths, which are bit-identical.
+  /// The runner (RunSimilarityMatching) always provides one.
+  query::EngineContext* engines = nullptr;
 };
 
 /// \brief A similarity-matching technique under evaluation.

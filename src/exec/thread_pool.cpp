@@ -5,7 +5,10 @@
 
 namespace uts::exec {
 
+std::atomic<std::size_t> ThreadPool::total_created_{0};
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  total_created_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }

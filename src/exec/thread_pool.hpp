@@ -11,6 +11,7 @@
 #ifndef UTS_EXEC_THREAD_POOL_HPP_
 #define UTS_EXEC_THREAD_POOL_HPP_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -41,6 +42,14 @@ class ThreadPool {
   /// try/catch that records the failure (ParallelFor does this for you).
   void Submit(std::function<void()> task);
 
+  /// Process-wide count of ThreadPool constructions. Diagnostic backing for
+  /// the run-wide resource discipline (query::EngineContext): the
+  /// context-lifecycle tests assert that a full multi-matcher evaluation
+  /// raises this by exactly one (and by zero when threads == 1).
+  static std::size_t TotalCreated() {
+    return total_created_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -49,6 +58,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  static std::atomic<std::size_t> total_created_;
 };
 
 }  // namespace uts::exec

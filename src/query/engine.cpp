@@ -58,11 +58,18 @@ DistanceMatrixEngine::DistanceMatrixEngine(const ts::Dataset& dataset,
                                            EngineOptions options)
     : dataset_(&dataset), options_(options), store_(dataset.Packed()) {
   if (options_.grain == 0) options_.grain = 1;
+  if (options_.shared_pool != nullptr) {
+    pool_ = options_.shared_pool;
+    return;
+  }
   std::size_t threads = options_.threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads);
+  if (threads > 1) {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 DistanceMatrixEngine::~DistanceMatrixEngine() = default;
@@ -99,7 +106,7 @@ std::vector<std::size_t> CollectMatches(std::span<const double> values,
 std::vector<double> DistanceMatrixEngine::ComputeDense(
     std::size_t n, std::size_t exclude, const DistanceToFn& fn) const {
   std::vector<double> values(n, 0.0);
-  exec::ParallelFor(pool_.get(), n, options_.grain,
+  exec::ParallelFor(pool_, n, options_.grain,
                     [&](std::size_t begin, std::size_t end) {
                       for (std::size_t i = begin; i < end; ++i) {
                         if (i == exclude) continue;
@@ -134,7 +141,7 @@ std::vector<MotifPair> DistanceMatrixEngine::TopKMotifs(
     std::size_t n, std::size_t k, const PairwiseDistanceFn& distance) const {
   const std::size_t grain = MotifGrain(n);
   std::vector<std::vector<MotifPair>> locals(exec::NumChunks(n, grain));
-  exec::ParallelFor(pool_.get(), n, grain,
+  exec::ParallelFor(pool_, n, grain,
                     [&](std::size_t begin, std::size_t end) {
                       detail::BoundedMotifHeap heap(k);
                       for (std::size_t a = begin; a < end; ++a) {
@@ -166,7 +173,7 @@ std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
   const std::span<const double> query = store_->row(query_index);
   std::vector<double> distances(n, 0.0);
   exec::ParallelFor(
-      pool_.get(), n, options_.grain,
+      pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
         distance::EuclideanBatchRange(
             query, *store_, begin, end,
@@ -194,7 +201,7 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
     std::vector<double> matrix(n * n, 0.0);
     // Phase 1: rows of the upper trapezoid, per query block.
     exec::ParallelFor(
-        pool_.get(), n, /*grain=*/distance::kQueryBlock,
+        pool_, n, /*grain=*/distance::kQueryBlock,
         [&](std::size_t begin, std::size_t end) {
           distance::SquaredEuclideanMultiQueryBatch(
               *store_, begin, end, begin, n,
@@ -202,7 +209,7 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
         });
     // Phase 2: mirror the lower triangle (ParallelFor is a barrier, so the
     // sources are complete).
-    exec::ParallelFor(pool_.get(), n, /*grain=*/64,
+    exec::ParallelFor(pool_, n, /*grain=*/64,
                       [&](std::size_t begin, std::size_t end) {
                         for (std::size_t q = begin; q < end; ++q) {
                           double* row = matrix.data() + q * n;
@@ -214,7 +221,7 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
     // Phase 3: sqrt each owned row in place (selection must order final
     // metric values, like the sequential reference), then select.
     exec::ParallelFor(
-        pool_.get(), n, /*grain=*/distance::kQueryBlock,
+        pool_, n, /*grain=*/distance::kQueryBlock,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t q = begin; q < end; ++q) {
             double* row = matrix.data() + q * n;
@@ -231,7 +238,7 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
   // per kQueryBlock queries, and each chunk writes only its own out[q]
   // slots.
   exec::ParallelFor(
-      pool_.get(), queries, /*grain=*/distance::kQueryBlock,
+      pool_, queries, /*grain=*/distance::kQueryBlock,
       [&](std::size_t begin, std::size_t end) {
         std::vector<double> block((end - begin) * n, 0.0);
         distance::SquaredEuclideanMultiQueryBatch(*store_, begin, end, 0, n,
@@ -259,7 +266,7 @@ std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
   const std::span<const double> query = store_->row(query_index);
   std::vector<double> distances(n, 0.0);
   exec::ParallelFor(
-      pool_.get(), n, options_.grain,
+      pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
         distance::EuclideanBatchRange(
             query, *store_, begin, end,

@@ -46,6 +46,12 @@ struct EngineOptions {
 
   /// Candidate rows per parallel chunk of a single query's scan.
   std::size_t grain = 256;
+
+  /// Borrowed executor: when non-null the engine schedules on this pool
+  /// instead of constructing a private one, and `threads` is ignored for
+  /// pool sizing. The pool must outlive the engine. This is how
+  /// query::EngineContext gives every engine of a run one shared pool.
+  exec::ThreadPool* shared_pool = nullptr;
 };
 
 /// \brief Batched parallel k-NN / RQ / PRQ / motif execution over one
@@ -130,7 +136,8 @@ class DistanceMatrixEngine {
   /// Co-owned snapshot of the dataset's SoA mirror: stays valid even if
   /// the dataset is mutated (and re-packed) after engine construction.
   std::shared_ptr<const ts::SoaStore> store_;
-  std::unique_ptr<exec::ThreadPool> pool_;  ///< Null when threads == 1.
+  std::unique_ptr<exec::ThreadPool> owned_pool_;  ///< Null when borrowed/inline.
+  exec::ThreadPool* pool_ = nullptr;  ///< Executor view; null = run inline.
 };
 
 namespace detail {

@@ -1,0 +1,284 @@
+#include "query/engine_context.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace uts::query {
+
+namespace {
+
+/// FNV-1a mixing of one 64-bit word.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void Mix(std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  void MixDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+/// Content fingerprint of one run's engine-relevant state: the run
+/// parameters baked into engines (seed, PROUD σ), every pdf observation and
+/// its error model, and every sample-model value. Error models are hashed
+/// by semantic Key() with a pointer memo, so the common constant-error
+/// dataset pays one Key() call total.
+std::uint64_t FingerprintRunData(
+    const uncertain::UncertainDataset& pdf,
+    const std::optional<uncertain::MultiSampleDataset>& samples,
+    std::uint64_t seed, double proud_sigma) {
+  Fnv f;
+  f.Mix(seed);
+  f.MixDouble(proud_sigma);
+  f.Mix(pdf.size());
+  std::map<const void*, std::uint64_t> key_hash_of;
+  for (std::size_t s = 0; s < pdf.size(); ++s) {
+    const uncertain::UncertainSeries& series = pdf[s];
+    f.Mix(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      f.MixDouble(series.observation(t));
+      const auto& err = series.error(t);
+      auto it = key_hash_of.find(err.get());
+      if (it == key_hash_of.end()) {
+        it = key_hash_of
+                 .emplace(err.get(), std::hash<std::string>{}(err->Key()))
+                 .first;
+      }
+      f.Mix(it->second);
+    }
+  }
+  if (samples.has_value()) {
+    f.Mix(1);
+    f.Mix(samples->size());
+    for (std::size_t s = 0; s < samples->size(); ++s) {
+      const uncertain::MultiSampleSeries& series = (*samples)[s];
+      f.Mix(series.size());
+      for (std::size_t t = 0; t < series.size(); ++t) {
+        // Delimit each timestep's sample vector so differently shaped
+        // layouts with identical flattened values cannot collide.
+        f.Mix(series.samples(t).size());
+        for (double v : series.samples(t)) f.MixDouble(v);
+      }
+    }
+  } else {
+    f.Mix(0);
+  }
+  return f.h;
+}
+
+/// Content fingerprint of the exact dataset a certain engine is built over.
+std::uint64_t FingerprintDataset(const ts::Dataset& dataset) {
+  Fnv f;
+  f.Mix(dataset.size());
+  for (std::size_t s = 0; s < dataset.size(); ++s) {
+    const auto& values = dataset[s].values();
+    f.Mix(values.size());
+    for (double v : values) f.MixDouble(v);
+  }
+  return f.h;
+}
+
+bool SameDustConfig(const measures::DustOptions& a,
+                    const measures::DustOptions& b) {
+  return a.table_delta_max == b.table_delta_max &&
+         a.table_size == b.table_size && a.phi_floor == b.phi_floor &&
+         a.use_closed_form_normal == b.use_closed_form_normal &&
+         a.integration_sigmas == b.integration_sigmas &&
+         a.value_prior_half_range == b.value_prior_half_range;
+}
+
+/// τ excluded: the engine never reads it (PRQ methods take τ explicitly),
+/// so matchers sweeping τ share one engine.
+bool SameMunichConfig(const measures::MunichOptions& a,
+                      const measures::MunichOptions& b) {
+  return a.estimator == b.estimator && a.mc_samples == b.mc_samples &&
+         a.exact_half_limit == b.exact_half_limit &&
+         a.use_bounds_filter == b.use_bounds_filter;
+}
+
+}  // namespace
+
+EngineContext::EngineContext(EngineContextOptions options)
+    : options_(options) {
+  threads_ = options_.threads;
+  if (threads_ == 0) {
+    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+EngineContext::~EngineContext() = default;
+
+exec::ThreadPool* EngineContext::pool() {
+  if (threads_ <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<exec::ThreadPool>(threads_);
+    ++stats_.pools_created;
+  }
+  return pool_.get();
+}
+
+Status EngineContext::BindData(
+    uncertain::UncertainDataset pdf,
+    std::optional<uncertain::MultiSampleDataset> samples, std::uint64_t seed,
+    double proud_sigma) {
+  if (pdf.size() == 0) {
+    return Status::InvalidArgument("engine context needs a non-empty "
+                                   "pdf-model dataset");
+  }
+  const std::uint64_t fingerprint =
+      FingerprintRunData(pdf, samples, seed, proud_sigma);
+  if (bound_ && fingerprint == data_fingerprint_) {
+    // Bit-identical rebind (the τ-sweep pattern): keep every engine and
+    // cache; the freshly perturbed copies are discarded.
+    ++stats_.data_rebind_hits;
+    return Status::OK();
+  }
+  pdf_ = std::move(pdf);
+  samples_ = std::move(samples);
+  seed_ = seed;
+  proud_sigma_ = proud_sigma;
+  data_fingerprint_ = fingerprint;
+  bound_ = true;
+  // Engine state is data-specific; drop it and rebuild lazily. The DUST
+  // table cache survives on purpose — tables depend only on the error
+  // models, not the observations.
+  uncertain_.reset();
+  uncertain_unusable_ = false;
+  munich_configured_ = false;
+  ++stats_.data_binds;
+  return Status::OK();
+}
+
+const DistanceMatrixEngine& EngineContext::Certain(const ts::Dataset& exact,
+                                                   std::size_t grain) {
+  const std::uint64_t fingerprint = FingerprintDataset(exact);
+  // Compare the stored key address, never certain_->dataset(): the cached
+  // engine borrows a dataset that may be gone by now (a driver rebuilding
+  // per iteration), and the address alone is safe to compare.
+  if (certain_ != nullptr && fingerprint == certain_fingerprint_ &&
+      grain == certain_grain_ && certain_dataset_ == &exact) {
+    ++stats_.certain_reuses;
+    return *certain_;
+  }
+  EngineOptions options;
+  options.threads = threads_;
+  options.shared_pool = pool();
+  if (grain != 0) {
+    options.grain = grain;
+  } else if (options_.certain_grain != 0) {
+    options.grain = options_.certain_grain;
+  }
+  certain_ = std::make_unique<DistanceMatrixEngine>(exact, options);
+  certain_dataset_ = &exact;
+  certain_fingerprint_ = fingerprint;
+  certain_grain_ = grain;
+  ++stats_.certain_packs;
+  return *certain_;
+}
+
+UncertainEngine* EngineContext::EnsureUncertain() {
+  if (!bound_ || uncertain_unusable_) return nullptr;
+  if (uncertain_ != nullptr) return uncertain_.get();
+  UncertainEngineOptions options;
+  options.threads = threads_;
+  options.shared_pool = pool();
+  if (options_.uncertain_grain != 0) options.grain = options_.uncertain_grain;
+  options.seed = seed_;
+  options.proud_sigma = proud_sigma_;
+  if (dust_cache_ != nullptr) options.dust = dust_cache_->options();
+  auto engine = UncertainEngine::Create(pdf_, std::move(options));
+  if (!engine.ok()) {
+    // Not engine-shaped (e.g. non-uniform lengths): remember, so matchers
+    // keep their sequential scalar paths without re-trying every Bind.
+    uncertain_unusable_ = true;
+    return nullptr;
+  }
+  uncertain_ = std::move(engine).ValueOrDie();
+  ++stats_.pdf_packs;
+  return uncertain_.get();
+}
+
+UncertainEngine* EngineContext::AcquireDust(
+    const measures::DustOptions& dust) {
+  UncertainEngine* engine = EnsureUncertain();
+  if (engine == nullptr) {
+    ++stats_.acquires_declined;
+    return nullptr;
+  }
+  if (dust_cache_ == nullptr) {
+    dust_cache_ = std::make_unique<measures::Dust>(dust);
+  } else if (!SameDustConfig(dust, dust_cache_->options())) {
+    ++stats_.acquires_declined;
+    return nullptr;
+  }
+  if (!engine->dust_ready()) {
+    const std::size_t tables_before = dust_cache_->CacheSize();
+    if (!engine->BuildDustTables(*dust_cache_).ok()) {
+      ++stats_.acquires_declined;
+      return nullptr;
+    }
+    if (dust_cache_->CacheSize() != tables_before) ++stats_.dust_table_builds;
+  }
+  ++stats_.acquires_served;
+  return engine;
+}
+
+UncertainEngine* EngineContext::AcquireProud(double sigma) {
+  UncertainEngine* engine = EnsureUncertain();
+  if (engine == nullptr || sigma != proud_sigma_) {
+    ++stats_.acquires_declined;
+    return nullptr;
+  }
+  ++stats_.acquires_served;
+  return engine;
+}
+
+UncertainEngine* EngineContext::AcquireMunich(
+    const measures::MunichOptions& munich) {
+  UncertainEngine* engine = EnsureUncertain();
+  if (engine == nullptr || !samples_.has_value()) {
+    ++stats_.acquires_declined;
+    return nullptr;
+  }
+  if (!munich_configured_) {
+    engine->set_munich_options(munich);
+    munich_config_ = munich;
+    munich_configured_ = true;
+  } else if (!SameMunichConfig(munich, munich_config_)) {
+    ++stats_.acquires_declined;
+    return nullptr;
+  }
+  if (!engine->has_samples()) {
+    if (!engine->AttachSamples(*samples_).ok()) {
+      // Shape mismatch between the pdf and sample models: the sequential
+      // path can still serve sample-only matchers.
+      ++stats_.acquires_declined;
+      return nullptr;
+    }
+    ++stats_.sample_attaches;
+  }
+  ++stats_.acquires_served;
+  return engine;
+}
+
+Status EngineContext::EnsureProudMoments() {
+  UncertainEngine* engine = EnsureUncertain();
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "engine context has no usable uncertain engine");
+  }
+  if (engine->proud_moments_ready()) return Status::OK();
+  UTS_RETURN_NOT_OK(engine->BuildProudMomentColumns());
+  ++stats_.proud_moment_builds;
+  return Status::OK();
+}
+
+}  // namespace uts::query

@@ -44,12 +44,19 @@ std::vector<Neighbor> SelectTopKByScore(std::span<const double> scores,
 UncertainEngine::UncertainEngine(UncertainEngineOptions options)
     : options_(options) {
   if (options_.grain == 0) options_.grain = 1;
+  proud_v_ = 2.0 * options_.proud_sigma * options_.proud_sigma;
+  if (options_.shared_pool != nullptr) {
+    pool_ = options_.shared_pool;
+    return;
+  }
   std::size_t threads = options_.threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads);
-  proud_v_ = 2.0 * options_.proud_sigma * options_.proud_sigma;
+  if (threads > 1) {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 UncertainEngine::~UncertainEngine() = default;
@@ -193,7 +200,7 @@ Result<std::vector<double>> UncertainEngine::DustDistances(
   const std::span<const double> qrow = store_.row(query);
   if (num_classes_ == 1) {
     const distance::DustLut& lut = PairLut(0, 0);
-    exec::ParallelFor(pool_.get(), n, options_.grain,
+    exec::ParallelFor(pool_, n, options_.grain,
                       [&](std::size_t begin, std::size_t end) {
                         distance::DustBatchRange(
                             qrow, store_, lut, begin, end,
@@ -206,7 +213,7 @@ Result<std::vector<double>> UncertainEngine::DustDistances(
   for (std::size_t t = 0; t < len; ++t) {
     qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
   }
-  exec::ParallelFor(pool_.get(), n, options_.grain,
+  exec::ParallelFor(pool_, n, options_.grain,
                     [&](std::size_t begin, std::size_t end) {
                       distance::DustClassedBatchRange(
                           qrow, store_, qluts, class_ids_, begin, end,
@@ -263,7 +270,7 @@ std::vector<double> UncertainEngine::ProudMatchProbabilities(
   std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
   const std::span<const double> qrow = store_.row(query);
   exec::ParallelFor(
-      pool_.get(), n, options_.grain,
+      pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
         distance::ProudMomentBatchRange(
             qrow, store_, proud_v_, begin, end,
@@ -285,7 +292,7 @@ std::vector<std::size_t> UncertainEngine::ProbabilisticRangeSearchProud(
   std::vector<std::uint8_t> matched(n, 0);
   const std::span<const double> qrow = store_.row(query);
   exec::ParallelFor(
-      pool_.get(), n, options_.grain,
+      pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
         distance::ProudMomentBatchRange(
             qrow, store_, proud_v_, begin, end,
@@ -323,7 +330,7 @@ Result<std::vector<double>> UncertainEngine::ProudGeneralMatchProbabilities(
   const std::size_t n = size();
   std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
   exec::ParallelFor(
-      pool_.get(), n, options_.grain,
+      pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
         distance::ProudGeneralMomentBatchRange(
             store_.row(query), m2_store_.row(query), m3_store_.row(query),
@@ -409,7 +416,7 @@ Result<std::vector<double>> UncertainEngine::MunichMatchProbabilities(
   std::vector<double> probs(n, 0.0);
   std::vector<Status> statuses(exec::NumChunks(n, options_.grain),
                                Status::OK());
-  exec::ParallelFor(pool_.get(), n, options_.grain,
+  exec::ParallelFor(pool_, n, options_.grain,
                     [&](std::size_t begin, std::size_t end) {
                       Status& status = statuses[begin / options_.grain];
                       for (std::size_t i = begin; i < end; ++i) {

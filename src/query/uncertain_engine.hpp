@@ -86,6 +86,12 @@ struct UncertainEngineOptions {
   /// Base seed of the MUNICH Monte Carlo pair streams; the same value used
   /// with the scalar API reproduces engine results bit-exactly.
   std::uint64_t seed = 0x5eed;
+
+  /// Borrowed executor: when non-null the engine schedules on this pool
+  /// instead of constructing a private one, and `threads` is ignored for
+  /// pool sizing. The pool must outlive the engine. This is how
+  /// query::EngineContext gives every engine of a run one shared pool.
+  exec::ThreadPool* shared_pool = nullptr;
 };
 
 /// \brief Batched parallel MUNICH / PROUD / DUST query execution over one
@@ -124,6 +130,14 @@ class UncertainEngine {
   std::size_t num_error_classes() const { return num_classes_; }
 
   const UncertainEngineOptions& options() const { return options_; }
+
+  /// Replace the MUNICH estimator configuration after construction (τ is
+  /// still ignored — PRQ methods take it explicitly). Setup-time only: not
+  /// thread-safe against concurrent queries. Lets a shared engine created
+  /// for another measure adopt the first MUNICH user's configuration.
+  void set_munich_options(const measures::MunichOptions& munich) {
+    options_.munich = munich;
+  }
 
   /// \name DUST
   /// \{
@@ -272,7 +286,8 @@ class UncertainEngine {
   const uncertain::MultiSampleDataset* samples_ = nullptr;  ///< Borrowed.
   ts::SoaStore sample_lo_, sample_hi_;  ///< Bounding-interval columns.
 
-  std::unique_ptr<exec::ThreadPool> pool_;  ///< Null when threads == 1.
+  std::unique_ptr<exec::ThreadPool> owned_pool_;  ///< Null when borrowed/inline.
+  exec::ThreadPool* pool_ = nullptr;  ///< Executor view; null = run inline.
 };
 
 }  // namespace uts::query

@@ -1,0 +1,395 @@
+// Lifecycle + cross-matcher reuse suite for the run-wide shared engine
+// context (src/query/engine_context):
+//
+//  * resource discipline — a full multi-matcher evaluation packs the pdf
+//    dataset into SoA exactly once, builds exactly one certain engine and
+//    constructs exactly one thread pool (none at threads == 1), asserted
+//    through EngineContext::Stats and the process-wide
+//    exec::ThreadPool::TotalCreated() counter;
+//  * cross-matcher reuse parity — PROUD, DUST and MUNICH served by one
+//    shared engine produce bit-identical sweep / PRQ / k-NN outputs to
+//    fresh per-matcher engines, and bit-identical evaluation scores to
+//    solo per-matcher runs, at 1, 2 and 8 threads;
+//  * lazy caches — τ-sweep style rebinds to bit-identical data keep the
+//    packed engines; incompatible measure configurations are declined and
+//    fall back to the sequential scalar path;
+//  * the unbound-matcher regression — Retrieve / Matches /
+//    CalibrationDistance on a never-bound matcher return a Status instead
+//    of dereferencing null state.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/matchers.hpp"
+#include "exec/thread_pool.hpp"
+#include "prob/rng.hpp"
+#include "query/engine_context.hpp"
+#include "query/uncertain_engine.hpp"
+#include "uncertain/error_spec.hpp"
+#include "uncertain/perturb.hpp"
+
+namespace uts::query {
+namespace {
+
+using prob::ErrorKind;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+ts::Dataset MakeExact(std::size_t n, std::size_t len, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("ctx-exact");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian();
+    d.Add(ts::TimeSeries(std::move(values), static_cast<int>(i % 2)));
+  }
+  return d.ZNormalizedCopy();
+}
+
+core::RunOptions QuickRunOptions(std::size_t threads) {
+  core::RunOptions options;
+  options.ground_truth_k = 4;
+  options.max_queries = 6;
+  options.seed = 77;
+  options.threads = threads;
+  options.munich_samples_per_point = 3;
+  options.measure_time = false;
+  return options;
+}
+
+/// The paper's uncertain trio with a cheap MUNICH estimator.
+struct Trio {
+  core::ProudMatcher proud{0.5};
+  core::DustMatcher dust;
+  core::MunichMatcher munich;
+
+  Trio() : munich(MakeMunichOptions()) {}
+
+  static measures::MunichOptions MakeMunichOptions() {
+    measures::MunichOptions options;
+    options.mc_samples = 300;
+    return options;
+  }
+
+  std::vector<core::Matcher*> All() { return {&proud, &dust, &munich}; }
+};
+
+// --- Resource discipline -----------------------------------------------------
+
+TEST(EngineContextTest, OnePoolOnePackPerMultiMatcherEvaluation) {
+  const ts::Dataset exact = MakeExact(24, 8, 5);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.5);
+
+  EngineContextOptions context_options;
+  context_options.threads = 8;
+  EngineContext engines(context_options);
+
+  Trio trio;
+  auto matchers = trio.All();
+  core::RunOptions options = QuickRunOptions(8);
+  options.engine_context = &engines;
+
+  const std::size_t pools_before = exec::ThreadPool::TotalCreated();
+  auto run = core::RunSimilarityMatching(exact, spec, matchers, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const std::size_t pools_after = exec::ThreadPool::TotalCreated();
+
+  // One pool for the whole evaluation — ground truth, calibration and all
+  // three matchers' sweeps — and one SoA pack per dataset.
+  EXPECT_EQ(pools_after - pools_before, 1u);
+  EXPECT_EQ(engines.stats().pools_created, 1u);
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+  EXPECT_EQ(engines.stats().certain_packs, 1u);
+  EXPECT_EQ(engines.stats().data_binds, 1u);
+  EXPECT_EQ(engines.stats().sample_attaches, 1u);
+  EXPECT_EQ(engines.stats().acquires_served, 3u);
+  EXPECT_EQ(engines.stats().acquires_declined, 0u);
+}
+
+TEST(EngineContextTest, SequentialEvaluationCreatesNoPool) {
+  const ts::Dataset exact = MakeExact(20, 6, 6);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.4);
+
+  EngineContext engines;  // threads = 1
+  Trio trio;
+  auto matchers = trio.All();
+  core::RunOptions options = QuickRunOptions(1);
+  options.engine_context = &engines;
+
+  const std::size_t pools_before = exec::ThreadPool::TotalCreated();
+  auto run = core::RunSimilarityMatching(exact, spec, matchers, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(exec::ThreadPool::TotalCreated() - pools_before, 0u);
+  EXPECT_EQ(engines.stats().pools_created, 0u);
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+}
+
+TEST(EngineContextTest, TauSweepRebindKeepsEnginesAndCaches) {
+  const ts::Dataset exact = MakeExact(24, 8, 7);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kUniform, 0.5);
+
+  EngineContextOptions context_options;
+  context_options.threads = 2;
+  EngineContext engines(context_options);
+
+  Trio trio;
+  auto matchers = trio.All();
+  core::RunOptions options = QuickRunOptions(2);
+  options.engine_context = &engines;
+
+  // A τ sweep re-runs the whole evaluation per grid point: same seed, same
+  // spec — bit-identical perturbed data every time.
+  for (double tau : {0.3, 0.5, 0.8}) {
+    trio.proud.set_tau(tau);
+    trio.munich.set_tau(tau);
+    auto run = core::RunSimilarityMatching(exact, spec, matchers, options);
+    ASSERT_TRUE(run.ok()) << run.status();
+  }
+
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+  EXPECT_EQ(engines.stats().certain_packs, 1u);
+  EXPECT_EQ(engines.stats().pools_created, 1u);
+  EXPECT_EQ(engines.stats().data_binds, 1u);
+  EXPECT_EQ(engines.stats().data_rebind_hits, 2u);
+  EXPECT_EQ(engines.stats().certain_reuses, 2u);
+  EXPECT_EQ(engines.stats().sample_attaches, 1u);
+  // The uniform-error DUST tables were numerically integrated exactly once.
+  EXPECT_EQ(engines.stats().dust_table_builds, 1u);
+
+  // Different data (new seed) repacks — but the DUST table cache persists
+  // (tables depend on the error models, not the observations).
+  options.seed = 1234;
+  auto run = core::RunSimilarityMatching(exact, spec, matchers, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(engines.stats().data_binds, 2u);
+  EXPECT_EQ(engines.stats().pdf_packs, 2u);
+  EXPECT_EQ(engines.stats().dust_table_builds, 1u);
+}
+
+// --- Cross-matcher reuse parity ----------------------------------------------
+
+TEST(EngineContextTest, SharedContextMatchesSoloRunsBitwiseAtEveryThreads) {
+  const ts::Dataset exact = MakeExact(24, 8, 9);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.6);
+
+  // Reference: each matcher evaluated alone, sequentially, with a private
+  // per-run context (the fresh-engine-per-matcher baseline).
+  auto solo = [&](core::Matcher& matcher) {
+    core::Matcher* matchers[] = {&matcher};
+    auto run = core::RunSimilarityMatching(exact, spec, matchers,
+                                           QuickRunOptions(1));
+    EXPECT_TRUE(run.ok()) << run.status();
+    return std::move(run).ValueOrDie().front();
+  };
+  Trio reference_trio;
+  const core::MatcherResult want_proud = solo(reference_trio.proud);
+  const core::MatcherResult want_dust = solo(reference_trio.dust);
+  const core::MatcherResult want_munich = solo(reference_trio.munich);
+  const core::MatcherResult* want[] = {&want_proud, &want_dust, &want_munich};
+
+  for (std::size_t threads : kThreadCounts) {
+    EngineContextOptions context_options;
+    context_options.threads = threads;
+    EngineContext engines(context_options);
+
+    Trio trio;
+    auto matchers = trio.All();
+    core::RunOptions options = QuickRunOptions(threads);
+    options.engine_context = &engines;
+    auto run = core::RunSimilarityMatching(exact, spec, matchers, options);
+    ASSERT_TRUE(run.ok()) << run.status();
+    const auto& got = run.ValueOrDie();
+    ASSERT_EQ(got.size(), 3u);
+    for (std::size_t m = 0; m < got.size(); ++m) {
+      EXPECT_EQ(got[m].per_query_f1, want[m]->per_query_f1)
+          << got[m].name << " threads=" << threads;
+      EXPECT_EQ(got[m].per_query_precision, want[m]->per_query_precision)
+          << got[m].name << " threads=" << threads;
+      EXPECT_EQ(got[m].per_query_recall, want[m]->per_query_recall)
+          << got[m].name << " threads=" << threads;
+    }
+    // All three matchers were served by the one shared engine.
+    EXPECT_EQ(engines.stats().pdf_packs, 1u);
+    EXPECT_EQ(engines.stats().acquires_served, 3u);
+  }
+}
+
+TEST(EngineContextTest, SharedEngineQueriesMatchFreshEnginesBitwise) {
+  // Engine-level acceptance: sweep, PRQ and k-NN outputs of the one shared
+  // engine serving PROUD, then DUST, then MUNICH are bit-identical to
+  // fresh per-measure engines, at 1, 2 and 8 threads. Mixed normal/uniform
+  // errors exercise the table-lookup DUST path.
+  const ts::Dataset exact = MakeExact(20, 6, 11);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kUniform, 0.5);
+  const std::uint64_t seed = 99;
+  const double proud_sigma = 0.5;
+  uncertain::UncertainDataset pdf =
+      uncertain::PerturbDataset(exact, spec, seed);
+  uncertain::MultiSampleDataset samples = uncertain::PerturbDatasetMultiSample(
+      exact, spec, 3, prob::DeriveSeed(seed, 0xface));
+  const double epsilon = 2.0;
+  const double tau = 0.5;
+
+  for (std::size_t threads : kThreadCounts) {
+    // Fresh per-measure engines (the pre-context binding pattern).
+    UncertainEngineOptions fresh_options;
+    fresh_options.threads = threads;
+    fresh_options.seed = seed;
+    fresh_options.proud_sigma = proud_sigma;
+    fresh_options.munich = Trio::MakeMunichOptions();
+    auto fresh_dust = UncertainEngine::Create(pdf, fresh_options);
+    ASSERT_TRUE(fresh_dust.ok());
+    ASSERT_TRUE(fresh_dust.ValueOrDie()->BuildDustTables().ok());
+    auto fresh_proud = UncertainEngine::Create(pdf, fresh_options);
+    ASSERT_TRUE(fresh_proud.ok());
+    auto fresh_munich = UncertainEngine::Create(pdf, fresh_options);
+    ASSERT_TRUE(fresh_munich.ok());
+    ASSERT_TRUE(fresh_munich.ValueOrDie()->AttachSamples(samples).ok());
+
+    // The shared engine, acquired PROUD → DUST → MUNICH.
+    EngineContextOptions context_options;
+    context_options.threads = threads;
+    EngineContext engines(context_options);
+    ASSERT_TRUE(engines.BindData(pdf, samples, seed, proud_sigma).ok());
+    UncertainEngine* shared = engines.AcquireProud(proud_sigma);
+    ASSERT_NE(shared, nullptr);
+    ASSERT_EQ(engines.AcquireDust(measures::DustOptions{}), shared);
+    ASSERT_EQ(engines.AcquireMunich(Trio::MakeMunichOptions()), shared);
+    EXPECT_EQ(engines.stats().pdf_packs, 1u);
+
+    for (std::size_t q : {std::size_t{0}, std::size_t{7}}) {
+      // DUST: dense sweep + RQ + k-NN.
+      const auto want_dust_sweep =
+          fresh_dust.ValueOrDie()->DustDistances(q).ValueOrDie();
+      EXPECT_EQ(shared->DustDistances(q).ValueOrDie(), want_dust_sweep)
+          << "threads=" << threads;
+      EXPECT_EQ(shared->RangeSearchDust(q, epsilon).ValueOrDie(),
+                fresh_dust.ValueOrDie()->RangeSearchDust(q, epsilon)
+                    .ValueOrDie());
+      const auto want_knn =
+          fresh_dust.ValueOrDie()->KNearestDust(q, 5).ValueOrDie();
+      const auto got_knn = shared->KNearestDust(q, 5).ValueOrDie();
+      ASSERT_EQ(got_knn.size(), want_knn.size());
+      for (std::size_t i = 0; i < got_knn.size(); ++i) {
+        EXPECT_EQ(got_knn[i].index, want_knn[i].index);
+        EXPECT_EQ(got_knn[i].distance, want_knn[i].distance);
+      }
+
+      // PROUD: dense sweep + PRQ.
+      EXPECT_EQ(shared->ProudMatchProbabilities(q, epsilon),
+                fresh_proud.ValueOrDie()->ProudMatchProbabilities(q, epsilon));
+      EXPECT_EQ(
+          shared->ProbabilisticRangeSearchProud(q, epsilon, tau),
+          fresh_proud.ValueOrDie()->ProbabilisticRangeSearchProud(q, epsilon,
+                                                                  tau));
+
+      // MUNICH: dense sweep + PRQ (counter-based pair seeds make the
+      // Monte Carlo streams identical).
+      EXPECT_EQ(shared->MunichMatchProbabilities(q, epsilon).ValueOrDie(),
+                fresh_munich.ValueOrDie()
+                    ->MunichMatchProbabilities(q, epsilon)
+                    .ValueOrDie());
+      EXPECT_EQ(
+          shared->ProbabilisticRangeSearchMunich(q, epsilon, tau)
+              .ValueOrDie(),
+          fresh_munich.ValueOrDie()
+              ->ProbabilisticRangeSearchMunich(q, epsilon, tau)
+              .ValueOrDie());
+    }
+
+    // The PROUD general-moment columns are the fourth lazy cache: built on
+    // first EnsureProudMoments, reused on the second, bitwise the fresh
+    // engine's sweep.
+    ASSERT_TRUE(engines.EnsureProudMoments().ok());
+    ASSERT_TRUE(engines.EnsureProudMoments().ok());
+    EXPECT_EQ(engines.stats().proud_moment_builds, 1u);
+    ASSERT_TRUE(fresh_proud.ValueOrDie()->BuildProudMomentColumns().ok());
+    EXPECT_EQ(
+        shared->ProudGeneralMatchProbabilities(0, epsilon).ValueOrDie(),
+        fresh_proud.ValueOrDie()
+            ->ProudGeneralMatchProbabilities(0, epsilon)
+            .ValueOrDie());
+  }
+}
+
+// --- Declines and fallbacks --------------------------------------------------
+
+TEST(EngineContextTest, IncompatibleMeasureConfigsAreDeclined) {
+  const ts::Dataset exact = MakeExact(12, 5, 13);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.5);
+  uncertain::UncertainDataset pdf = uncertain::PerturbDataset(exact, spec, 3);
+  uncertain::MultiSampleDataset samples = uncertain::PerturbDatasetMultiSample(
+      exact, spec, 3, 4);
+
+  EngineContext engines;
+  ASSERT_TRUE(engines.BindData(pdf, samples, 3, 0.5).ok());
+
+  // PROUD: a σ override differing from the bound run-level σ is declined.
+  EXPECT_NE(engines.AcquireProud(0.5), nullptr);
+  EXPECT_EQ(engines.AcquireProud(0.7), nullptr);
+
+  // DUST: a second configuration conflicting with the context's persistent
+  // table cache is declined.
+  EXPECT_NE(engines.AcquireDust(measures::DustOptions{}), nullptr);
+  measures::DustOptions coarse;
+  coarse.table_size = 64;
+  EXPECT_EQ(engines.AcquireDust(coarse), nullptr);
+
+  // MUNICH: the first acquisition fixes the estimator config; τ may vary,
+  // anything else may not.
+  measures::MunichOptions first;
+  first.mc_samples = 200;
+  first.tau = 0.3;
+  EXPECT_NE(engines.AcquireMunich(first), nullptr);
+  measures::MunichOptions tau_only = first;
+  tau_only.tau = 0.9;
+  EXPECT_NE(engines.AcquireMunich(tau_only), nullptr);
+  measures::MunichOptions conflicting = first;
+  conflicting.mc_samples = 5000;
+  EXPECT_EQ(engines.AcquireMunich(conflicting), nullptr);
+
+  EXPECT_EQ(engines.stats().acquires_declined, 3u);
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+}
+
+TEST(EngineContextTest, NonEngineShapedDataDeclinesWithoutCrashing) {
+  auto err = prob::MakeNormalError(0.5);
+  uncertain::UncertainDataset ragged;
+  ragged.series.emplace_back(
+      std::vector<double>{1.0, 2.0},
+      std::vector<prob::ErrorDistributionPtr>(2, err));
+  ragged.series.emplace_back(
+      std::vector<double>{1.0},
+      std::vector<prob::ErrorDistributionPtr>(1, err));
+
+  EngineContext engines;
+  ASSERT_TRUE(engines.BindData(std::move(ragged), std::nullopt, 1, 1.0).ok());
+  EXPECT_EQ(engines.AcquireProud(1.0), nullptr);
+  EXPECT_EQ(engines.AcquireDust(measures::DustOptions{}), nullptr);
+  EXPECT_EQ(engines.AcquireMunich(measures::MunichOptions{}), nullptr);
+  EXPECT_EQ(engines.stats().pdf_packs, 0u);
+}
+
+// --- Unbound matcher regression ---------------------------------------------
+
+TEST(EngineContextTest, UnboundMatcherQueriesReturnStatusNotUb) {
+  // Regression: Retrieve (and the query methods it delegates to) on a
+  // never-bound matcher used to dereference null engine/context state.
+  core::ProudMatcher proud;
+  core::DustMatcher dust;
+  core::MunichMatcher munich;
+  core::EuclideanMatcher euclid;
+  core::Matcher* unbound[] = {&proud, &dust, &munich, &euclid};
+  for (core::Matcher* matcher : unbound) {
+    EXPECT_FALSE(matcher->Retrieve(0, 4, 1.0).ok()) << matcher->name();
+    EXPECT_FALSE(matcher->Matches(0, 1, 1.0).ok()) << matcher->name();
+    EXPECT_FALSE(matcher->CalibrationDistance(0, 1).ok()) << matcher->name();
+  }
+}
+
+}  // namespace
+}  // namespace uts::query

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the shared-engine hot paths.
+
+Compares a fresh ``bench_micro_kernels --benchmark_format=json`` run against
+the committed ``BENCH_uncertain_baseline.json`` and fails (exit 1) when an
+engine path regressed more than ``--max-regression`` (default 25%).
+
+CI runners and the machine the baseline was recorded on differ in absolute
+speed, so absolute times are not comparable. The gate therefore checks the
+*engine-vs-scalar ratio*: each guarded benchmark is paired with the scalar
+reference path measured in the same process, and the engine path fails only
+when cpu_time(engine) / cpu_time(scalar) worsened by more than the allowed
+fraction relative to the baseline's ratio. A genuine engine regression (say,
+an accidental per-sweep repack) moves the ratio on any machine; a uniformly
+slower runner does not.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# (label, engine benchmark, scalar reference benchmark). The engine entries
+# are the shared-engine hot paths guarded by the gate: the DUST closed-form
+# and table-lookup sweeps (query::UncertainEngine) and the ground-truth
+# 10-NN build (query::DistanceMatrixEngine at one thread).
+PAIRS = [
+    ("DUST closed-form sweep", "BM_DustScanEngineClosedForm",
+     "BM_DustScanScalarClosedForm"),
+    ("DUST table-lookup sweep", "BM_DustScanEngineLookup",
+     "BM_DustScanScalarLookup"),
+    ("ground-truth kNN build", "BM_GroundTruthKnnEngineThreads/1/real_time",
+     "BM_GroundTruthKnnSeedPath"),
+]
+
+
+def load_times(path):
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["cpu_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional worsening of the "
+                             "engine/scalar time ratio (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    failures = []
+    print(f"{'path':<28} {'base ratio':>10} {'now ratio':>10} {'change':>8}")
+    for label, engine, scalar in PAIRS:
+        missing = [n for n in (engine, scalar) if n not in current]
+        if missing:
+            failures.append(f"{label}: missing in current run: {missing}")
+            continue
+        if engine not in baseline or scalar not in baseline:
+            # The committed baseline predates this benchmark; report, don't
+            # silently pass it off as covered.
+            print(f"{label:<28} {'—':>10} "
+                  f"{current[engine] / current[scalar]:>10.4f}   (no baseline"
+                  f" entry, skipped)")
+            continue
+        base_ratio = baseline[engine] / baseline[scalar]
+        now_ratio = current[engine] / current[scalar]
+        change = now_ratio / base_ratio - 1.0
+        print(f"{label:<28} {base_ratio:>10.4f} {now_ratio:>10.4f} "
+              f"{change:>+7.1%}")
+        if now_ratio > base_ratio * (1.0 + args.max_regression):
+            failures.append(
+                f"{label}: engine/scalar ratio {now_ratio:.4f} worsened "
+                f"{change:+.1%} vs baseline {base_ratio:.4f} "
+                f"(limit +{args.max_regression:.0%})")
+
+    if failures:
+        print("\nFAIL: engine-path regression detected", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: shared-engine paths within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ core::RunOptions BenchConfig::MakeRunOptions() const {
   options.max_queries = paper_scale ? 0 : max_queries;
   options.seed = seed;
   options.threads = threads;
+  options.force_scalar = force_scalar;
   options.proud_sigma = proud_sigma;
   options.dtw_ground_truth = dtw_ground_truth;
   options.dtw_ground_truth_band = dtw_ground_truth_band;
@@ -30,10 +31,11 @@ namespace {
 /// to `threads` when the caller did not pass any.
 query::EngineContext* EnsureEngines(
     std::optional<query::EngineContext>& local, std::size_t threads,
-    query::EngineContext* supplied) {
+    bool force_scalar, query::EngineContext* supplied) {
   if (supplied != nullptr) return supplied;
   query::EngineContextOptions engine_options;
   engine_options.threads = threads;
+  if (force_scalar) engine_options.simd = distance::SimdMode::kForceScalar;
   local.emplace(engine_options);
   return &*local;
 }
@@ -61,6 +63,8 @@ std::vector<std::string> SplitCommaList(const std::string& arg) {
       "  --k N            ground-truth set size (default 10)\n"
       "  --threads N      query-engine worker threads (default 1, 0 = auto);\n"
       "                   results are bit-identical at every setting\n"
+      "  --force-scalar   pin the scalar reference kernels (skip the\n"
+      "                   runtime-dispatched SIMD level)\n"
       "  --seed S         base RNG seed (default 42)\n"
       "  --out DIR        directory for CSV output (default .)\n"
       "  --datasets a,b   restrict to named datasets\n"
@@ -111,6 +115,8 @@ BenchConfig ParseArgs(int argc, char** argv, const std::string& bench_name,
       config.datasets = SplitCommaList(next_value("--datasets"));
     } else if (arg == "--no-tau-sweep") {
       config.sweep_tau = false;
+    } else if (arg == "--force-scalar") {
+      config.force_scalar = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsageAndExit(bench_name, description);
     } else if (arg == "--benchmark_format" || arg.rfind("--benchmark", 0) == 0) {
@@ -227,6 +233,7 @@ Result<std::vector<core::MatcherResult>> RunPooled(
   // sweeps rebind to bit-identical data and reuse it).
   std::optional<query::EngineContext> local_engines;
   options.engine_context = EnsureEngines(local_engines, options.threads,
+                                         options.force_scalar,
                                          engines);
 
   std::vector<std::vector<core::MatcherResult>> parts;
@@ -266,6 +273,7 @@ Result<std::vector<PerDatasetRow>> RunPerDataset(
   // One shared engine context per harness call (see RunPooled).
   std::optional<query::EngineContext> local_engines;
   options.engine_context = EnsureEngines(local_engines, options.threads,
+                                         options.force_scalar,
                                          engines);
 
   std::vector<PerDatasetRow> rows;

@@ -42,6 +42,7 @@ struct BenchConfig {
   std::size_t max_queries = 12;    ///< Cap on queries per dataset (quick).
   std::size_t ground_truth_k = 10; ///< The paper's 10-NN ground truth.
   std::size_t threads = 1;         ///< --threads: engine workers (0 = auto).
+  bool force_scalar = false;       ///< --force-scalar: pin scalar kernels.
   std::uint64_t seed = 42;
   std::string out_dir = ".";       ///< Where CSVs are written.
   std::vector<std::string> datasets;  ///< Empty = all 17.

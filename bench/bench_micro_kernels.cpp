@@ -13,11 +13,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "distance/batch.hpp"
+#include "distance/simd.hpp"
 #include "distance/dtw.hpp"
 #include "distance/lp.hpp"
 #include "measures/dust.hpp"
@@ -35,6 +38,57 @@
 namespace {
 
 using namespace uts;
+
+/// Build type of *this* binary. The stock google-benchmark JSON context key
+/// "library_build_type" describes how the benchmark *library* was built
+/// (distro packages often report "debug" there even for -O3 benchmark
+/// binaries); what matters for kernel timings is this value.
+const char* UtsBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// STREAM-like triad peak (a[i] = b[i] + s*c[i], 24 bytes/element) measured
+/// in this binary over three 64 MiB arrays, best of three passes: the
+/// memory-bandwidth ceiling that peak_fraction counters are normalized
+/// against. The arrays far exceed the LLC, so the loop is bandwidth-bound
+/// and its ISA (baseline, not AVX2) barely matters.
+double TriadPeakGBps() {
+  static const double peak = [] {
+    const std::size_t n = std::size_t{8} << 20;  // 8 Mi doubles per array
+    std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 3.0);
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const double s = 0.42;
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+      benchmark::DoNotOptimize(a.data());
+      const auto t1 = std::chrono::steady_clock::now();
+      const double sec = std::chrono::duration<double>(t1 - t0).count();
+      if (sec > 0.0) {
+        best = std::max(best, 24.0 * static_cast<double>(n) / sec / 1e9);
+      }
+    }
+    return best;
+  }();
+  return peak;
+}
+
+/// Attach the per-kernel bandwidth counters: achieved_GBps (memory traffic
+/// the kernel streams per second) and peak_fraction (that traffic divided by
+/// the in-binary triad peak). `bytes_per_iteration` counts the candidate
+/// rows plus outputs one benchmark iteration touches.
+void SetBandwidthCounters(benchmark::State& state, double bytes_per_iteration) {
+  using benchmark::Counter;
+  state.counters["achieved_GBps"] =
+      Counter(bytes_per_iteration / 1e9, Counter::kIsIterationInvariantRate);
+  state.counters["peak_fraction"] =
+      Counter(bytes_per_iteration / (TriadPeakGBps() * 1e9),
+              Counter::kIsIterationInvariantRate);
+}
 
 std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
   prob::Rng rng(seed);
@@ -269,6 +323,7 @@ void BM_ScanEuclideanBatchSoA(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * len);
+  SetBandwidthCounters(state, 8.0 * static_cast<double>(n * len + n));
 }
 BENCHMARK(BM_ScanEuclideanBatchSoA)->Arg(64)->Arg(290)->Arg(1024);
 
@@ -289,6 +344,8 @@ void BM_ScanEuclideanMultiQueryBatchSoA(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * distance::kQueryBlock * n *
                           len);
+  SetBandwidthCounters(
+      state, 8.0 * static_cast<double>(n * len + distance::kQueryBlock * n));
 }
 BENCHMARK(BM_ScanEuclideanMultiQueryBatchSoA)->Arg(64)->Arg(290)->Arg(1024);
 
@@ -312,6 +369,202 @@ void BM_ScanEuclideanEarlyAbandonBatchSoA(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * len);
 }
 BENCHMARK(BM_ScanEuclideanEarlyAbandonBatchSoA)->Arg(290);
+
+// --- Kernel dispatch: scalar reference vs runtime-resolved AVX2 -------------
+// One benchmark per kernel family and level, same data, driven through the
+// distance::KernelDispatch tables the engines execute. The *_Avx2 variants
+// skip (with an error note in the JSON) on hardware without AVX2+FMA, so a
+// baseline recorded on wider hardware never silently compares scalar runs.
+
+bool RequireAvx2(benchmark::State& state) {
+  if (distance::ResolveDispatch(distance::SimdMode::kAuto).level !=
+      distance::SimdLevel::kAvx2) {
+    state.SkipWithError("AVX2 unavailable (hardware or UNCERTTS_FORCE_SCALAR)");
+    return false;
+  }
+  return true;
+}
+
+void ScanEuclideanKernel(benchmark::State& state,
+                         const distance::KernelDispatch& table) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    table.squared_euclidean_range(store.row(0), store, 0, n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+  SetBandwidthCounters(state, 8.0 * static_cast<double>(n * len + n));
+}
+
+// The acceptance-gate pair: blocked 1-vs-all squared Euclidean at length
+// 1024, single-threaded, scalar vs AVX2; tools/check_bench_regression.py
+// enforces the minimum speedup between the two. Args are {length,
+// candidate count}. The gated shape keeps the candidate block at 1 MiB —
+// L2-resident, the same block size (kCandidateTileBytes) the engine's
+// tiled all-pairs path replays from cache — so it measures kernel
+// throughput. The 512-candidate shape (4 MiB, streamed from uncore) is
+// also recorded: there both levels converge toward the machine's memory
+// bandwidth, which is the honest ceiling for cold one-shot scans.
+void BM_ScanEuclideanBatchSoA_Scalar(benchmark::State& state) {
+  ScanEuclideanKernel(state, distance::ScalarDispatch());
+}
+BENCHMARK(BM_ScanEuclideanBatchSoA_Scalar)
+    ->Args({1024, 128})
+    ->Args({1024, 512})
+    ->Args({64, 512});
+
+void BM_ScanEuclideanBatchSoA_Avx2(benchmark::State& state) {
+  if (!RequireAvx2(state)) return;
+  ScanEuclideanKernel(state, distance::Avx2Dispatch());
+}
+BENCHMARK(BM_ScanEuclideanBatchSoA_Avx2)
+    ->Args({1024, 128})
+    ->Args({1024, 512})
+    ->Args({64, 512});
+
+void MultiQueryKernel(benchmark::State& state,
+                      const distance::KernelDispatch& table) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 100);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> out(distance::kQueryBlock * n);
+  for (auto _ : state) {
+    table.squared_euclidean_multi_query(store, 0, distance::kQueryBlock, 0, n,
+                                        out, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * distance::kQueryBlock * n *
+                          len);
+  SetBandwidthCounters(
+      state, 8.0 * static_cast<double>(n * len + distance::kQueryBlock * n));
+}
+
+void BM_ScanEuclideanMultiQuery_Scalar(benchmark::State& state) {
+  MultiQueryKernel(state, distance::ScalarDispatch());
+}
+BENCHMARK(BM_ScanEuclideanMultiQuery_Scalar)->Arg(1024);
+
+void BM_ScanEuclideanMultiQuery_Avx2(benchmark::State& state) {
+  if (!RequireAvx2(state)) return;
+  MultiQueryKernel(state, distance::Avx2Dispatch());
+}
+BENCHMARK(BM_ScanEuclideanMultiQuery_Avx2)->Arg(1024);
+
+void DustClosedFormKernel(benchmark::State& state,
+                          const distance::KernelDispatch& table) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 101);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  distance::DustLut lut;
+  lut.scale = 1.0;  // values == nullptr => closed form, no table loads
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    table.dust_range(store.row(0), store, lut, 0, n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+  SetBandwidthCounters(state, 8.0 * static_cast<double>(n * len + n));
+}
+
+void BM_DustKernelClosedForm_Scalar(benchmark::State& state) {
+  DustClosedFormKernel(state, distance::ScalarDispatch());
+}
+BENCHMARK(BM_DustKernelClosedForm_Scalar)->Arg(1024);
+
+void BM_DustKernelClosedForm_Avx2(benchmark::State& state) {
+  if (!RequireAvx2(state)) return;
+  DustClosedFormKernel(state, distance::Avx2Dispatch());
+}
+BENCHMARK(BM_DustKernelClosedForm_Avx2)->Arg(1024);
+
+void DustLookupKernel(benchmark::State& state,
+                      const distance::KernelDispatch& table) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 102);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  const std::size_t cells = 2048;
+  std::vector<double> values(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    values[i] = 0.1 + 0.001 * static_cast<double>(i);
+  }
+  distance::DustLut lut;
+  lut.values = values.data();
+  lut.size = cells;
+  lut.delta_max = 16.0;
+  lut.step = lut.delta_max / static_cast<double>(cells - 1);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    table.dust_range(store.row(0), store, lut, 0, n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+  SetBandwidthCounters(state, 8.0 * static_cast<double>(n * len + n));
+}
+
+void BM_DustKernelLookup_Scalar(benchmark::State& state) {
+  DustLookupKernel(state, distance::ScalarDispatch());
+}
+BENCHMARK(BM_DustKernelLookup_Scalar)->Arg(1024);
+
+void BM_DustKernelLookup_Avx2(benchmark::State& state) {
+  if (!RequireAvx2(state)) return;
+  DustLookupKernel(state, distance::Avx2Dispatch());
+}
+BENCHMARK(BM_DustKernelLookup_Avx2)->Arg(1024);
+
+void ProudMomentKernel(benchmark::State& state,
+                       const distance::KernelDispatch& table) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  const ts::Dataset d = RandomDataset(n, len, 103);
+  const auto packed = d.Packed();
+  const ts::SoaStore& store = *packed;
+  std::vector<double> mean(n), var(n);
+  for (auto _ : state) {
+    table.proud_moment_range(store.row(0), store, 0.5, 0, n, mean, var);
+    benchmark::DoNotOptimize(mean.data());
+    benchmark::DoNotOptimize(var.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * len);
+  SetBandwidthCounters(state, 8.0 * static_cast<double>(n * len + 2 * n));
+}
+
+void BM_ProudMomentKernel_Scalar(benchmark::State& state) {
+  ProudMomentKernel(state, distance::ScalarDispatch());
+}
+BENCHMARK(BM_ProudMomentKernel_Scalar)->Arg(1024);
+
+void BM_ProudMomentKernel_Avx2(benchmark::State& state) {
+  if (!RequireAvx2(state)) return;
+  ProudMomentKernel(state, distance::Avx2Dispatch());
+}
+BENCHMARK(BM_ProudMomentKernel_Avx2)->Arg(1024);
+
+// The bandwidth ceiling itself as a benchmark: its achieved_GBps is what
+// every peak_fraction counter is normalized by (to within run-to-run noise;
+// the normalization uses the cached best-of-three TriadPeakGBps pass).
+void BM_StreamTriadPeak(benchmark::State& state) {
+  const std::size_t n = std::size_t{8} << 20;
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 3.0);
+  const double s = 0.42;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    benchmark::DoNotOptimize(a.data());
+  }
+  SetBandwidthCounters(state, 24.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_StreamTriadPeak)->Unit(benchmark::kMillisecond);
 
 // End-to-end 10-NN ground-truth build (every series as a query), the
 // dominant cost of the paper's evaluation loop — seed path vs engine.
@@ -533,6 +786,13 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick" || arg == "--paper") continue;
+    if (arg == "--force-scalar") {
+      // Engines and ResolveDispatch(kAuto) consult the override at
+      // construction/resolve time, so one env flip pins every benchmark
+      // (the *_Avx2 kernel variants then skip with an error note).
+      setenv("UNCERTTS_FORCE_SCALAR", "1", 1);
+      continue;
+    }
     if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
     if (arg.rfind("--benchmark_out_format=", 0) == 0) has_format = true;
     filtered.push_back(argv[i]);
@@ -545,6 +805,21 @@ int main(int argc, char** argv) {
   if (!has_format) filtered.push_back(default_fmt.data());
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());
+  // The stock "library_build_type" context key describes how the
+  // google-benchmark *library* was built (distro packages often say "debug"
+  // there even under -O3). Emit the same key for this binary's own build
+  // type: AddCustomContext appends it after the stock one, and JSON parsers
+  // that keep the last duplicate key (e.g. Python's json.load, used by
+  // tools/check_bench_regression.py) see the value that actually matters
+  // for kernel timings.
+  benchmark::AddCustomContext("library_build_type", UtsBuildType());
+  benchmark::AddCustomContext("uts_build_type", UtsBuildType());
+  benchmark::AddCustomContext(
+      "uts_simd_level",
+      distance::SimdLevelName(
+          distance::ResolveDispatch(distance::SimdMode::kAuto).level));
+  benchmark::AddCustomContext("triad_peak_GBps",
+                              std::to_string(TriadPeakGBps()));
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -53,6 +53,9 @@ Result<std::vector<MatcherResult>> RunSimilarityMatching(
   if (engines == nullptr) {
     query::EngineContextOptions engine_options;
     engine_options.threads = options.threads;
+    if (options.force_scalar) {
+      engine_options.simd = distance::SimdMode::kForceScalar;
+    }
     local_engines.emplace(engine_options);
     engines = &*local_engines;
   } else {

@@ -61,6 +61,13 @@ struct RunOptions {
   /// concurrency. Results are bit-identical at every setting.
   std::size_t threads = 1;
 
+  /// Pin every engine of the run to the scalar reference kernels instead
+  /// of the runtime-dispatched SIMD level (see distance/simd.hpp for the
+  /// per-kernel numeric policy). Only consulted when the run creates a
+  /// private engine context; an external `engine_context` carries its own
+  /// EngineContextOptions::simd.
+  bool force_scalar = false;
+
   /// Build the repeated-observations dataset too (required iff a MUNICH
   /// matcher participates) with this many samples per timestamp (the
   /// paper's Figure 4 uses 5). 0 disables.

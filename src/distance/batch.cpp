@@ -100,43 +100,54 @@ void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
   assert(out_stride >= rows);
   assert(query_begin == query_end ||
          out.size() >= (query_end - query_begin - 1) * out_stride + rows);
+  (void)rows;
   const std::size_t stride = store.stride();
   const double* base = store.data();
 
-  std::size_t q = query_begin;
-  for (; q + kQueryBlock <= query_end; q += kQueryBlock) {
-    const double* q0 = base + q * stride;
-    const double* q1 = q0 + stride;
-    const double* q2 = q1 + stride;
-    const double* q3 = q2 + stride;
-    double* o0 = out.data() + (q - query_begin) * out_stride;
-    double* o1 = o0 + out_stride;
-    double* o2 = o1 + out_stride;
-    double* o3 = o2 + out_stride;
-    for (std::size_t r = row_begin; r < row_end; ++r) {
-      const double* row = base + r * stride;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t t = 0; t < stride; ++t) {
-        const double v = row[t];
-        const double d0 = q0[t] - v;
-        s0 += d0 * d0;
-        const double d1 = q1[t] - v;
-        s1 += d1 * d1;
-        const double d2 = q2[t] - v;
-        s2 += d2 * d2;
-        const double d3 = q3[t] - v;
-        s3 += d3 * d3;
+  // Candidate tiles outer, query blocks inner: one tile of rows is fetched
+  // from memory once and replayed against every query block while it is
+  // still cache-resident (see kCandidateTileBytes). Per (query, candidate)
+  // pair nothing changes — one accumulator, ascending timestamp — so the
+  // tiling is invisible in the results.
+  const std::size_t tile_rows = CandidateTileRows(stride);
+  for (std::size_t tile = row_begin; tile < row_end; tile += tile_rows) {
+    const std::size_t tile_end = std::min(tile + tile_rows, row_end);
+    std::size_t q = query_begin;
+    for (; q + kQueryBlock <= query_end; q += kQueryBlock) {
+      const double* q0 = base + q * stride;
+      const double* q1 = q0 + stride;
+      const double* q2 = q1 + stride;
+      const double* q3 = q2 + stride;
+      double* o0 = out.data() + (q - query_begin) * out_stride;
+      double* o1 = o0 + out_stride;
+      double* o2 = o1 + out_stride;
+      double* o3 = o2 + out_stride;
+      for (std::size_t r = tile; r < tile_end; ++r) {
+        const double* row = base + r * stride;
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t t = 0; t < stride; ++t) {
+          const double v = row[t];
+          const double d0 = q0[t] - v;
+          s0 += d0 * d0;
+          const double d1 = q1[t] - v;
+          s1 += d1 * d1;
+          const double d2 = q2[t] - v;
+          s2 += d2 * d2;
+          const double d3 = q3[t] - v;
+          s3 += d3 * d3;
+        }
+        o0[r - row_begin] = s0;
+        o1[r - row_begin] = s1;
+        o2[r - row_begin] = s2;
+        o3[r - row_begin] = s3;
       }
-      o0[r - row_begin] = s0;
-      o1[r - row_begin] = s1;
-      o2[r - row_begin] = s2;
-      o3[r - row_begin] = s3;
     }
-  }
-  for (; q < query_end; ++q) {
-    SquaredEuclideanBatchRange(
-        store.row(q), store, row_begin, row_end,
-        out.subspan((q - query_begin) * out_stride, rows));
+    for (; q < query_end; ++q) {
+      SquaredEuclideanBatchRange(
+          store.row(q), store, tile, tile_end,
+          out.subspan((q - query_begin) * out_stride + (tile - row_begin),
+                      tile_end - tile));
+    }
   }
 }
 
@@ -266,15 +277,16 @@ void ProudGeneralMomentBatchRange(
   }
 }
 
-void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
-                                       const ts::SoaStore& store,
-                                       double threshold_sq,
-                                       std::span<double> out) {
+void SquaredEuclideanEarlyAbandonBatchRange(std::span<const double> query,
+                                            const ts::SoaStore& store,
+                                            double threshold_sq,
+                                            std::size_t row_begin,
+                                            std::size_t row_end,
+                                            std::span<double> out) {
   assert(query.size() == store.stride());
-  assert(out.size() == store.rows());
   const std::size_t n = query.size();
   const double* q = query.data();
-  ForEachRow(store, 0, store.rows(), out,
+  ForEachRow(store, row_begin, row_end, out,
              [q, n, threshold_sq](const double* row) {
                double sum = 0.0;
                for (std::size_t t = 0; t < n; ++t) {
@@ -284,6 +296,14 @@ void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
                }
                return sum;
              });
+}
+
+void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
+                                       const ts::SoaStore& store,
+                                       double threshold_sq,
+                                       std::span<double> out) {
+  SquaredEuclideanEarlyAbandonBatchRange(query, store, threshold_sq, 0,
+                                         store.rows(), out);
 }
 
 }  // namespace uts::distance

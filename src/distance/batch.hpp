@@ -59,6 +59,28 @@ void LpBatch(std::span<const double> query, const ts::SoaStore& store,
 /// ordered per-pair sum cannot hide.
 inline constexpr std::size_t kQueryBlock = 4;
 
+/// \brief Cache-block size of the multi-query kernels' candidate tiling, in
+/// bytes. The kernels walk candidate rows in tiles of
+/// `kCandidateTileBytes / (stride * sizeof(double))` rows and replay every
+/// query block against one resident tile before streaming the next, so each
+/// candidate row is fetched from memory once per *tile pass* instead of once
+/// per query block. Sized to half the 2 MiB L2 recorded in the benchmark
+/// context (BENCH_uncertain_baseline.json): the tile plus the query block
+/// and output slices stay L2-resident with room for prefetch streams.
+/// Tiling only reorders which (query, candidate) pair is evaluated when —
+/// each pair's accumulation is still one pass in ascending timestamp order,
+/// so results are unchanged bit for bit.
+inline constexpr std::size_t kCandidateTileBytes = std::size_t{1} << 20;
+
+/// \brief Candidate rows per tile for a given row stride (>= kQueryBlock so
+/// a tile is never smaller than one query block's worth of work).
+inline constexpr std::size_t CandidateTileRows(std::size_t stride) {
+  const std::size_t bytes_per_row = stride * sizeof(double);
+  if (bytes_per_row == 0) return kQueryBlock;
+  const std::size_t rows = kCandidateTileBytes / bytes_per_row;
+  return rows < kQueryBlock ? kQueryBlock : rows;
+}
+
 /// \brief All-pairs building block: squared Euclidean distances from
 /// queries [query_begin, query_end) (rows of the same store) to candidate
 /// rows [row_begin, row_end).
@@ -167,6 +189,16 @@ void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
                                        const ts::SoaStore& store,
                                        double threshold_sq,
                                        std::span<double> out);
+
+/// \brief Row-range variant of SquaredEuclideanEarlyAbandonBatch (the unit
+/// the dispatch layer and the parallel engine hand to one worker chunk).
+/// Precondition: out.size() == row_end - row_begin.
+void SquaredEuclideanEarlyAbandonBatchRange(std::span<const double> query,
+                                            const ts::SoaStore& store,
+                                            double threshold_sq,
+                                            std::size_t row_begin,
+                                            std::size_t row_end,
+                                            std::span<double> out);
 
 }  // namespace uts::distance
 

@@ -56,7 +56,10 @@ std::vector<Neighbor> SelectKNearest(std::span<const double> distances,
 
 DistanceMatrixEngine::DistanceMatrixEngine(const ts::Dataset& dataset,
                                            EngineOptions options)
-    : dataset_(&dataset), options_(options), store_(dataset.Packed()) {
+    : dataset_(&dataset),
+      options_(options),
+      dispatch_(&distance::ResolveDispatch(options.simd)),
+      store_(dataset.Packed()) {
   if (options_.grain == 0) options_.grain = 1;
   if (options_.shared_pool != nullptr) {
     pool_ = options_.shared_pool;
@@ -175,9 +178,10 @@ std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
   exec::ParallelFor(
       pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
-        distance::EuclideanBatchRange(
-            query, *store_, begin, end,
-            std::span<double>(distances).subspan(begin, end - begin));
+        const std::span<double> slot =
+            std::span<double>(distances).subspan(begin, end - begin);
+        dispatch_->squared_euclidean_range(query, *store_, begin, end, slot);
+        for (double& v : slot) v = std::sqrt(v);
       });
   return detail::SelectKNearest(distances, query_index, k);
 }
@@ -203,7 +207,7 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
     exec::ParallelFor(
         pool_, n, /*grain=*/distance::kQueryBlock,
         [&](std::size_t begin, std::size_t end) {
-          distance::SquaredEuclideanMultiQueryBatch(
+          dispatch_->squared_euclidean_multi_query(
               *store_, begin, end, begin, n,
               std::span<double>(matrix).subspan(begin * n + begin), n);
         });
@@ -241,8 +245,8 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
       pool_, queries, /*grain=*/distance::kQueryBlock,
       [&](std::size_t begin, std::size_t end) {
         std::vector<double> block((end - begin) * n, 0.0);
-        distance::SquaredEuclideanMultiQueryBatch(*store_, begin, end, 0, n,
-                                                  block, n);
+        dispatch_->squared_euclidean_multi_query(*store_, begin, end, 0, n,
+                                                 block, n);
         for (double& v : block) v = std::sqrt(v);
         for (std::size_t q = begin; q < end; ++q) {
           out[q] = detail::SelectKNearest(
@@ -268,9 +272,10 @@ std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
   exec::ParallelFor(
       pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
-        distance::EuclideanBatchRange(
-            query, *store_, begin, end,
-            std::span<double>(distances).subspan(begin, end - begin));
+        const std::span<double> slot =
+            std::span<double>(distances).subspan(begin, end - begin);
+        dispatch_->squared_euclidean_range(query, *store_, begin, end, slot);
+        for (double& v : slot) v = std::sqrt(v);
       });
   return CollectMatches(distances, query_index,
                         [epsilon](double d) { return d <= epsilon; });

@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "distance/simd.hpp"
 #include "exec/thread_pool.hpp"
 #include "query/search.hpp"
 #include "ts/dataset.hpp"
@@ -46,6 +47,14 @@ struct EngineOptions {
 
   /// Candidate rows per parallel chunk of a single query's scan.
   std::size_t grain = 256;
+
+  /// Kernel selection for the batched Euclidean paths: kAuto resolves the
+  /// widest compiled-in SIMD level the CPU supports (subject to the
+  /// UNCERTTS_FORCE_SCALAR environment override), kForceScalar pins the
+  /// bit-exact scalar reference kernels. See distance/simd.hpp for the
+  /// per-kernel numeric policy; the resolved level is queryable via
+  /// simd_level().
+  distance::SimdMode simd = distance::SimdMode::kAuto;
 
   /// Borrowed executor: when non-null the engine schedules on this pool
   /// instead of constructing a private one, and `threads` is ignored for
@@ -75,6 +84,10 @@ class DistanceMatrixEngine {
   /// True iff the Euclidean paths run on the contiguous SoA store (uniform
   /// length); otherwise they fall back to per-series span callbacks.
   bool batched() const { return store_ != nullptr; }
+
+  /// Kernel level the batched paths execute at (resolved once from
+  /// EngineOptions::simd at construction).
+  distance::SimdLevel simd_level() const { return dispatch_->level; }
 
   /// \name Euclidean queries (batched SoA kernels)
   /// \{
@@ -133,6 +146,8 @@ class DistanceMatrixEngine {
 
   const ts::Dataset* dataset_;
   EngineOptions options_;
+  /// Kernel table resolved from options_.simd at construction; never null.
+  const distance::KernelDispatch* dispatch_;
   /// Co-owned snapshot of the dataset's SoA mirror: stays valid even if
   /// the dataset is mutated (and re-packed) after engine construction.
   std::shared_ptr<const ts::SoaStore> store_;

@@ -171,6 +171,7 @@ const DistanceMatrixEngine& EngineContext::Certain(const ts::Dataset& exact,
   EngineOptions options;
   options.threads = threads_;
   options.shared_pool = pool();
+  options.simd = options_.simd;
   if (grain != 0) {
     options.grain = grain;
   } else if (options_.certain_grain != 0) {
@@ -190,6 +191,7 @@ UncertainEngine* EngineContext::EnsureUncertain() {
   UncertainEngineOptions options;
   options.threads = threads_;
   options.shared_pool = pool();
+  options.simd = options_.simd;
   if (options_.uncertain_grain != 0) options.grain = options_.uncertain_grain;
   options.seed = seed_;
   options.proud_sigma = proud_sigma_;

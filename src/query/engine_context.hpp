@@ -70,6 +70,11 @@ struct EngineContextOptions {
   /// Candidate rows per parallel chunk of the uncertain-measure sweeps
   /// (UncertainEngine); 0 = that engine's default.
   std::size_t uncertain_grain = 0;
+
+  /// Kernel selection every engine of the run shares (see
+  /// distance/simd.hpp): kAuto resolves the widest compiled-in SIMD level
+  /// the CPU supports, kForceScalar pins the scalar reference kernels.
+  distance::SimdMode simd = distance::SimdMode::kAuto;
 };
 
 /// \brief Owns the shared execution resources of one evaluation run: the

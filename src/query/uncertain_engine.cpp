@@ -42,7 +42,8 @@ std::vector<Neighbor> SelectTopKByScore(std::span<const double> scores,
 }  // namespace
 
 UncertainEngine::UncertainEngine(UncertainEngineOptions options)
-    : options_(options) {
+    : options_(options),
+      dispatch_(&distance::ResolveDispatch(options.simd)) {
   if (options_.grain == 0) options_.grain = 1;
   proud_v_ = 2.0 * options_.proud_sigma * options_.proud_sigma;
   if (options_.shared_pool != nullptr) {
@@ -202,7 +203,7 @@ Result<std::vector<double>> UncertainEngine::DustDistances(
     const distance::DustLut& lut = PairLut(0, 0);
     exec::ParallelFor(pool_, n, options_.grain,
                       [&](std::size_t begin, std::size_t end) {
-                        distance::DustBatchRange(
+                        dispatch_->dust_range(
                             qrow, store_, lut, begin, end,
                             std::span<double>(distances)
                                 .subspan(begin, end - begin));
@@ -215,7 +216,7 @@ Result<std::vector<double>> UncertainEngine::DustDistances(
   }
   exec::ParallelFor(pool_, n, options_.grain,
                     [&](std::size_t begin, std::size_t end) {
-                      distance::DustClassedBatchRange(
+                      dispatch_->dust_classed_range(
                           qrow, store_, qluts, class_ids_, begin, end,
                           std::span<double>(distances)
                               .subspan(begin, end - begin));
@@ -272,7 +273,7 @@ std::vector<double> UncertainEngine::ProudMatchProbabilities(
   exec::ParallelFor(
       pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
-        distance::ProudMomentBatchRange(
+        dispatch_->proud_moment_range(
             qrow, store_, proud_v_, begin, end,
             std::span<double>(mean).subspan(begin, end - begin),
             std::span<double>(var).subspan(begin, end - begin));
@@ -294,7 +295,7 @@ std::vector<std::size_t> UncertainEngine::ProbabilisticRangeSearchProud(
   exec::ParallelFor(
       pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
-        distance::ProudMomentBatchRange(
+        dispatch_->proud_moment_range(
             qrow, store_, proud_v_, begin, end,
             std::span<double>(mean).subspan(begin, end - begin),
             std::span<double>(var).subspan(begin, end - begin));
@@ -332,7 +333,7 @@ Result<std::vector<double>> UncertainEngine::ProudGeneralMatchProbabilities(
   exec::ParallelFor(
       pool_, n, options_.grain,
       [&](std::size_t begin, std::size_t end) {
-        distance::ProudGeneralMomentBatchRange(
+        dispatch_->proud_general_moment_range(
             store_.row(query), m2_store_.row(query), m3_store_.row(query),
             m4_store_.row(query), store_, m2_store_, m3_store_, m4_store_,
             begin, end, std::span<double>(mean).subspan(begin, end - begin),

@@ -52,6 +52,7 @@
 
 #include "common/result.hpp"
 #include "distance/batch.hpp"
+#include "distance/simd.hpp"
 #include "exec/thread_pool.hpp"
 #include "measures/dust.hpp"
 #include "measures/munich.hpp"
@@ -86,6 +87,15 @@ struct UncertainEngineOptions {
   /// Base seed of the MUNICH Monte Carlo pair streams; the same value used
   /// with the scalar API reproduces engine results bit-exactly.
   std::uint64_t seed = 0x5eed;
+
+  /// Kernel selection for the DUST and PROUD sweeps: kAuto resolves the
+  /// widest compiled-in SIMD level the CPU supports (subject to the
+  /// UNCERTTS_FORCE_SCALAR environment override), kForceScalar pins the
+  /// scalar reference kernels. DUST results are bitwise identical either
+  /// way; PROUD sweeps are within the pinned tolerance of distance/simd.hpp.
+  /// MUNICH never touches the dispatch (its cost is the Monte Carlo
+  /// estimator, not a batch kernel).
+  distance::SimdMode simd = distance::SimdMode::kAuto;
 
   /// Borrowed executor: when non-null the engine schedules on this pool
   /// instead of constructing a private one, and `threads` is ignored for
@@ -130,6 +140,10 @@ class UncertainEngine {
   std::size_t num_error_classes() const { return num_classes_; }
 
   const UncertainEngineOptions& options() const { return options_; }
+
+  /// Kernel level the DUST/PROUD sweeps execute at (resolved once from
+  /// UncertainEngineOptions::simd at construction).
+  distance::SimdLevel simd_level() const { return dispatch_->level; }
 
   /// Replace the MUNICH estimator configuration after construction (τ is
   /// still ignored — PRQ methods take it explicitly). Setup-time only: not
@@ -264,6 +278,8 @@ class UncertainEngine {
                                        double epsilon) const;
 
   UncertainEngineOptions options_;
+  /// Kernel table resolved from options_.simd at construction; never null.
+  const distance::KernelDispatch* dispatch_;
 
   ts::SoaStore store_;  ///< Packed observations.
   /// PROUD moment columns; empty until BuildProudMomentColumns.

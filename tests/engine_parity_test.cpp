@@ -131,6 +131,11 @@ EngineOptions SmallChunkOptions(std::size_t threads) {
   EngineOptions options;
   options.threads = threads;
   options.grain = 16;  // force multiple chunks even on small datasets
+  // This suite pins the engine bit-identical to the sequential scalar
+  // references, which is a property of the scalar kernel path; SIMD-vs-
+  // scalar agreement (tolerance for Euclidean/PROUD, bitwise for DUST) is
+  // simd_parity_test's job.
+  options.simd = distance::SimdMode::kForceScalar;
   return options;
 }
 

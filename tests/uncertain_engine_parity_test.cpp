@@ -33,6 +33,10 @@ UncertainEngineOptions SmallChunkOptions(std::size_t threads) {
   UncertainEngineOptions options;
   options.threads = threads;
   options.grain = 4;  // force many chunks even on small datasets
+  // This suite pins the engine bit-identical to the scalar measure APIs,
+  // which is a property of the scalar kernel path; SIMD-vs-scalar agreement
+  // (bitwise for DUST, tolerance for PROUD) is simd_parity_test's job.
+  options.simd = distance::SimdMode::kForceScalar;
   return options;
 }
 

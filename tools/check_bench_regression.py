@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the shared-engine hot paths.
+"""Bench-regression gate for the shared-engine hot paths and SIMD kernels.
 
 Compares a fresh ``bench_micro_kernels --benchmark_format=json`` run against
-the committed ``BENCH_uncertain_baseline.json`` and fails (exit 1) when an
-engine path regressed more than ``--max-regression`` (default 25%).
+the committed ``BENCH_uncertain_baseline.json`` and fails (exit 1) when:
 
-CI runners and the machine the baseline was recorded on differ in absolute
-speed, so absolute times are not comparable. The gate therefore checks the
-*engine-vs-scalar ratio*: each guarded benchmark is paired with the scalar
-reference path measured in the same process, and the engine path fails only
-when cpu_time(engine) / cpu_time(scalar) worsened by more than the allowed
-fraction relative to the baseline's ratio. A genuine engine regression (say,
-an accidental per-sweep repack) moves the ratio on any machine; a uniformly
-slower runner does not.
+* either JSON was produced by a debug build — ``bench_micro_kernels`` emits
+  its own ``library_build_type`` via ``benchmark::AddCustomContext`` after
+  the stock key describing the google-benchmark library's build, and
+  ``json.load`` keeps the last duplicate key, so the value seen here is the
+  benchmark binary's actual build type. Debug timings gate nothing and a
+  baseline recorded from one would wave real regressions through;
+* an engine path worsened more than ``--max-regression`` (default 25%)
+  against the baseline's engine-vs-scalar cpu-time ratio. Ratios, not
+  absolute times: CI runners and the baseline machine differ in absolute
+  speed, but a genuine regression (say, an accidental per-sweep repack)
+  moves the ratio on any machine;
+* the AVX2 kernel's speedup over the scalar reference fell below the
+  per-pair floor (the ISSUE 6 acceptance gate: >=3x on the blocked
+  Euclidean 1-vs-all at length 1024, L2-resident candidate block). Skipped
+  with a warning when the current run reports ``uts_simd_level`` other
+  than ``avx2`` (hardware without AVX2+FMA cannot measure the pair);
+* a kernel's ``peak_fraction`` bandwidth counter (achieved GB/s divided by
+  the in-binary STREAM-triad peak, so machine-normalized) dropped more
+  than ``--max-regression`` below the baseline's. Applied to every
+  benchmark that carries the counter in both files.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.25]
@@ -35,16 +46,31 @@ PAIRS = [
      "BM_GroundTruthKnnSeedPath"),
 ]
 
+# (label, scalar benchmark, AVX2 benchmark, minimum speedup). Enforced on
+# the *current* run: cpu_time(scalar) / cpu_time(avx2) must be >= floor.
+SIMD_SPEEDUPS = [
+    ("blocked Euclidean 1-vs-all @1024 (L2-resident)",
+     "BM_ScanEuclideanBatchSoA_Scalar/1024/128",
+     "BM_ScanEuclideanBatchSoA_Avx2/1024/128",
+     3.0),
+]
 
-def load_times(path):
+
+def load_report(path):
     with open(path) as f:
         report = json.load(f)
     times = {}
+    fractions = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
+        if bench.get("error_occurred"):
+            # e.g. the *_Avx2 kernels skipping on non-AVX2 hardware.
+            continue
         times[bench["name"]] = float(bench["cpu_time"])
-    return times
+        if "peak_fraction" in bench:
+            fractions[bench["name"]] = float(bench["peak_fraction"])
+    return report.get("context", {}), times, fractions
 
 
 def main():
@@ -53,14 +79,27 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional worsening of the "
-                             "engine/scalar time ratio (default 0.25)")
+                             "engine/scalar time ratio and of peak_fraction "
+                             "bandwidth counters (default 0.25)")
     args = parser.parse_args()
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    base_ctx, baseline, base_frac = load_report(args.baseline)
+    cur_ctx, current, cur_frac = load_report(args.current)
 
     failures = []
-    print(f"{'path':<28} {'base ratio':>10} {'now ratio':>10} {'change':>8}")
+
+    # -- Build-type gate: debug timings gate nothing. ------------------------
+    for which, ctx in (("baseline", base_ctx), ("current", cur_ctx)):
+        build_type = ctx.get("library_build_type", "<missing>")
+        print(f"{which} library_build_type: {build_type}")
+        if build_type == "debug":
+            failures.append(
+                f"{which} JSON was recorded from a debug build "
+                f"(library_build_type={build_type!r}); re-record on Release "
+                f"(cmake -DCMAKE_BUILD_TYPE=Release)")
+
+    # -- Engine-vs-scalar ratio gate. ----------------------------------------
+    print(f"\n{'path':<28} {'base ratio':>10} {'now ratio':>10} {'change':>8}")
     for label, engine, scalar in PAIRS:
         missing = [n for n in (engine, scalar) if n not in current]
         if missing:
@@ -84,12 +123,47 @@ def main():
                 f"{change:+.1%} vs baseline {base_ratio:.4f} "
                 f"(limit +{args.max_regression:.0%})")
 
+    # -- SIMD speedup floor (current run). -----------------------------------
+    simd_level = cur_ctx.get("uts_simd_level", "<missing>")
+    print(f"\ncurrent uts_simd_level: {simd_level}")
+    if simd_level != "avx2":
+        print("  AVX2 not active in the current run; speedup floors skipped")
+    else:
+        for label, scalar, avx2, floor in SIMD_SPEEDUPS:
+            missing = [n for n in (scalar, avx2) if n not in current]
+            if missing:
+                failures.append(
+                    f"{label}: missing in current run: {missing}")
+                continue
+            speedup = current[scalar] / current[avx2]
+            verdict = "ok" if speedup >= floor else "FAIL"
+            print(f"  {label}: {speedup:.2f}x (floor {floor:.1f}x) {verdict}")
+            if speedup < floor:
+                failures.append(
+                    f"{label}: AVX2 speedup {speedup:.2f}x below the "
+                    f"{floor:.1f}x floor")
+
+    # -- Bandwidth gate: peak_fraction per kernel, baseline vs current. ------
+    shared = sorted(set(base_frac) & set(cur_frac))
+    if shared:
+        print(f"\n{'kernel':<44} {'base peak%':>10} {'now peak%':>10}")
+        for name in shared:
+            base_pf = base_frac[name]
+            now_pf = cur_frac[name]
+            print(f"{name:<44} {base_pf:>10.3f} {now_pf:>10.3f}")
+            if now_pf < base_pf * (1.0 - args.max_regression):
+                failures.append(
+                    f"{name}: peak_fraction {now_pf:.3f} dropped "
+                    f"{1.0 - now_pf / base_pf:.1%} below baseline "
+                    f"{base_pf:.3f} (limit -{args.max_regression:.0%})")
+
     if failures:
-        print("\nFAIL: engine-path regression detected", file=sys.stderr)
+        print("\nFAIL: bench gate violations", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nOK: shared-engine paths within the regression budget")
+    print("\nOK: build type, engine ratios, SIMD floors and bandwidth within "
+          "budget")
     return 0
 
 

@@ -297,7 +297,10 @@ void PrintUsage() {
       " [--error normal|uniform|exponential] [--sigma X] [--mixed] [--seed S]\n"
       "  uncertts match    --in data.ucr --query I --k N"
       " [--measure euclid|dtw|dust|uma|uema] [--sigma X]\n"
-      "  uncertts motifs   --in data.ucr --k N\n");
+      "  uncertts motifs   --in data.ucr --k N\n\n"
+      "Any command also accepts --force-scalar: pin the bit-exact scalar\n"
+      "kernels instead of the runtime-dispatched SIMD level (equivalent to\n"
+      "setting UNCERTTS_FORCE_SCALAR=1 in the environment).\n");
 }
 
 }  // namespace
@@ -309,6 +312,11 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv);
+  if (args.Has("force-scalar")) {
+    // Engines read the override via distance::ResolveDispatch at
+    // construction, so one env flip covers every engine the command builds.
+    setenv("UNCERTTS_FORCE_SCALAR", "1", 1);
+  }
   if (command == "datasets") return CmdDatasets();
   if (command == "generate") return CmdGenerate(args);
   if (command == "perturb") return CmdPerturb(args);

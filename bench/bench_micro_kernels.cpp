@@ -598,6 +598,63 @@ BENCHMARK(BM_GroundTruthKnnEngineThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- Index cascade: prune-before-score 10-NN on structured data --------------
+
+// Random walks concentrate their energy in the low-frequency Haar
+// coefficients, so the synopsis prefix captures most of each pairwise
+// distance — the regime the index targets (iid noise, by contrast, leaves
+// nothing for a 16-coefficient prefix to prune). The indexed/unindexed twin
+// runs share one dataset so their time ratio isolates the cascade, and the
+// indexed run exports its pruned_fraction: the regression gate
+// (tools/check_bench_regression.py) holds a floor under it, so an index
+// that silently stops pruning — or stops being built — fails CI loudly.
+ts::Dataset RandomWalkDataset(std::size_t n_series, std::size_t length,
+                              std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("bench-walk");
+  for (std::size_t i = 0; i < n_series; ++i) {
+    std::vector<double> values(length);
+    double level = rng.Gaussian();
+    for (double& v : values) {
+      level += rng.Gaussian();
+      v = level;
+    }
+    d.Add(ts::TimeSeries(std::move(values)));
+  }
+  return d;
+}
+
+void BM_GroundTruthKnnEngineWalk(benchmark::State& state) {
+  const ts::Dataset d = RandomWalkDataset(256, 512, 210);
+  const query::DistanceMatrixEngine engine(d, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AllKNearestEuclidean(10));
+  }
+  state.SetItemsProcessed(state.iterations() * d.size() * d.size() * d[0].size());
+}
+BENCHMARK(BM_GroundTruthKnnEngineWalk)->Unit(benchmark::kMillisecond);
+
+void BM_GroundTruthKnnEngineWalkIndexed(benchmark::State& state) {
+  const ts::Dataset d = RandomWalkDataset(256, 512, 210);
+  query::EngineOptions options;
+  options.index.enabled = true;
+  const query::DistanceMatrixEngine engine(d, options);
+  // The cascade is deterministic, so one pre-loop run yields the exact
+  // per-iteration work accounting without perturbing the timed loop.
+  index::SearchCost cost;
+  benchmark::DoNotOptimize(engine.AllKNearestEuclidean(10, 0, &cost));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AllKNearestEuclidean(10));
+  }
+  state.SetItemsProcessed(state.iterations() * d.size() * d.size() * d[0].size());
+  const double total = static_cast<double>(cost.candidates_total);
+  state.counters["pruned_fraction"] =
+      static_cast<double>(cost.pruned_lower_bound) / total;
+  state.counters["touched_fraction"] =
+      static_cast<double>(cost.candidates_touched) / total;
+}
+BENCHMARK(BM_GroundTruthKnnEngineWalkIndexed)->Unit(benchmark::kMillisecond);
+
 // --- Uncertain-measure sweeps: scalar path vs UncertainEngine ----------------
 
 uncertain::UncertainDataset RandomUncertainDataset(std::size_t n_series,

@@ -47,7 +47,10 @@ double DtwGeneric(std::size_t n, std::size_t m,
 
 double Dtw(std::span<const double> a, std::span<const double> b,
            const DtwOptions& options) {
-  if (a.empty() || b.empty()) return 0.0;
+  if (a.empty() && b.empty()) return 0.0;
+  // No warping path aligns a non-empty sequence with an empty one; returning
+  // 0.0 here used to report a false perfect match.
+  if (a.empty() || b.empty()) return kInf;
   const double total = DtwGeneric(
       a.size(), b.size(),
       [&](std::size_t i, std::size_t j) {
@@ -83,9 +86,16 @@ Envelope BuildEnvelope(std::span<const double> values, std::size_t radius) {
   return env;
 }
 
-double LbKeogh(const Envelope& query_envelope,
-               std::span<const double> candidate) {
-  assert(query_envelope.lower.size() == candidate.size());
+Result<double> LbKeogh(const Envelope& query_envelope,
+                       std::span<const double> candidate) {
+  if (query_envelope.lower.size() != candidate.size() ||
+      query_envelope.upper.size() != candidate.size()) {
+    return Status::InvalidArgument(
+        "LbKeogh: envelope length " +
+        std::to_string(query_envelope.lower.size()) +
+        " does not match candidate length " +
+        std::to_string(candidate.size()));
+  }
   double sum = 0.0;
   for (std::size_t i = 0; i < candidate.size(); ++i) {
     const double v = candidate[i];

@@ -46,6 +46,9 @@ double DtwGeneric(std::size_t n, std::size_t m,
 
 /// \brief Classic DTW distance over raw values: sqrt of the accumulated
 /// squared differences along the optimal path (L2-style DTW).
+///
+/// Two empty sequences are at distance 0; a non-empty sequence has no
+/// warping path to an empty one, so the distance is +infinity.
 double Dtw(std::span<const double> a, std::span<const double> b,
            const DtwOptions& options = {});
 
@@ -67,7 +70,12 @@ Envelope BuildEnvelope(std::span<const double> values, std::size_t radius);
 /// enveloped query and a candidate of the same length.
 ///
 /// Guarantee: LbKeogh(env(q,r), c) <= Dtw(q, c, band r).
-double LbKeogh(const Envelope& query_envelope, std::span<const double> candidate);
+///
+/// Returns InvalidArgument when the envelope and candidate lengths differ
+/// (the bound is only defined for equal lengths; this used to be a
+/// debug-only assert and read out of bounds in release builds).
+Result<double> LbKeogh(const Envelope& query_envelope,
+                       std::span<const double> candidate);
 
 }  // namespace uts::distance
 

@@ -1,0 +1,97 @@
+#include "index/synopsis_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "wavelet/haar.hpp"
+
+namespace uts::index {
+
+SynopsisIndex::SynopsisIndex(const ts::SoaStore& store,
+                             std::size_t coefficients)
+    : rows_(store.rows()) {
+  const std::size_t stride = store.stride();
+  const std::size_t padded =
+      wavelet::NextPowerOfTwo(std::max<std::size_t>(stride, 1));
+  k_ = std::clamp<std::size_t>(coefficients, 1, padded);
+  coefficients_.resize(rows_ * k_);
+  norms_.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::span<const double> row = store.row(r);
+    const std::vector<double> coeffs = wavelet::HaarTransformPadded(row);
+    std::copy(coeffs.begin(), coeffs.begin() + static_cast<long>(k_),
+              coefficients_.begin() + static_cast<long>(r * k_));
+    double sum_sq = 0.0;
+    for (double v : row) sum_sq += v * v;
+    norms_[r] = std::sqrt(sum_sq);
+  }
+}
+
+SynopsisIndex::QuerySynopsis SynopsisIndex::Synopsize(
+    std::span<const double> query) const {
+  QuerySynopsis synopsis;
+  std::vector<double> coeffs = wavelet::HaarTransformPadded(query);
+  assert(coeffs.size() >= k_);
+  coeffs.resize(k_);
+  synopsis.coefficients = std::move(coeffs);
+  double sum_sq = 0.0;
+  for (double v : query) sum_sq += v * v;
+  synopsis.norm = std::sqrt(sum_sq);
+  return synopsis;
+}
+
+void SynopsisIndex::EuclideanLowerBounds(const QuerySynopsis& query,
+                                         std::span<double> out) const {
+  assert(query.coefficients.size() == k_);
+  assert(out.size() == rows_);
+  const double* qc = query.coefficients.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* rc = coefficients_.data() + r * k_;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const double d = qc[j] - rc[j];
+      sum += d * d;
+    }
+    const double slack = kFpSlackScale * (query.norm + norms_[r]);
+    const double bound = std::sqrt(sum) - slack;
+    out[r] = bound > 0.0 ? bound : 0.0;
+  }
+}
+
+DustLowerBoundMap DustLowerBoundMap::FromLuts(
+    std::span<const distance::DustLut> luts) {
+  DustLowerBoundMap map;
+  if (luts.empty()) return map;
+  double slope = std::numeric_limits<double>::infinity();
+  double cap = std::numeric_limits<double>::infinity();
+  for (const distance::DustLut& lut : luts) {
+    if (lut.values == nullptr) {
+      // Closed form dust(Δ) = scale·Δ: exact slope, unbounded tail.
+      slope = std::min(slope, lut.scale);
+      continue;
+    }
+    if (lut.size == 0 || lut.step <= 0.0) return map;  // not usable
+    // Piecewise-linear table: dust(δ)/δ over a linear segment attains its
+    // minimum at a segment endpoint, so the cell scan is exact. Cell 0 sits
+    // at δ = 0 and does not constrain the slope (g(0) = 0 <= dust(0)).
+    double table_slope = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 1; i < lut.size; ++i) {
+      const double x = static_cast<double>(i) * lut.step;
+      table_slope = std::min(table_slope, lut.values[i] / x);
+    }
+    if (lut.size == 1) table_slope = 0.0;  // single cell: flat clamp only
+    slope = std::min(slope, table_slope);
+    // Beyond delta_max the table clamps to its last cell.
+    cap = std::min(cap, lut.values[lut.size - 1]);
+  }
+  if (!std::isfinite(slope) || slope < 0.0) return map;
+  map.slope = slope * (1.0 - 1e-12);  // deflate against cell-scan rounding
+  map.cap = cap;
+  // With slope == 0 the minorant min(slope·L, cap) is identically 0 — a
+  // finite cap alone cannot rescue it.
+  map.valid = map.slope > 0.0;
+  return map;
+}
+
+}  // namespace uts::index

@@ -1,0 +1,155 @@
+/// \file synopsis_index.hpp
+/// \brief Per-row Haar-synopsis lower bounds and DUST distance-bound maps —
+/// the candidate-generation tier of the prune-before-score index cascade.
+///
+/// The ROADMAP's sublinear-search item: every engine query path used to be
+/// an O(n) exact sweep per query. The structures here let a query touch the
+/// full values of only a fraction of the rows while preserving results
+/// *bitwise* — stage 1 ranks candidates by an admissible lower bound, stage
+/// 2 re-scores survivors with the exact dispatch kernels (see cascade.hpp
+/// for the driver and the exactness argument).
+///
+/// Admissibility of the Euclidean bound: the orthonormal Haar transform
+/// preserves distances exactly (Parseval), so the distance over any
+/// k-coefficient prefix — dropping nonnegative squared terms — lower-bounds
+/// the true Euclidean distance. Zero-padding both series to the shared
+/// power-of-two length preserves this (the padding contributes identical
+/// zeros on both sides). Floating point is the only gap: the transform's
+/// rounding error is *absolute*, on the order of eps·||series||₂, so the
+/// computed bound could exceed the exact kernel's computed distance for
+/// near-identical large-magnitude rows. `EuclideanLowerBounds` therefore
+/// subtracts a slack of kFpSlackScale · (||q||₂ + ||c||₂) — orders of
+/// magnitude above any accumulated rounding, orders of magnitude below any
+/// distance worth pruning — and clamps at zero, making the emitted bound
+/// admissible with respect to the *computed* distance of every dispatch
+/// level (tests/wavelet_test.cpp pins the property on adversarial inputs).
+
+#ifndef UTS_INDEX_SYNOPSIS_INDEX_HPP_
+#define UTS_INDEX_SYNOPSIS_INDEX_HPP_
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "distance/batch.hpp"
+#include "ts/soa_store.hpp"
+
+namespace uts::index {
+
+/// \brief Engine knob for the prune-before-score cascade. Default off: the
+/// index adds build cost (one Haar transform per row) and only pays for
+/// itself on repeated queries against structured data.
+struct IndexOptions {
+  /// Build the synopsis index at engine construction and route the
+  /// index-eligible query paths (Euclidean and DUST k-NN / range) through
+  /// the cascade. Results are bitwise identical either way.
+  bool enabled = false;
+
+  /// Haar coefficients retained per row (the synopsis prefix). More
+  /// coefficients tighten the bound (better pruning) at higher per-row
+  /// filter cost; clamped to the padded transform length.
+  std::size_t synopsis_coefficients = 16;
+};
+
+/// \brief Work accounting of one query (or an accumulated batch of
+/// queries). `candidates_touched` counts rows whose full values were read
+/// by stage 2 — the cascade's figure of merit; a full scan touches every
+/// eligible candidate. Counters are exact and deterministic at every
+/// thread count.
+struct SearchCost {
+  std::size_t candidates_total = 0;    ///< Eligible rows (self excluded).
+  std::size_t candidates_touched = 0;  ///< Rows handed to exact scoring.
+  std::size_t pruned_lower_bound = 0;  ///< Rejected by the synopsis bound.
+  std::size_t abandoned_early = 0;     ///< Touched rows cut short by the
+                                       ///< early-abandon kernel.
+
+  /// Fold another cost record into this one (per-query records of a batch).
+  void Accumulate(const SearchCost& other) {
+    candidates_total += other.candidates_total;
+    candidates_touched += other.candidates_touched;
+    pruned_lower_bound += other.pruned_lower_bound;
+    abandoned_early += other.abandoned_early;
+  }
+};
+
+/// \brief Immutable per-row synopsis pack over one SoA store snapshot:
+/// the first k orthonormal-Haar coefficients of every (zero-padded) row
+/// plus the row's L2 norm (for the floating-point slack). Build is O(n·L);
+/// a query's bound pass is O(n·k) flops over contiguous memory.
+class SynopsisIndex {
+ public:
+  /// Absolute-error slack scale of the emitted bounds (see file comment):
+  /// multiplied by ||q||₂ + ||c||₂ and subtracted from the prefix
+  /// distance. ~1e5 times the worst accumulated rounding of the transform
+  /// and kernels, yet negligible against any real distance.
+  static constexpr double kFpSlackScale = 1e-10;
+
+  SynopsisIndex(const ts::SoaStore& store, std::size_t coefficients);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t coefficients() const { return k_; }
+
+  /// A query prepared for bound evaluation: its own synopsis prefix + norm.
+  struct QuerySynopsis {
+    std::vector<double> coefficients;
+    double norm = 0.0;
+  };
+
+  /// Synopsize a query of the indexed length (typically a row of the same
+  /// store; any equal-length span works).
+  QuerySynopsis Synopsize(std::span<const double> query) const;
+
+  /// out[i] = admissible lower bound (metric domain, >= 0) on the computed
+  /// Euclidean distance between the query and row i.
+  /// Precondition: out.size() == rows().
+  void EuclideanLowerBounds(const QuerySynopsis& query,
+                            std::span<double> out) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t k_ = 0;
+  std::vector<double> coefficients_;  ///< rows_ × k_, row-major.
+  std::vector<double> norms_;         ///< Per-row L2 norm.
+};
+
+/// \brief Monotone minorant of a set of DUST per-point dissimilarity
+/// tables: g(|Δ|) = min(slope·|Δ|, cap) with g(δ) <= dust(δ) for every δ
+/// and every table it was built from.
+///
+/// Turns a Euclidean metric lower bound L into a DUST metric lower bound:
+/// if Σ_t δ_t² >= L², then Σ_t dust(δ_t)² >= Σ_t g(δ_t)² >= min(slope·L,
+/// cap)² — either some δ_t exceeds cap/slope (that term alone contributes
+/// cap²), or every term equals slope²·δ_t² and the sum is >= slope²·L².
+/// So dust_distance >= min(slope·L, cap). `slope` is the infimum of
+/// dust(δ)/δ over the tables — for the piecewise-linear lookup tables the
+/// infimum over each segment is attained at a cell endpoint, so scanning
+/// cells is exact; the closed form dust(δ) = scale·δ contributes its
+/// scale. `cap` is the clamped tail value min_tables dust(delta_max)
+/// (+inf for closed-form tables, which are unbounded).
+struct DustLowerBoundMap {
+  double slope = 0.0;
+  double cap = std::numeric_limits<double>::infinity();
+  /// False when no table admits a positive bound (slope == 0 and no finite
+  /// cap helps) — callers then skip the DUST cascade.
+  bool valid = false;
+
+  /// Build from the K×K lut matrix of an engine (all class pairs). Slopes
+  /// are deflated by a relative 1e-12 against rounding in the cell scan.
+  static DustLowerBoundMap FromLuts(std::span<const distance::DustLut> luts);
+
+  /// Map a Euclidean metric lower bound to a DUST metric lower bound,
+  /// deflated by a relative 1e-9 against the DUST kernels' accumulation
+  /// rounding; >= 0.
+  double operator()(double euclidean_lb) const {
+    if (!valid || euclidean_lb <= 0.0) return 0.0;
+    const double bound =
+        cap < slope * euclidean_lb ? cap : slope * euclidean_lb;
+    const double deflated = bound * (1.0 - 1e-9);
+    return deflated > 0.0 ? deflated : 0.0;
+  }
+};
+
+}  // namespace uts::index
+
+#endif  // UTS_INDEX_SYNOPSIS_INDEX_HPP_

@@ -101,11 +101,17 @@ Result<ts::Dataset> ReadUcrPair(const std::string& train_path,
 }
 
 Status WriteUcrStream(const ts::Dataset& dataset, std::ostream& out) {
+  // Round-trip fidelity must not depend on the caller's stream state: 17
+  // significant digits reproduce any double exactly, whereas the default 6
+  // silently loses precision for direct WriteUcrStream callers. The caller's
+  // precision is restored on exit.
+  const std::streamsize saved_precision = out.precision(17);
   for (const auto& series : dataset) {
     out << series.label();
     for (double v : series) out << ',' << v;
     out << '\n';
   }
+  out.precision(saved_precision);
   if (!out) return Status::IOError("write failure");
   return Status::OK();
 }
@@ -113,7 +119,6 @@ Status WriteUcrStream(const ts::Dataset& dataset, std::ostream& out) {
 Status WriteUcrFile(const ts::Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot create '" + path + "'");
-  out.precision(17);
   return WriteUcrStream(dataset, out);
 }
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "distance/batch.hpp"
 #include "distance/lp.hpp"
 #include "exec/parallel_for.hpp"
+#include "index/cascade.hpp"
 
 namespace uts::query {
 
@@ -61,6 +63,11 @@ DistanceMatrixEngine::DistanceMatrixEngine(const ts::Dataset& dataset,
       dispatch_(&distance::ResolveDispatch(options.simd)),
       store_(dataset.Packed()) {
   if (options_.grain == 0) options_.grain = 1;
+  if (options_.index.enabled && store_ != nullptr && store_->rows() > 0 &&
+      store_->stride() > 0) {
+    synopsis_index_ = std::make_unique<index::SynopsisIndex>(
+        *store_, options_.index.synopsis_coefficients);
+  }
   if (options_.shared_pool != nullptr) {
     pool_ = options_.shared_pool;
     return;
@@ -163,10 +170,66 @@ std::vector<MotifPair> DistanceMatrixEngine::TopKMotifs(
 
 // --- Euclidean batched paths -------------------------------------------------
 
+namespace {
+
+/// Relative inflation of τ² handed to the early-abandon filter. The exact
+/// scan's τ is a rounded sqrt (τ² can understate the stored square by
+/// ~3·eps relative) and the abandon kernel accumulates in a different order
+/// than the exact per-row kernel (divergence ≲ 2n·eps relative, n up to
+/// ~1e7). A partial sum above the inflated threshold therefore proves the
+/// exact kernel's distance exceeds τ — abandoning can never drop a row the
+/// full scan would keep.
+constexpr double kAbandonSlack = 4e-9;
+
+/// Work accounting of a path that scores every eligible candidate.
+void ChargeFullScan(index::SearchCost* cost, std::size_t eligible) {
+  if (cost == nullptr) return;
+  cost->candidates_total += eligible;
+  cost->candidates_touched += eligible;
+}
+
+}  // namespace
+
+index::ExactScorer DistanceMatrixEngine::EuclideanCascadeScorer(
+    std::span<const double> query, index::SearchCost* cost) const {
+  return [this, query, cost](std::size_t row, double tau) {
+    double value = 0.0;
+    const std::span<double> slot(&value, 1);
+    if (std::isfinite(tau)) {
+      const double threshold_sq = tau * tau * (1.0 + kAbandonSlack);
+      dispatch_->squared_euclidean_early_abandon_range(
+          query, *store_, threshold_sq, row, row + 1, slot);
+      if (value > threshold_sq) {
+        if (cost != nullptr) ++cost->abandoned_early;
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+    // Final value always comes from the same per-row-deterministic kernel
+    // the full scan uses (the abandon kernel's completed sums accumulate in
+    // a different order under AVX2 and are *not* bitwise comparable).
+    dispatch_->squared_euclidean_range(query, *store_, row, row + 1, slot);
+    return std::sqrt(value);
+  };
+}
+
+std::vector<Neighbor> DistanceMatrixEngine::IndexedKNearestEuclidean(
+    std::size_t query_index, std::size_t k, index::SearchCost* cost) const {
+  const std::span<const double> query = store_->row(query_index);
+  std::vector<double> bounds(store_->rows(), 0.0);
+  synopsis_index_->EuclideanLowerBounds(synopsis_index_->Synopsize(query),
+                                        bounds);
+  return index::CascadeKNearest(bounds, query_index, k,
+                                EuclideanCascadeScorer(query, cost), cost);
+}
+
 std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
-    std::size_t query_index, std::size_t k) const {
+    std::size_t query_index, std::size_t k, index::SearchCost* cost) const {
   const std::size_t n = dataset_->size();
   assert(query_index < n);
+  if (synopsis_index_ != nullptr) {
+    return IndexedKNearestEuclidean(query_index, k, cost);
+  }
+  ChargeFullScan(cost, n - 1);
   if (store_ == nullptr) {
     const ts::TimeSeries& query = (*dataset_)[query_index];
     return KNearest(n, query_index, k, [&](std::size_t i) {
@@ -187,11 +250,32 @@ std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
 }
 
 std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
-    std::size_t k, std::size_t num_queries) const {
+    std::size_t k, std::size_t num_queries, index::SearchCost* cost) const {
   const std::size_t n = dataset_->size();
   const std::size_t queries =
       num_queries == 0 ? n : std::min(num_queries, n);
   std::vector<std::vector<Neighbor>> out(queries);
+  if (synopsis_index_ != nullptr) {
+    // Per-query cascades parallelized over queries (grain 1: pruning makes
+    // per-query work uneven). Each query's cost lands in its own record;
+    // the fold below is index-ordered, so the counters are deterministic at
+    // every thread count.
+    std::vector<index::SearchCost> per_query(queries);
+    exec::ParallelFor(pool_, queries, /*grain=*/1,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t q = begin; q < end; ++q) {
+                          out[q] = IndexedKNearestEuclidean(q, k,
+                                                            &per_query[q]);
+                        }
+                      });
+    if (cost != nullptr) {
+      for (const index::SearchCost& record : per_query) {
+        cost->Accumulate(record);
+      }
+    }
+    return out;
+  }
+  if (n > 0) ChargeFullScan(cost, queries * (n - 1));
   if (store_ == nullptr) {
     for (std::size_t q = 0; q < queries; ++q) out[q] = KNearestEuclidean(q, k);
     return out;
@@ -258,9 +342,19 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
 }
 
 std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
-    std::size_t query_index, double epsilon) const {
+    std::size_t query_index, double epsilon, index::SearchCost* cost) const {
   const std::size_t n = dataset_->size();
   assert(query_index < n);
+  if (synopsis_index_ != nullptr) {
+    const std::span<const double> query = store_->row(query_index);
+    std::vector<double> bounds(store_->rows(), 0.0);
+    synopsis_index_->EuclideanLowerBounds(synopsis_index_->Synopsize(query),
+                                          bounds);
+    return index::CascadeRangeSearch(bounds, query_index, epsilon,
+                                     EuclideanCascadeScorer(query, cost),
+                                     cost);
+  }
+  ChargeFullScan(cost, n - 1);
   if (store_ == nullptr) {
     const ts::TimeSeries& query = (*dataset_)[query_index];
     return RangeSearch(n, query_index, epsilon, [&](std::size_t i) {

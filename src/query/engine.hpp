@@ -34,6 +34,7 @@
 
 #include "distance/simd.hpp"
 #include "exec/thread_pool.hpp"
+#include "index/cascade.hpp"
 #include "query/search.hpp"
 #include "ts/dataset.hpp"
 
@@ -61,6 +62,13 @@ struct EngineOptions {
   /// pool sizing. The pool must outlive the engine. This is how
   /// query::EngineContext gives every engine of a run one shared pool.
   exec::ThreadPool* shared_pool = nullptr;
+
+  /// Prune-before-score index cascade (default off). When enabled (and the
+  /// dataset is batched), KNearestEuclidean / AllKNearestEuclidean /
+  /// RangeSearchEuclidean route through a Haar-synopsis lower-bound filter
+  /// + early-abandon stage + exact re-scoring; results are bitwise
+  /// identical to the unindexed per-query scan. See index/cascade.hpp.
+  index::IndexOptions index;
 };
 
 /// \brief Batched parallel k-NN / RQ / PRQ / motif execution over one
@@ -89,25 +97,35 @@ class DistanceMatrixEngine {
   /// EngineOptions::simd at construction).
   distance::SimdLevel simd_level() const { return dispatch_->level; }
 
+  /// True iff the prune-before-score index was built (EngineOptions::index
+  /// enabled and the dataset batched).
+  bool index_enabled() const { return synopsis_index_ != nullptr; }
+
   /// \name Euclidean queries (batched SoA kernels)
+  /// When `cost` is non-null it is *incremented* with the query's work
+  /// accounting (candidates touched vs pruned); an unindexed scan reports
+  /// every eligible candidate as touched.
   /// \{
 
   /// k nearest neighbors of series `query_index`, self-match excluded;
   /// sorted ascending by distance, ties by index.
-  std::vector<Neighbor> KNearestEuclidean(std::size_t query_index,
-                                          std::size_t k) const;
+  std::vector<Neighbor> KNearestEuclidean(
+      std::size_t query_index, std::size_t k,
+      index::SearchCost* cost = nullptr) const;
 
   /// k-NN lists of the first `num_queries` series (0 = every series) — the
   /// paper's ground-truth build, parallelized over queries.
   /// out[q] == KNearestEuclidean(q, k); candidates always span the whole
   /// dataset.
   std::vector<std::vector<Neighbor>> AllKNearestEuclidean(
-      std::size_t k, std::size_t num_queries = 0) const;
+      std::size_t k, std::size_t num_queries = 0,
+      index::SearchCost* cost = nullptr) const;
 
   /// RQ(Q, C, ε): indices with distance <= epsilon, self-match excluded,
   /// ascending.
-  std::vector<std::size_t> RangeSearchEuclidean(std::size_t query_index,
-                                                double epsilon) const;
+  std::vector<std::size_t> RangeSearchEuclidean(
+      std::size_t query_index, double epsilon,
+      index::SearchCost* cost = nullptr) const;
 
   /// Top-k closest pairs under Euclidean distance; bounded-memory (k-sized
   /// heap per worker chunk), sorted ascending with (a, b) tie-breaks.
@@ -144,6 +162,17 @@ class DistanceMatrixEngine {
   std::vector<double> ComputeDense(std::size_t n, std::size_t exclude,
                                    const DistanceToFn& fn) const;
 
+  /// Exact scorer over the SoA store for the cascade: early-abandon filter
+  /// (threshold inflated against accumulation rounding) + exact per-row
+  /// kernel, bitwise identical to the unindexed scan's per-row values.
+  index::ExactScorer EuclideanCascadeScorer(std::span<const double> query,
+                                            index::SearchCost* cost) const;
+
+  /// Sequential single-query cascade (no nested parallelism): used by the
+  /// indexed KNearestEuclidean and, per query, by AllKNearestEuclidean.
+  std::vector<Neighbor> IndexedKNearestEuclidean(
+      std::size_t query_index, std::size_t k, index::SearchCost* cost) const;
+
   const ts::Dataset* dataset_;
   EngineOptions options_;
   /// Kernel table resolved from options_.simd at construction; never null.
@@ -151,6 +180,9 @@ class DistanceMatrixEngine {
   /// Co-owned snapshot of the dataset's SoA mirror: stays valid even if
   /// the dataset is mutated (and re-packed) after engine construction.
   std::shared_ptr<const ts::SoaStore> store_;
+  /// Prune-before-score synopsis pack over the same snapshot; null unless
+  /// EngineOptions::index.enabled and the dataset is batched.
+  std::unique_ptr<const index::SynopsisIndex> synopsis_index_;
   std::unique_ptr<exec::ThreadPool> owned_pool_;  ///< Null when borrowed/inline.
   exec::ThreadPool* pool_ = nullptr;  ///< Executor view; null = run inline.
 };

@@ -177,6 +177,7 @@ const DistanceMatrixEngine& EngineContext::Certain(const ts::Dataset& exact,
   } else if (options_.certain_grain != 0) {
     options.grain = options_.certain_grain;
   }
+  options.index = options_.index;
   certain_ = std::make_unique<DistanceMatrixEngine>(exact, options);
   certain_dataset_ = &exact;
   certain_fingerprint_ = fingerprint;
@@ -193,6 +194,7 @@ UncertainEngine* EngineContext::EnsureUncertain() {
   options.shared_pool = pool();
   options.simd = options_.simd;
   if (options_.uncertain_grain != 0) options.grain = options_.uncertain_grain;
+  options.index = options_.index;
   options.seed = seed_;
   options.proud_sigma = proud_sigma_;
   if (dust_cache_ != nullptr) options.dust = dust_cache_->options();

@@ -75,6 +75,11 @@ struct EngineContextOptions {
   /// distance/simd.hpp): kAuto resolves the widest compiled-in SIMD level
   /// the CPU supports, kForceScalar pins the scalar reference kernels.
   distance::SimdMode simd = distance::SimdMode::kAuto;
+
+  /// Prune-before-score index cascade every engine of the run shares
+  /// (default off); results are bitwise identical either way. See
+  /// index/synopsis_index.hpp.
+  index::IndexOptions index;
 };
 
 /// \brief Owns the shared execution resources of one evaluation run: the

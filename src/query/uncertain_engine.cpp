@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exec/parallel_for.hpp"
+#include "index/cascade.hpp"
 #include "prob/rng.hpp"
 #include "query/engine.hpp"
 
@@ -129,6 +130,10 @@ Result<std::unique_ptr<UncertainEngine>> UncertainEngine::Create(
   }
   engine->num_classes_ = engine->class_dists_.size();
   engine->store_ = ts::SoaStore(std::move(values), len);
+  if (engine->options_.index.enabled) {
+    engine->synopsis_index_ = std::make_unique<index::SynopsisIndex>(
+        engine->store_, engine->options_.index.synopsis_coefficients);
+  }
   return engine;
 }
 
@@ -175,6 +180,10 @@ Status UncertainEngine::BuildDustTables(measures::Dust& shared_cache) {
       dust_luts_[b * k + a] = lut;
     }
   }
+  // Minorant of every table: turns the synopsis Euclidean bounds into DUST
+  // bounds. Harmless when no index was built; invalid maps simply disable
+  // the DUST cascade.
+  dust_bound_ = index::DustLowerBoundMap::FromLuts(dust_luts_);
   dust_ready_ = true;
   return Status::OK();
 }
@@ -242,17 +251,89 @@ Result<double> UncertainEngine::DustDistance(std::size_t query,
   return std::sqrt(sum);
 }
 
+namespace {
+
+/// Work accounting of a DUST sweep that scores every eligible candidate.
+void ChargeFullDustSweep(index::SearchCost* cost, std::size_t eligible) {
+  if (cost == nullptr) return;
+  cost->candidates_total += eligible;
+  cost->candidates_touched += eligible;
+}
+
+}  // namespace
+
+std::vector<double> UncertainEngine::DustCascadeLowerBounds(
+    std::size_t query) const {
+  // Stage-1 bounds: Haar-synopsis Euclidean lower bounds on the observation
+  // rows, mapped through the table minorant into the DUST metric.
+  std::vector<double> bounds(size(), 0.0);
+  synopsis_index_->EuclideanLowerBounds(
+      synopsis_index_->Synopsize(store_.row(query)), bounds);
+  for (double& b : bounds) b = dust_bound_(b);
+  return bounds;
+}
+
+index::ExactScorer UncertainEngine::DustCascadeScorer(
+    std::size_t query, const std::vector<const distance::DustLut*>& qluts)
+    const {
+  // Exact stage-2 scorer: the same per-row-deterministic dispatch kernels
+  // the full sweep runs, on single-row ranges — bitwise identical values.
+  // DUST has no early-abandon kernel, so `tau` is unused.
+  const std::span<const double> qrow = store_.row(query);
+  if (num_classes_ == 1) {
+    const distance::DustLut& lut = PairLut(0, 0);
+    return [this, qrow, &lut](std::size_t row, double /*tau*/) {
+      double value = 0.0;
+      dispatch_->dust_range(qrow, store_, lut, row, row + 1,
+                            std::span<double>(&value, 1));
+      return value;
+    };
+  }
+  return [this, qrow, &qluts](std::size_t row, double /*tau*/) {
+    double value = 0.0;
+    dispatch_->dust_classed_range(qrow, store_, qluts, class_ids_, row,
+                                  row + 1, std::span<double>(&value, 1));
+    return value;
+  };
+}
+
 Result<std::vector<Neighbor>> UncertainEngine::KNearestDust(
-    std::size_t query, std::size_t k) const {
+    std::size_t query, std::size_t k, index::SearchCost* cost) const {
+  if (dust_index_enabled()) {
+    const std::vector<double> bounds = DustCascadeLowerBounds(query);
+    std::vector<const distance::DustLut*> qluts;
+    if (num_classes_ > 1) {
+      qluts.resize(length());
+      for (std::size_t t = 0; t < length(); ++t) {
+        qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
+      }
+    }
+    return index::CascadeKNearest(bounds, query, k,
+                                  DustCascadeScorer(query, qluts), cost);
+  }
   auto distances = DustDistances(query);
   if (!distances.ok()) return distances.status();
+  ChargeFullDustSweep(cost, size() - 1);
   return detail::SelectKNearest(distances.ValueOrDie(), query, k);
 }
 
 Result<std::vector<std::size_t>> UncertainEngine::RangeSearchDust(
-    std::size_t query, double epsilon) const {
+    std::size_t query, double epsilon, index::SearchCost* cost) const {
+  if (dust_index_enabled()) {
+    const std::vector<double> bounds = DustCascadeLowerBounds(query);
+    std::vector<const distance::DustLut*> qluts;
+    if (num_classes_ > 1) {
+      qluts.resize(length());
+      for (std::size_t t = 0; t < length(); ++t) {
+        qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
+      }
+    }
+    return index::CascadeRangeSearch(bounds, query, epsilon,
+                                     DustCascadeScorer(query, qluts), cost);
+  }
   auto distances = DustDistances(query);
   if (!distances.ok()) return distances.status();
+  ChargeFullDustSweep(cost, size() - 1);
   const std::vector<double>& d = distances.ValueOrDie();
   std::vector<std::size_t> matches;
   for (std::size_t i = 0; i < d.size(); ++i) {

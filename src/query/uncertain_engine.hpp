@@ -54,6 +54,7 @@
 #include "distance/batch.hpp"
 #include "distance/simd.hpp"
 #include "exec/thread_pool.hpp"
+#include "index/cascade.hpp"
 #include "measures/dust.hpp"
 #include "measures/munich.hpp"
 #include "measures/proud.hpp"
@@ -102,6 +103,15 @@ struct UncertainEngineOptions {
   /// pool sizing. The pool must outlive the engine. This is how
   /// query::EngineContext gives every engine of a run one shared pool.
   exec::ThreadPool* shared_pool = nullptr;
+
+  /// Prune-before-score index cascade over the observation rows (default
+  /// off). When enabled, the DUST k-NN / range paths prune with Haar
+  /// Euclidean lower bounds mapped through a minorant of the DUST tables
+  /// (see index::DustLowerBoundMap); results stay bitwise identical. The
+  /// probabilistic paths (PROUD, MUNICH) are never index-routed — their
+  /// match probabilities are not provably monotone in the observation
+  /// distance.
+  index::IndexOptions index;
 };
 
 /// \brief Batched parallel MUNICH / PROUD / DUST query execution over one
@@ -173,6 +183,13 @@ class UncertainEngine {
   /// True once BuildDustTables has succeeded.
   bool dust_ready() const { return dust_ready_; }
 
+  /// True iff the DUST k-NN / range paths will route through the cascade:
+  /// the synopsis index was built (UncertainEngineOptions::index enabled)
+  /// AND the built tables admit a positive distance minorant.
+  bool dust_index_enabled() const {
+    return synopsis_index_ != nullptr && dust_ready_ && dust_bound_.valid;
+  }
+
   /// Dense DUST(query, ·) sweep over every series (self slot included).
   Result<std::vector<double>> DustDistances(std::size_t query) const;
 
@@ -180,14 +197,18 @@ class UncertainEngine {
   Result<double> DustDistance(std::size_t query, std::size_t candidate) const;
 
   /// k nearest neighbors under DUST, self excluded; ascending distance,
-  /// ties by index (the legacy comparator).
-  Result<std::vector<Neighbor>> KNearestDust(std::size_t query,
-                                             std::size_t k) const;
+  /// ties by index (the legacy comparator). `cost`, when non-null, is
+  /// incremented with the query's work accounting (an unindexed sweep
+  /// reports every eligible candidate as touched).
+  Result<std::vector<Neighbor>> KNearestDust(
+      std::size_t query, std::size_t k,
+      index::SearchCost* cost = nullptr) const;
 
   /// RQ(Q, C, ε) under DUST: indices with distance <= epsilon, self
   /// excluded, ascending.
-  Result<std::vector<std::size_t>> RangeSearchDust(std::size_t query,
-                                                   double epsilon) const;
+  Result<std::vector<std::size_t>> RangeSearchDust(
+      std::size_t query, double epsilon,
+      index::SearchCost* cost = nullptr) const;
   /// \}
 
   /// \name PROUD (paper-faithful constant-σ model)
@@ -277,6 +298,17 @@ class UncertainEngine {
   Result<double> MunichPairProbability(std::size_t qi, std::size_t ci,
                                        double epsilon) const;
 
+  /// Stage-1 bounds of the DUST cascade: per-row synopsis Euclidean bounds
+  /// mapped through dust_bound_. Requires dust_index_enabled().
+  std::vector<double> DustCascadeLowerBounds(std::size_t query) const;
+
+  /// Exact single-row DUST scorer (same dispatch kernels as the full
+  /// sweep). `qluts` must outlive the scorer and, for multi-class data,
+  /// hold the query's per-timestamp lut rows; unused when single-class.
+  index::ExactScorer DustCascadeScorer(
+      std::size_t query,
+      const std::vector<const distance::DustLut*>& qluts) const;
+
   UncertainEngineOptions options_;
   /// Kernel table resolved from options_.simd at construction; never null.
   const distance::KernelDispatch* dispatch_;
@@ -298,6 +330,12 @@ class UncertainEngine {
   std::unique_ptr<measures::Dust> owned_dust_cache_;
   std::vector<distance::DustLut> dust_luts_;
   bool dust_ready_ = false;
+
+  /// Synopsis pack over the observation rows; null unless
+  /// UncertainEngineOptions::index.enabled.
+  std::unique_ptr<const index::SynopsisIndex> synopsis_index_;
+  /// Euclidean-to-DUST bound map; rebuilt by BuildDustTables.
+  index::DustLowerBoundMap dust_bound_;
 
   const uncertain::MultiSampleDataset* samples_ = nullptr;  ///< Borrowed.
   ts::SoaStore sample_lo_, sample_hi_;  ///< Bounding-interval columns.

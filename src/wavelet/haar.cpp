@@ -81,7 +81,15 @@ Result<double> SynopsisDistance(const HaarSynopsis& a, const HaarSynopsis& b) {
     return Status::InvalidArgument(
         "synopses were built over different transform lengths");
   }
-  const std::size_t k = std::min(a.coefficients.size(), b.coefficients.size());
+  if (a.coefficients.size() != b.coefficients.size()) {
+    // Silently truncating to min(k_a, k_b) would weaken the bound without
+    // notice; mixed synopsis sizes are a caller bug, not a degraded mode.
+    return Status::InvalidArgument(
+        "synopses have different coefficient counts (" +
+        std::to_string(a.coefficients.size()) + " vs " +
+        std::to_string(b.coefficients.size()) + ")");
+  }
+  const std::size_t k = a.coefficients.size();
   double sum = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
     const double d = a.coefficients[i] - b.coefficients[i];

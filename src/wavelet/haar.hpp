@@ -49,11 +49,14 @@ struct HaarSynopsis {
 /// \brief Build a k-coefficient synopsis of `values`.
 HaarSynopsis BuildSynopsis(std::span<const double> values, std::size_t k);
 
-/// \brief Euclidean distance between two synopses of equal padded length.
+/// \brief Euclidean distance between two synopses of equal padded length
+/// and equal coefficient count.
 ///
 /// Lower-bounds the Euclidean distance of the underlying series:
 /// dropping (nonnegative) squared coefficient differences can only shrink
-/// the sum.
+/// the sum. Returns InvalidArgument when the transform lengths or the
+/// coefficient counts differ — comparing prefixes of different sizes would
+/// silently weaken the bound, so it is rejected rather than truncated.
 Result<double> SynopsisDistance(const HaarSynopsis& a, const HaarSynopsis& b);
 
 }  // namespace uts::wavelet

@@ -152,6 +152,21 @@ TEST(DtwTest, SymmetricInArguments) {
   EXPECT_NEAR(Dtw(a, b), Dtw(b, a), 1e-9);
 }
 
+TEST(DtwTest, EmptyVersusNonEmptyIsInfinite) {
+  // Regression: this used to return 0.0 — a false perfect match that would
+  // rank an empty series as everyone's nearest neighbor.
+  const auto a = RandomSeries(16, 22);
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isinf(Dtw(empty, a)));
+  EXPECT_TRUE(std::isinf(Dtw(a, empty)));
+  EXPECT_GT(Dtw(empty, a), 0.0);  // +inf, not -inf
+}
+
+TEST(DtwTest, BothEmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Dtw(empty, empty), 0.0);
+}
+
 TEST(DtwGenericTest, CustomLocalCost) {
   // With local cost == 1 everywhere, DTW counts the shortest path length:
   // max(n, m) cells.
@@ -200,7 +215,9 @@ TEST_P(LbKeoghProperty, LowerBoundsBandedDtw) {
     const Envelope env = BuildEnvelope(q, radius);
     DtwOptions options;
     options.band_radius = radius;
-    EXPECT_LE(LbKeogh(env, c), Dtw(q, c, options) + 1e-9)
+    const auto lb = LbKeogh(env, c);
+    ASSERT_TRUE(lb.ok()) << lb.status();
+    EXPECT_LE(lb.ValueOrDie(), Dtw(q, c, options) + 1e-9)
         << "radius=" << radius << " seed=" << seed;
   }
 }
@@ -212,7 +229,24 @@ TEST(LbKeoghTest, ZeroWhenCandidateInsideEnvelope) {
   const auto q = RandomSeries(32, 21);
   const Envelope env = BuildEnvelope(q, 3);
   // The query itself is inside its own envelope.
-  EXPECT_DOUBLE_EQ(LbKeogh(env, q), 0.0);
+  const auto lb = LbKeogh(env, q);
+  ASSERT_TRUE(lb.ok()) << lb.status();
+  EXPECT_DOUBLE_EQ(lb.ValueOrDie(), 0.0);
+}
+
+TEST(LbKeoghTest, LengthMismatchIsCheckedError) {
+  // Regression: a mismatched candidate used to be a debug-only assert and
+  // read out of bounds in release builds. Now it is a checked error in
+  // every build type (this test runs in both Debug and Release CI configs).
+  const auto q = RandomSeries(32, 23);
+  const Envelope env = BuildEnvelope(q, 2);
+  const auto shorter = RandomSeries(16, 24);
+  const auto longer = RandomSeries(64, 25);
+  EXPECT_FALSE(LbKeogh(env, shorter).ok());
+  EXPECT_FALSE(LbKeogh(env, longer).ok());
+  EXPECT_FALSE(LbKeogh(env, std::vector<double>{}).ok());
+  // Matching lengths still succeed.
+  EXPECT_TRUE(LbKeogh(env, RandomSeries(32, 26)).ok());
 }
 
 // ------------------------------------------------- batch kernels (SoA)

@@ -1,0 +1,363 @@
+// Parity suite for the prune-before-score index cascade (src/index): every
+// index-eligible query path — Euclidean k-NN / all-k-NN / range, DUST k-NN
+// / range — must return results bit-identical (ranks AND tie order AND
+// distances) with the index on and off, at 1, 2 and 8 threads. The suite
+// runs under the session's resolved dispatch: CI executes it once natively
+// (AVX2 where available) and once under UNCERTTS_FORCE_SCALAR=1, so the
+// admissibility slack is exercised against both kernel families.
+// Probabilistic range queries (PROUD) are never index-routed; the suite
+// still pins their identity across the option flip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "distance/lp.hpp"
+#include "prob/rng.hpp"
+#include "query/engine.hpp"
+#include "query/search.hpp"
+#include "query/uncertain_engine.hpp"
+#include "uncertain/uncertain_series.hpp"
+
+namespace uts::query {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+EngineOptions CertainOptions(std::size_t threads, bool indexed) {
+  EngineOptions options;
+  options.threads = threads;
+  options.grain = 16;  // force many chunks even on small datasets
+  options.index.enabled = indexed;
+  return options;
+}
+
+UncertainEngineOptions UncertainOptions(std::size_t threads, bool indexed) {
+  UncertainEngineOptions options;
+  options.threads = threads;
+  options.grain = 4;
+  options.index.enabled = indexed;
+  return options;
+}
+
+ts::Dataset GaussianDataset(std::size_t n, std::size_t len,
+                            std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("gauss");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian();
+    d.Add(ts::TimeSeries(std::move(values), int(i % 3)));
+  }
+  return d;
+}
+
+// Values on a {0, 1} grid: distances collide constantly, so the cascade's
+// tie handling (lb == τ candidates still scored, d == τ displacing by
+// index) is exercised against the full scan's partial_sort.
+ts::Dataset TieHeavyDataset(std::size_t n, std::size_t len,
+                            std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("ties");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = static_cast<double>(rng.Next() % 2);
+    d.Add(ts::TimeSeries(std::move(values), int(i % 2)));
+  }
+  return d;
+}
+
+// Random walks concentrate their energy in the low-frequency Haar
+// coefficients, so the synopsis prefix captures most of each pairwise
+// distance — the regime where the cascade actually prunes.
+ts::Dataset RandomWalkDataset(std::size_t n, std::size_t len,
+                              std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("walk");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    double level = rng.Gaussian();
+    for (double& v : values) {
+      level += rng.Gaussian();
+      v = level;
+    }
+    d.Add(ts::TimeSeries(std::move(values)));
+  }
+  return d;
+}
+
+void ExpectNeighborsIdentical(const std::vector<Neighbor>& got,
+                              const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;  // bitwise
+  }
+}
+
+struct CertainCase {
+  const char* name;
+  ts::Dataset dataset;
+};
+
+std::vector<CertainCase> CertainCases() {
+  std::vector<CertainCase> cases;
+  cases.push_back({"gaussian", GaussianDataset(48, 24, 101)});
+  cases.push_back({"tie-heavy", TieHeavyDataset(48, 12, 102)});
+  cases.push_back({"random-walk", RandomWalkDataset(48, 32, 103)});
+  return cases;
+}
+
+// --- Euclidean ---------------------------------------------------------------
+
+TEST(IndexParityTest, KnnIndexOnVsOffBitwiseIdentical) {
+  for (const CertainCase& c : CertainCases()) {
+    for (std::size_t threads : kThreadCounts) {
+      const DistanceMatrixEngine off(c.dataset,
+                                     CertainOptions(threads, false));
+      const DistanceMatrixEngine on(c.dataset, CertainOptions(threads, true));
+      ASSERT_FALSE(off.index_enabled());
+      ASSERT_TRUE(on.index_enabled()) << c.name;
+      for (std::size_t q = 0; q < c.dataset.size(); ++q) {
+        index::SearchCost cost;
+        const auto got = on.KNearestEuclidean(q, 10, &cost);
+        ExpectNeighborsIdentical(got, off.KNearestEuclidean(q, 10));
+        EXPECT_EQ(cost.candidates_total, c.dataset.size() - 1)
+            << c.name << " q=" << q;
+        EXPECT_EQ(cost.candidates_touched + cost.pruned_lower_bound,
+                  cost.candidates_total)
+            << c.name << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(IndexParityTest, AllKnnIndexOnMatchesPerQueryOff) {
+  // The indexed all-k-NN runs the per-query cascade, so it must equal the
+  // documented contract out[q] == KNearestEuclidean(q, k) of the unindexed
+  // engine bit for bit — and its accumulated cost counters must be
+  // identical at every thread count (deterministic accounting).
+  for (const CertainCase& c : CertainCases()) {
+    const DistanceMatrixEngine off(c.dataset, CertainOptions(1, false));
+    std::vector<index::SearchCost> costs;
+    for (std::size_t threads : kThreadCounts) {
+      const DistanceMatrixEngine on(c.dataset, CertainOptions(threads, true));
+      index::SearchCost cost;
+      const auto all = on.AllKNearestEuclidean(7, 0, &cost);
+      ASSERT_EQ(all.size(), c.dataset.size());
+      for (std::size_t q = 0; q < all.size(); ++q) {
+        ExpectNeighborsIdentical(all[q], off.KNearestEuclidean(q, 7));
+      }
+      costs.push_back(cost);
+    }
+    for (std::size_t i = 1; i < costs.size(); ++i) {
+      EXPECT_EQ(costs[i].candidates_touched, costs[0].candidates_touched)
+          << c.name;
+      EXPECT_EQ(costs[i].pruned_lower_bound, costs[0].pruned_lower_bound)
+          << c.name;
+      EXPECT_EQ(costs[i].abandoned_early, costs[0].abandoned_early) << c.name;
+    }
+  }
+}
+
+TEST(IndexParityTest, RangeIndexOnVsOffBitwiseIdentical) {
+  for (const CertainCase& c : CertainCases()) {
+    // ε equal to an exactly attained distance makes the <= boundary
+    // decisive; on the tie-heavy grid several candidates sit on it.
+    const double epsilon = distance::Euclidean(c.dataset[0].values(),
+                                               c.dataset[17].values());
+    for (std::size_t threads : kThreadCounts) {
+      const DistanceMatrixEngine off(c.dataset,
+                                     CertainOptions(threads, false));
+      const DistanceMatrixEngine on(c.dataset, CertainOptions(threads, true));
+      for (std::size_t q = 0; q < c.dataset.size(); ++q) {
+        index::SearchCost cost;
+        EXPECT_EQ(on.RangeSearchEuclidean(q, epsilon, &cost),
+                  off.RangeSearchEuclidean(q, epsilon))
+            << c.name << " threads=" << threads << " q=" << q;
+        EXPECT_EQ(cost.candidates_touched + cost.pruned_lower_bound,
+                  cost.candidates_total);
+      }
+    }
+  }
+}
+
+TEST(IndexParityTest, WalkDataActuallyPrunes) {
+  // The parity tests above would pass vacuously if the bounds never pruned
+  // anything; pin that on structured data the cascade touches a strict
+  // subset of the candidates.
+  const ts::Dataset walk = RandomWalkDataset(64, 64, 104);
+  const DistanceMatrixEngine on(walk, CertainOptions(1, true));
+  index::SearchCost cost;
+  on.AllKNearestEuclidean(10, 0, &cost);
+  EXPECT_GT(cost.pruned_lower_bound, 0u);
+  EXPECT_LT(cost.candidates_touched, cost.candidates_total);
+}
+
+TEST(IndexParityTest, UnbatchedDatasetFallsBackToFullScan) {
+  // Ragged lengths: no SoA store, no index — queries still answer, and the
+  // cost accounting reports the full scan.
+  ts::Dataset ragged("ragged");
+  ragged.Add(ts::TimeSeries(std::vector<double>{1.0, 2.0, 3.0}));
+  ragged.Add(ts::TimeSeries(std::vector<double>{1.5, 2.5}));
+  ragged.Add(ts::TimeSeries(std::vector<double>{0.5, 2.0, 3.5}));
+  const DistanceMatrixEngine on(ragged, CertainOptions(1, true));
+  EXPECT_FALSE(on.index_enabled());
+  index::SearchCost cost;
+  EXPECT_EQ(on.KNearestEuclidean(0, 2, &cost).size(), 2u);
+  EXPECT_EQ(cost.candidates_touched, 2u);
+  EXPECT_EQ(cost.candidates_total, 2u);
+}
+
+// --- DUST --------------------------------------------------------------------
+
+/// Gaussian observations with a per-point error model from `error_of`.
+template <typename ErrorOf>
+uncertain::UncertainDataset WalkUncertain(std::size_t n, std::size_t len,
+                                          std::uint64_t seed,
+                                          const ErrorOf& error_of) {
+  prob::Rng rng(seed);
+  uncertain::UncertainDataset d;
+  d.name = "walk-uncertain";
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> obs(len);
+    std::vector<prob::ErrorDistributionPtr> errors(len);
+    double level = rng.Gaussian();
+    for (std::size_t t = 0; t < len; ++t) {
+      level += rng.Gaussian();
+      obs[t] = level;
+      errors[t] = error_of(s, t);
+    }
+    d.series.emplace_back(std::move(obs), std::move(errors));
+  }
+  return d;
+}
+
+template <typename ErrorOf>
+uncertain::UncertainDataset TieHeavyUncertain(std::size_t n, std::size_t len,
+                                              std::uint64_t seed,
+                                              const ErrorOf& error_of) {
+  prob::Rng rng(seed);
+  uncertain::UncertainDataset d;
+  d.name = "ties-uncertain";
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> obs(len);
+    std::vector<prob::ErrorDistributionPtr> errors(len);
+    for (std::size_t t = 0; t < len; ++t) {
+      obs[t] = static_cast<double>(rng.Next() % 2);
+      errors[t] = error_of(s, t);
+    }
+    d.series.emplace_back(std::move(obs), std::move(errors));
+  }
+  return d;
+}
+
+struct DustCase {
+  const char* name;
+  uncertain::UncertainDataset dataset;
+};
+
+std::vector<DustCase> DustCases() {
+  // Normal errors: one class, the closed-form lut (unbounded minorant).
+  auto normal = prob::MakeNormalError(0.5);
+  // Mixed normal σ: two classes, the classed kernel.
+  auto hi = prob::MakeNormalError(1.0);
+  auto lo = prob::MakeNormalError(0.4);
+  // Uniform errors: the numeric table path (capped minorant).
+  auto uniform = prob::MakeUniformError(0.5);
+
+  std::vector<DustCase> cases;
+  cases.push_back(
+      {"normal-closed-form",
+       TieHeavyUncertain(40, 8, 111,
+                         [&](std::size_t, std::size_t) { return normal; })});
+  cases.push_back({"mixed-sigma-classed",
+                   WalkUncertain(40, 16, 112, [&](std::size_t s,
+                                                  std::size_t t) {
+                     return (s + t) % 3 == 0 ? hi : lo;
+                   })});
+  cases.push_back(
+      {"uniform-table",
+       WalkUncertain(32, 16, 113,
+                     [&](std::size_t, std::size_t) { return uniform; })});
+  return cases;
+}
+
+TEST(IndexParityTest, DustKnnAndRangeIndexOnVsOffBitwiseIdentical) {
+  for (DustCase& c : DustCases()) {
+    for (std::size_t threads : kThreadCounts) {
+      auto off = UncertainEngine::Create(c.dataset,
+                                         UncertainOptions(threads, false));
+      auto on = UncertainEngine::Create(c.dataset,
+                                        UncertainOptions(threads, true));
+      ASSERT_TRUE(off.ok() && on.ok()) << c.name;
+      ASSERT_TRUE(off.ValueOrDie()->BuildDustTables().ok());
+      ASSERT_TRUE(on.ValueOrDie()->BuildDustTables().ok());
+      EXPECT_FALSE(off.ValueOrDie()->dust_index_enabled());
+      ASSERT_TRUE(on.ValueOrDie()->dust_index_enabled()) << c.name;
+      const double epsilon =
+          off.ValueOrDie()->DustDistance(0, 17).ValueOrDie();
+      for (std::size_t q : {std::size_t{0}, std::size_t{5},
+                            std::size_t{31}}) {
+        index::SearchCost cost;
+        ExpectNeighborsIdentical(
+            on.ValueOrDie()->KNearestDust(q, 10, &cost).ValueOrDie(),
+            off.ValueOrDie()->KNearestDust(q, 10).ValueOrDie());
+        EXPECT_EQ(cost.candidates_touched + cost.pruned_lower_bound,
+                  cost.candidates_total)
+            << c.name << " q=" << q;
+        EXPECT_EQ(on.ValueOrDie()->RangeSearchDust(q, epsilon).ValueOrDie(),
+                  off.ValueOrDie()->RangeSearchDust(q, epsilon).ValueOrDie())
+            << c.name << " threads=" << threads << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(IndexParityTest, DustWalkDataPrunes) {
+  // DUST pruning end to end: structured observations + a positive table
+  // minorant must skip scoring for part of the candidate set.
+  auto normal = prob::MakeNormalError(0.3);
+  auto d = WalkUncertain(48, 32, 114,
+                         [&](std::size_t, std::size_t) { return normal; });
+  auto on = UncertainEngine::Create(d, UncertainOptions(1, true));
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(on.ValueOrDie()->BuildDustTables().ok());
+  ASSERT_TRUE(on.ValueOrDie()->dust_index_enabled());
+  index::SearchCost cost;
+  for (std::size_t q = 0; q < d.size(); ++q) {
+    ASSERT_TRUE(on.ValueOrDie()->KNearestDust(q, 5, &cost).ok());
+  }
+  EXPECT_GT(cost.pruned_lower_bound, 0u);
+  EXPECT_LT(cost.candidates_touched, cost.candidates_total);
+}
+
+// --- PRQ ---------------------------------------------------------------------
+
+TEST(IndexParityTest, ProudPrqIdenticalAcrossIndexFlip) {
+  // PROUD's probabilistic range query is not index-routed (its match
+  // probability is not provably monotone in the observation distance);
+  // flipping the option must not change its results in any way.
+  auto err = prob::MakeNormalError(0.6);
+  auto ties = TieHeavyUncertain(40, 8, 115,
+                                [&](std::size_t, std::size_t) { return err; });
+  for (std::size_t threads : kThreadCounts) {
+    UncertainEngineOptions off_options = UncertainOptions(threads, false);
+    UncertainEngineOptions on_options = UncertainOptions(threads, true);
+    off_options.proud_sigma = on_options.proud_sigma = 0.6;
+    auto off = UncertainEngine::Create(ties, off_options);
+    auto on = UncertainEngine::Create(ties, on_options);
+    ASSERT_TRUE(off.ok() && on.ok());
+    for (double tau : {0.1, 0.5, 0.9}) {
+      EXPECT_EQ(
+          on.ValueOrDie()->ProbabilisticRangeSearchProud(3, 2.0, tau),
+          off.ValueOrDie()->ProbabilisticRangeSearchProud(3, 2.0, tau))
+          << "tau=" << tau << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uts::query

@@ -90,8 +90,28 @@ TEST(UcrRoundTripTest, WriteThenReadPreservesData) {
     EXPECT_EQ(d[i].label(), original[i].label());
     ASSERT_EQ(d[i].size(), original[i].size());
     for (std::size_t t = 0; t < d[i].size(); ++t) {
-      // Default stream precision is ~6 significant digits.
-      EXPECT_NEAR(d[i][t], original[i][t], 1e-4);
+      // Regression: the stream writer used to inherit the caller's default
+      // ~6-digit precision, making direct stream round-trips lossy. It now
+      // pins 17 significant digits itself: bit-exact.
+      EXPECT_DOUBLE_EQ(d[i][t], original[i][t]);
+    }
+  }
+}
+
+TEST(UcrRoundTripTest, StreamWriterDoesNotDependOnCallerPrecision) {
+  auto spec = datagen::SpecByName("GunPoint").ValueOrDie();
+  const ts::Dataset original = datagen::GenerateScaled(spec, 1, 4, 16);
+
+  std::stringstream buffer;
+  buffer.precision(3);  // adversarial caller state
+  ASSERT_TRUE(WriteUcrStream(original, buffer).ok());
+  // The caller's precision is restored after the write.
+  EXPECT_EQ(buffer.precision(), 3);
+  auto restored = ReadUcrStream(buffer, "t");
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (std::size_t t = 0; t < original[i].size(); ++t) {
+      EXPECT_DOUBLE_EQ(restored.ValueOrDie()[i][t], original[i][t]);
     }
   }
 }

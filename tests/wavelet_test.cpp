@@ -132,6 +132,107 @@ TEST(SynopsisTest, MismatchedTransformLengthsRejected) {
   EXPECT_FALSE(SynopsisDistance(sa, sb).ok());
 }
 
+TEST(SynopsisTest, MismatchedCoefficientCountsRejected) {
+  // Regression: this used to silently compare min(k_a, k_b) coefficients,
+  // weakening the bound without notice. Mixed synopsis sizes are rejected.
+  const auto a = RandomSeries(64, 26);
+  const auto b = RandomSeries(64, 27);
+  const HaarSynopsis sa = BuildSynopsis(a, 8);
+  const HaarSynopsis sb = BuildSynopsis(b, 16);
+  EXPECT_FALSE(SynopsisDistance(sa, sb).ok());
+  EXPECT_FALSE(SynopsisDistance(sb, sa).ok());
+  // Equal counts still work.
+  EXPECT_TRUE(SynopsisDistance(sa, BuildSynopsis(b, 8)).ok());
+}
+
+// Admissibility on adversarial inputs — the property the prune-before-score
+// index cascade (src/index) depends on: for any input shape, the synopsis
+// distance must never exceed the true Euclidean distance (modulo rounding).
+
+std::vector<double> TieHeavySeries(std::size_t n, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = static_cast<double>(rng.Next() % 2);
+  return xs;
+}
+
+TEST(SynopsisAdmissibility, HoldsOnPaddedLengths) {
+  // Non-power-of-two lengths exercise the zero-padding path; the padding is
+  // identical on both sides, so prefix distances still lower-bound.
+  for (std::size_t n : {1u, 3u, 5u, 17u, 33u, 100u, 127u, 129u}) {
+    for (std::size_t k : {1u, 2u, 8u, 64u}) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const auto a = RandomSeries(n, 40 + seed);
+        const auto b = RandomSeries(n, 140 + seed);
+        const auto lb = SynopsisDistance(BuildSynopsis(a, k),
+                                         BuildSynopsis(b, k));
+        ASSERT_TRUE(lb.ok()) << lb.status();
+        EXPECT_LE(lb.ValueOrDie(), distance::Euclidean(a, b) + 1e-9)
+            << "n=" << n << " k=" << k << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(SynopsisAdmissibility, HoldsOnConstantSeries) {
+  // Constant series concentrate all energy in the average coefficient: the
+  // k=1 synopsis is already exact, so the bound must be tight, not violated.
+  for (double level : {0.0, 1.0, -3.5, 1e6}) {
+    const std::vector<double> a(37, level);
+    const std::vector<double> b(37, level + 2.0);
+    for (std::size_t k : {1u, 4u, 32u}) {
+      const auto lb =
+          SynopsisDistance(BuildSynopsis(a, k), BuildSynopsis(b, k));
+      ASSERT_TRUE(lb.ok());
+      const double truth = distance::Euclidean(a, b);
+      EXPECT_LE(lb.ValueOrDie(), truth + 1e-9 * (1.0 + truth))
+          << "level=" << level << " k=" << k;
+    }
+  }
+  // Identical constants: distance 0, bound must be ~0 too.
+  const std::vector<double> c(64, 7.25);
+  EXPECT_NEAR(SynopsisDistance(BuildSynopsis(c, 8), BuildSynopsis(c, 8))
+                  .ValueOrDie(),
+              0.0, 1e-12);
+}
+
+TEST(SynopsisAdmissibility, HoldsOnTieHeavyGrids) {
+  // Values on a {0,1} grid make squared distances collide constantly —
+  // the same adversarial shape the engine parity suites use.
+  for (std::size_t n : {8u, 13u, 64u, 100u}) {
+    for (std::size_t k : {1u, 4u, 16u}) {
+      for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const auto a = TieHeavySeries(n, 60 + seed);
+        const auto b = TieHeavySeries(n, 160 + seed);
+        const auto lb = SynopsisDistance(BuildSynopsis(a, k),
+                                         BuildSynopsis(b, k));
+        ASSERT_TRUE(lb.ok());
+        EXPECT_LE(lb.ValueOrDie(), distance::Euclidean(a, b) + 1e-9)
+            << "n=" << n << " k=" << k << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(SynopsisAdmissibility, HoldsOnNearIdenticalLargeMagnitude) {
+  // Large norms with tiny differences stress the absolute rounding of the
+  // transform: the bound may only exceed the truth by O(eps * ||series||).
+  const auto base = RandomSeries(100, 70);
+  std::vector<double> a(base), b(base);
+  for (double& v : a) v = v * 1e8;
+  b = a;
+  b[17] += 1.0;  // relative perturbation ~1e-8
+  const double truth = distance::Euclidean(a, b);
+  double norm_sq = 0.0;
+  for (double v : a) norm_sq += v * v;
+  const double slack = 1e-12 * 2.0 * std::sqrt(norm_sq);
+  for (std::size_t k : {1u, 16u, 128u}) {
+    const auto lb = SynopsisDistance(BuildSynopsis(a, k), BuildSynopsis(b, k));
+    ASSERT_TRUE(lb.ok());
+    EXPECT_LE(lb.ValueOrDie(), truth + slack) << "k=" << k;
+  }
+}
+
 // ----------------------------------------------------- PROUD over synopsis
 
 TEST(ProudSynopsisTest, NoFalseDismissalsVsExactProud) {

@@ -23,7 +23,13 @@ the committed ``BENCH_uncertain_baseline.json`` and fails (exit 1) when:
 * a kernel's ``peak_fraction`` bandwidth counter (achieved GB/s divided by
   the in-binary STREAM-triad peak, so machine-normalized) dropped more
   than ``--max-regression`` below the baseline's. Applied to every
-  benchmark that carries the counter in both files.
+  benchmark that carries the counter in both files;
+* the index cascade's ``pruned_fraction`` counter on the walk 10-NN bench
+  fell below its floor in the *current* run. The counter comes from the
+  cascade's own cost accounting, so an index that silently stops being
+  built (the engine falls back to full scans, charging every candidate as
+  touched) reports 0.0 and fails loudly — a wall-time gate alone could
+  miss that on a fast machine.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.25]
@@ -44,6 +50,19 @@ PAIRS = [
      "BM_DustScanScalarLookup"),
     ("ground-truth kNN build", "BM_GroundTruthKnnEngineThreads/1/real_time",
      "BM_GroundTruthKnnSeedPath"),
+    ("indexed walk 10-NN vs scan", "BM_GroundTruthKnnEngineWalkIndexed",
+     "BM_GroundTruthKnnEngineWalk"),
+]
+
+# (label, benchmark, minimum pruned_fraction). Enforced on the *current*
+# run: the benchmark must exist and its pruned_fraction counter must be
+# >= floor. The walk dataset concentrates energy in the low-frequency Haar
+# coefficients, so a healthy 16-coefficient synopsis prunes ~94% of
+# candidates; 0.70 leaves headroom for dataset/seed tweaks while still
+# catching a disabled or de-tuned index (which reports 0.0).
+PRUNED_FLOORS = [
+    ("indexed walk 10-NN pruning", "BM_GroundTruthKnnEngineWalkIndexed",
+     0.70),
 ]
 
 # (label, scalar benchmark, AVX2 benchmark, minimum speedup). Enforced on
@@ -61,6 +80,7 @@ def load_report(path):
         report = json.load(f)
     times = {}
     fractions = {}
+    pruned = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -70,7 +90,9 @@ def load_report(path):
         times[bench["name"]] = float(bench["cpu_time"])
         if "peak_fraction" in bench:
             fractions[bench["name"]] = float(bench["peak_fraction"])
-    return report.get("context", {}), times, fractions
+        if "pruned_fraction" in bench:
+            pruned[bench["name"]] = float(bench["pruned_fraction"])
+    return report.get("context", {}), times, fractions, pruned
 
 
 def main():
@@ -83,8 +105,8 @@ def main():
                              "bandwidth counters (default 0.25)")
     args = parser.parse_args()
 
-    base_ctx, baseline, base_frac = load_report(args.baseline)
-    cur_ctx, current, cur_frac = load_report(args.current)
+    base_ctx, baseline, base_frac, _ = load_report(args.baseline)
+    cur_ctx, current, cur_frac, cur_pruned = load_report(args.current)
 
     failures = []
 
@@ -122,6 +144,27 @@ def main():
                 f"{label}: engine/scalar ratio {now_ratio:.4f} worsened "
                 f"{change:+.1%} vs baseline {base_ratio:.4f} "
                 f"(limit +{args.max_regression:.0%})")
+
+    # -- Index pruning floor (current run). ----------------------------------
+    print()
+    for label, bench, floor in PRUNED_FLOORS:
+        if bench not in current:
+            failures.append(f"{label}: missing in current run: ['{bench}']")
+            continue
+        if bench not in cur_pruned:
+            failures.append(
+                f"{label}: {bench} no longer reports a pruned_fraction "
+                f"counter")
+            continue
+        fraction = cur_pruned[bench]
+        verdict = "ok" if fraction >= floor else "FAIL"
+        print(f"{label}: pruned_fraction {fraction:.3f} "
+              f"(floor {floor:.2f}) {verdict}")
+        if fraction < floor:
+            failures.append(
+                f"{label}: pruned_fraction {fraction:.3f} below the "
+                f"{floor:.2f} floor — the synopsis index is disabled or no "
+                f"longer pruning")
 
     # -- SIMD speedup floor (current run). -----------------------------------
     simd_level = cur_ctx.get("uts_simd_level", "<missing>")
@@ -162,8 +205,8 @@ def main():
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nOK: build type, engine ratios, SIMD floors and bandwidth within "
-          "budget")
+    print("\nOK: build type, engine ratios, pruning floor, SIMD floors and "
+          "bandwidth within budget")
     return 0
 
 

@@ -41,6 +41,7 @@
 #include "io/ucr_io.hpp"
 #include "measures/dust.hpp"
 #include "prob/distribution.hpp"
+#include "query/engine.hpp"
 #include "query/search.hpp"
 #include "ts/filters.hpp"
 #include "ts/normalize.hpp"
@@ -252,8 +253,27 @@ int CmdMatch(const Args& args) {
     return 2;
   }
 
-  const auto neighbors = query::KNearest(dataset.size(), query, k,
-                                         distance_to);
+  std::vector<query::Neighbor> neighbors;
+  bool report_cost = false;
+  index::SearchCost cost;
+  if (measure == "euclid" && args.Has("index")) {
+    // Prune-before-score cascade: identical results, fewer rows scored.
+    query::EngineOptions eopts;
+    eopts.index.enabled = true;
+    eopts.index.synopsis_coefficients = args.GetSize("coefficients", 16);
+    const query::DistanceMatrixEngine engine(dataset, eopts);
+    if (!engine.index_enabled()) {
+      std::fprintf(stderr,
+                   "--index needs uniform-length series; running unindexed\n");
+    }
+    neighbors = engine.KNearestEuclidean(query, k, &cost);
+    report_cost = true;
+  } else {
+    if (args.Has("index")) {
+      std::fprintf(stderr, "--index only applies to --measure euclid\n");
+    }
+    neighbors = query::KNearest(dataset.size(), query, k, distance_to);
+  }
   core::TextTable table({"rank", "index", "id", "label", "distance"});
   for (std::size_t r = 0; r < neighbors.size(); ++r) {
     const auto& nb = neighbors[r];
@@ -266,6 +286,13 @@ int CmdMatch(const Args& args) {
               args.Get("in").c_str(), measure.c_str(), query,
               dataset[query].label());
   table.Print(std::cout);
+  if (report_cost) {
+    std::printf(
+        "index cascade: touched %zu of %zu candidates "
+        "(%zu pruned by synopsis bound, %zu abandoned early)\n",
+        cost.candidates_touched, cost.candidates_total,
+        cost.pruned_lower_bound, cost.abandoned_early);
+  }
   return 0;
 }
 
@@ -297,6 +324,9 @@ void PrintUsage() {
       " [--error normal|uniform|exponential] [--sigma X] [--mixed] [--seed S]\n"
       "  uncertts match    --in data.ucr --query I --k N"
       " [--measure euclid|dtw|dust|uma|uema] [--sigma X]\n"
+      "                    [--index [--coefficients K]]  (euclid only:\n"
+      "                    prune-before-score cascade, identical results;\n"
+      "                    reports candidates touched vs pruned)\n"
       "  uncertts motifs   --in data.ucr --k N\n\n"
       "Any command also accepts --force-scalar: pin the bit-exact scalar\n"
       "kernels instead of the runtime-dispatched SIMD level (equivalent to\n"

@@ -76,12 +76,17 @@ struct EngineOptions {
 /// not be mutated while the engine is in use.
 class DistanceMatrixEngine {
  public:
+  /// Build the engine over `dataset`: packs the SoA snapshot, resolves the
+  /// kernel dispatch and (when enabled) the synopsis index.
   explicit DistanceMatrixEngine(const ts::Dataset& dataset,
                                 EngineOptions options = {});
+
+  /// Joins the owned pool, if any.
   ~DistanceMatrixEngine();
 
-  DistanceMatrixEngine(const DistanceMatrixEngine&) = delete;
-  DistanceMatrixEngine& operator=(const DistanceMatrixEngine&) = delete;
+  DistanceMatrixEngine(const DistanceMatrixEngine&) = delete;  ///< Not copyable.
+  DistanceMatrixEngine& operator=(const DistanceMatrixEngine&) =
+      delete;  ///< Not copyable.
 
   /// The dataset queries run against.
   const ts::Dataset& dataset() const { return *dataset_; }
@@ -136,15 +141,26 @@ class DistanceMatrixEngine {
   /// The callback must be thread-safe when threads() > 1; it is never
   /// invoked for the excluded index.
   /// \{
+
+  /// k nearest under an arbitrary distance callback; same ordering contract
+  /// as query::KNearest.
   std::vector<Neighbor> KNearest(std::size_t n, std::size_t exclude,
                                  std::size_t k,
                                  const DistanceToFn& distance_to) const;
+
+  /// RQ(Q, C, ε) under an arbitrary distance callback; indices ascending.
   std::vector<std::size_t> RangeSearch(std::size_t n, std::size_t exclude,
                                        double epsilon,
                                        const DistanceToFn& distance_to) const;
+
+  /// PRQ(Q, C, ε, τ) over an arbitrary match-probability callback (ε folded
+  /// into the callback); indices ascending.
   std::vector<std::size_t> ProbabilisticRangeSearch(
       std::size_t n, std::size_t exclude, double tau,
       const MatchProbabilityFn& probability_of) const;
+
+  /// Top-k closest pairs under an arbitrary pairwise distance; same
+  /// ordering contract as query::TopKMotifs.
   std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,
                                     const PairwiseDistanceFn& distance) const;
   /// \}
@@ -187,6 +203,8 @@ class DistanceMatrixEngine {
   exec::ThreadPool* pool_ = nullptr;  ///< Executor view; null = run inline.
 };
 
+/// \namespace uts::query::detail
+/// \brief Engine internals exposed for the parity tests.
 namespace detail {
 
 /// \brief Bounded selector of the k smallest MotifPairs under the total
@@ -194,14 +212,18 @@ namespace detail {
 /// partial_sort motif search with O(k) memory.
 class BoundedMotifHeap {
  public:
+  /// Selector retaining the `k` smallest pairs pushed.
   explicit BoundedMotifHeap(std::size_t k) : k_(k) {}
 
+  /// The total order (distance, a, b) — the sequential reference
+  /// comparator, so parallel merges cannot reorder ties.
   static bool Less(const MotifPair& x, const MotifPair& y) {
     if (x.distance != y.distance) return x.distance < y.distance;
     if (x.a != y.a) return x.a < y.a;
     return x.b < y.b;
   }
 
+  /// Offer one pair; kept only while among the k smallest seen so far.
   void Push(const MotifPair& pair);
 
   /// The retained pairs, sorted ascending; the heap is left empty.

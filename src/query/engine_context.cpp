@@ -147,6 +147,8 @@ Status EngineContext::BindData(
   proud_sigma_ = proud_sigma;
   data_fingerprint_ = fingerprint;
   bound_ = true;
+  // A direct bind is anonymous; ActivateResident re-labels it afterwards.
+  active_resident_.clear();
   // Engine state is data-specific; drop it and rebuild lazily. The DUST
   // table cache survives on purpose — tables depend only on the error
   // models, not the observations.
@@ -155,6 +157,73 @@ Status EngineContext::BindData(
   munich_configured_ = false;
   ++stats_.data_binds;
   return Status::OK();
+}
+
+Status EngineContext::AddResident(
+    const std::string& name, uncertain::UncertainDataset pdf,
+    std::optional<uncertain::MultiSampleDataset> samples, std::uint64_t seed,
+    double proud_sigma) {
+  if (pdf.size() == 0) {
+    return Status::InvalidArgument("resident '" + name +
+                                   "' needs a non-empty pdf-model dataset");
+  }
+  Resident resident;
+  resident.observed = ts::Dataset(name);
+  for (const auto& series : pdf.series) {
+    resident.observed.Add(series.AsTimeSeries());
+  }
+  resident.pdf = std::move(pdf);
+  resident.samples = std::move(samples);
+  resident.seed = seed;
+  resident.proud_sigma = proud_sigma;
+  residents_[name] = std::move(resident);
+  ++stats_.resident_adds;
+  return Status::OK();
+}
+
+Status EngineContext::ActivateResident(const std::string& name) {
+  auto it = residents_.find(name);
+  if (it == residents_.end()) {
+    return Status::NotFound("no resident dataset named '" + name + "'");
+  }
+  // BindData takes ownership, so hand it copies; re-activating the dataset
+  // that is already bound fingerprints identically and keeps every engine.
+  UTS_RETURN_NOT_OK(BindData(it->second.pdf, it->second.samples,
+                             it->second.seed, it->second.proud_sigma));
+  active_resident_ = name;
+  ++stats_.resident_activations;
+  return Status::OK();
+}
+
+std::vector<std::string> EngineContext::ResidentNames() const {
+  std::vector<std::string> names;
+  names.reserve(residents_.size());
+  for (const auto& [name, resident] : residents_) names.push_back(name);
+  return names;
+}
+
+Status EngineContext::DropResident(const std::string& name) {
+  auto it = residents_.find(name);
+  if (it == residents_.end()) {
+    return Status::NotFound("no resident dataset named '" + name + "'");
+  }
+  // The active binding owns its copies, so dropping the entry never
+  // invalidates bound engines; only the label goes away.
+  if (active_resident_ == name) active_resident_.clear();
+  residents_.erase(it);
+  return Status::OK();
+}
+
+const ts::Dataset* EngineContext::ResidentObserved(
+    const std::string& name) const {
+  auto it = residents_.find(name);
+  return it == residents_.end() ? nullptr : &it->second.observed;
+}
+
+const uncertain::UncertainDataset* EngineContext::ResidentPdf(
+    const std::string& name) const {
+  auto it = residents_.find(name);
+  return it == residents_.end() ? nullptr : &it->second.pdf;
 }
 
 const DistanceMatrixEngine& EngineContext::Certain(const ts::Dataset& exact,

@@ -43,8 +43,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "exec/thread_pool.hpp"
@@ -110,13 +113,20 @@ class EngineContext {
     std::size_t acquires_served = 0;   ///< Acquire* calls that returned the
                                        ///< shared engine.
     std::size_t acquires_declined = 0; ///< Acquire* calls that returned null.
+    std::size_t resident_adds = 0;     ///< AddResident calls that stored or
+                                       ///< replaced an entry.
+    std::size_t resident_activations = 0;  ///< ActivateResident calls that
+                                           ///< went through BindData.
   };
 
+  /// Create a context; no pool or engine is built until first use.
   explicit EngineContext(EngineContextOptions options = {});
+
+  /// Drops every owned engine, then joins the shared pool, if any.
   ~EngineContext();
 
-  EngineContext(const EngineContext&) = delete;
-  EngineContext& operator=(const EngineContext&) = delete;
+  EngineContext(const EngineContext&) = delete;  ///< Not copyable.
+  EngineContext& operator=(const EngineContext&) = delete;  ///< Not copyable.
 
   /// Resolved worker-thread count (>= 1).
   std::size_t threads() const { return threads_; }
@@ -148,6 +158,59 @@ class EngineContext {
   const uncertain::MultiSampleDataset* samples() const {
     return bound_ && samples_.has_value() ? &*samples_ : nullptr;
   }
+  /// \}
+
+  /// \name Multi-dataset residency (the server front end)
+  /// A long-running service keeps several evaluations' datasets alive in one
+  /// context and switches between them per request. Residency stores each
+  /// dataset (pdf model, optional sample model, run parameters, plus the
+  /// observations viewed as a certain dataset) under a caller-chosen name;
+  /// `ActivateResident` routes through `BindData`, so re-activating the
+  /// dataset that is already bound is a fingerprint rebind hit that keeps
+  /// every engine and cache, while switching to a different resident drops
+  /// only the data-specific engine state (the DUST table cache survives by
+  /// design). Like the rest of the context, residency is setup-time state:
+  /// calls are not thread-safe against concurrent queries.
+  /// \{
+
+  /// Store (or replace) a resident dataset under `name`. The data is copied
+  /// into the residency table — the context does not borrow — and the
+  /// active binding is untouched until `ActivateResident(name)`.
+  Status AddResident(const std::string& name, uncertain::UncertainDataset pdf,
+                     std::optional<uncertain::MultiSampleDataset> samples,
+                     std::uint64_t seed, double proud_sigma);
+
+  /// Bind the named resident as the context's active dataset (see
+  /// `BindData` for the rebind semantics). NotFound when absent.
+  Status ActivateResident(const std::string& name);
+
+  /// True iff a resident named `name` is stored.
+  bool HasResident(const std::string& name) const {
+    return residents_.count(name) > 0;
+  }
+
+  /// Names of every stored resident, sorted.
+  std::vector<std::string> ResidentNames() const;
+
+  /// The name of the resident currently bound via ActivateResident; null
+  /// when the active binding did not come from the residency table.
+  const std::string* active_resident() const {
+    return active_resident_.empty() ? nullptr : &active_resident_;
+  }
+
+  /// Drop the named resident. The active binding (and its engines) stays
+  /// usable even when it came from the dropped entry — the context owns the
+  /// bound copies. NotFound when absent.
+  Status DropResident(const std::string& name);
+
+  /// The resident's observations viewed as a certain dataset (the input of
+  /// the Euclidean / ground-truth paths, stable address for `Certain`);
+  /// null when absent.
+  const ts::Dataset* ResidentObserved(const std::string& name) const;
+
+  /// The resident's pdf-model run parameters, exported for servers that
+  /// need to echo them per request; null when absent.
+  const uncertain::UncertainDataset* ResidentPdf(const std::string& name) const;
   /// \}
 
   /// \name Certain engine (ground truth / calibration sweeps)
@@ -193,9 +256,20 @@ class EngineContext {
   Status EnsureProudMoments();
   /// \}
 
+  /// The lifecycle counters (see Stats).
   const Stats& stats() const { return stats_; }
 
  private:
+  /// One stored resident: the datasets plus the run parameters BindData
+  /// bakes into engine state.
+  struct Resident {
+    uncertain::UncertainDataset pdf;                     ///< PDF model.
+    std::optional<uncertain::MultiSampleDataset> samples;  ///< Sample model.
+    ts::Dataset observed;      ///< Observations as a certain dataset.
+    std::uint64_t seed = 0;    ///< MUNICH pair-stream base seed.
+    double proud_sigma = 1.0;  ///< Constant σ reported to PROUD.
+  };
+
   /// Build the shared UncertainEngine over the bound pdf dataset if not
   /// done yet; returns null when unbound or not engine-shaped.
   UncertainEngine* EnsureUncertain();
@@ -220,6 +294,11 @@ class EngineContext {
   std::unique_ptr<measures::Dust> dust_cache_;
   bool munich_configured_ = false;
   measures::MunichOptions munich_config_;
+
+  // Residency table of the server front end; map nodes give ResidentObserved
+  // a stable address for the certain-engine cache.
+  std::map<std::string, Resident> residents_;
+  std::string active_resident_;  ///< Empty when the binding is not a resident.
 
   // The cached certain engine, keyed by dataset address + content + grain.
   // The address is kept separately because the borrowed dataset may no

@@ -24,6 +24,13 @@
 #include "common/result.hpp"
 #include "ts/dataset.hpp"
 
+/// \namespace uts
+/// \brief Root namespace of the uncertain time-series library.
+
+/// \namespace uts::query
+/// \brief Sequential search API, the parallel query engines and the shared
+/// run-wide EngineContext.
+
 namespace uts::query {
 
 /// \brief Distance from an implicit query to collection item `i`.
@@ -31,8 +38,8 @@ using DistanceToFn = std::function<double(std::size_t)>;
 
 /// \brief One nearest-neighbor hit.
 struct Neighbor {
-  std::size_t index = 0;
-  double distance = 0.0;
+  std::size_t index = 0;    ///< Candidate series index.
+  double distance = 0.0;    ///< Distance (or match probability) to the query.
 };
 
 /// \brief The k nearest items to the query among indices [0, n), excluding
@@ -71,10 +78,14 @@ std::vector<std::size_t> ProbabilisticRangeSearch(
 
 /// \brief One motif: the a-th and b-th series and their distance.
 struct MotifPair {
-  std::size_t a = 0;
-  std::size_t b = 0;
-  double distance = 0.0;
+  std::size_t a = 0;        ///< Lower series index of the pair.
+  std::size_t b = 0;        ///< Higher series index of the pair.
+  double distance = 0.0;    ///< Pairwise distance.
 };
+
+/// \brief Symmetric distance between collection items (a, b).
+using PairwiseDistanceFn =
+    std::function<double(std::size_t, std::size_t)>;
 
 /// \brief Top-k motif search — "DUST ... can be used to answer top-k
 /// nearest neighbor queries, or perform top-k motif search" (Section 3.3):
@@ -82,8 +93,6 @@ struct MotifPair {
 /// distance. O(n²) distance evaluations but only O(k) memory (bounded
 /// max-heap); result sorted by ascending distance, ties broken by (a, b)
 /// for determinism.
-using PairwiseDistanceFn =
-    std::function<double(std::size_t, std::size_t)>;
 std::vector<MotifPair> TopKMotifs(std::size_t n, std::size_t k,
                                   const PairwiseDistanceFn& distance);
 

@@ -132,10 +132,12 @@ class UncertainEngine {
       const uncertain::UncertainDataset& pdf,
       UncertainEngineOptions options = {});
 
+  /// Joins the owned pool, if any.
   ~UncertainEngine();
 
-  UncertainEngine(const UncertainEngine&) = delete;
-  UncertainEngine& operator=(const UncertainEngine&) = delete;
+  UncertainEngine(const UncertainEngine&) = delete;  ///< Not copyable.
+  UncertainEngine& operator=(const UncertainEngine&) =
+      delete;  ///< Not copyable.
 
   /// Number of series.
   std::size_t size() const { return store_.rows(); }
@@ -149,6 +151,8 @@ class UncertainEngine {
   /// Number of distinct error classes across the dataset.
   std::size_t num_error_classes() const { return num_classes_; }
 
+  /// The options the engine was created with (munich possibly replaced via
+  /// set_munich_options).
   const UncertainEngineOptions& options() const { return options_; }
 
   /// Kernel level the DUST/PROUD sweeps execute at (resolved once from

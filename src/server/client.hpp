@@ -1,0 +1,143 @@
+/// \file client.hpp
+/// \brief Synchronous client for the uncertts query server.
+///
+/// `Client` is the client half of the resumable channel: it numbers its
+/// request frames, tracks the highest response sequence it has processed,
+/// and acknowledges responses as it consumes them. After a crash or a
+/// dropped connection, `Reconnect()` dials again and presents
+/// `{client_token, last_seq_seen}` — the server trims its backlog to that
+/// point and replays only the responses the client never saw, so an
+/// interrupted streaming sweep resumes mid-flight without recomputation.
+///
+/// The API is synchronous: each call sends one request and blocks for its
+/// response (responses are matched on the echoed `request_seq`). The one
+/// streaming shape is the k-NN sweep: `StartKnnSweep` fires the request and
+/// `NextSweepItem` pulls per-query results until the terminator.
+///
+/// Thread-safety: none — one thread per Client.
+
+#ifndef UTS_SERVER_CLIENT_HPP_
+#define UTS_SERVER_CLIENT_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "server/frame.hpp"
+#include "server/wire.hpp"
+
+namespace uts::server {
+
+/// \brief Synchronous connection to a running uncertts server.
+class Client {
+ public:
+  /// Where and how to connect.
+  struct Options {
+    /// Unix-domain socket path; takes precedence over TCP when non-empty.
+    std::string unix_socket_path;
+
+    /// TCP host when no Unix socket path is given.
+    std::string host = "127.0.0.1";
+
+    /// TCP port when no Unix socket path is given.
+    std::uint16_t port = 0;
+
+    /// Stable session token; reconnecting with the same token resumes the
+    /// server-side session. Must be nonzero and unique per logical client.
+    std::uint64_t token = 1;
+  };
+
+  /// Dial the server and complete the Hello handshake.
+  static Result<std::unique_ptr<Client>> Connect(Options options);
+
+  /// Closes the socket.
+  ~Client();
+
+  Client(const Client&) = delete;  ///< Not copyable.
+  Client& operator=(const Client&) = delete;  ///< Not copyable.
+
+  /// Dial again and resume the session: the server replays every response
+  /// after last_seq_seen(). Replayed frames are consumed by the next
+  /// read (e.g. NextSweepItem continues an interrupted sweep).
+  Status Reconnect();
+
+  /// Close the socket without protocol goodbye — simulates a client crash
+  /// for the resume tests. The session and its backlog survive server-side.
+  void CloseAbruptly();
+
+  /// Upload a dataset and make it resident.
+  Result<BindOkResponse> Bind(const BindDatasetRequest& request);
+
+  /// Names of the server's resident datasets.
+  Result<DatasetListResponse> ListDatasets();
+
+  /// k-NN under the requested measure.
+  Result<KnnResponse> Knn(const QueryRequest& request);
+
+  /// Range query RQ(Q, C, ε).
+  Result<IndexListResponse> Range(const QueryRequest& request);
+
+  /// Probabilistic range query PRQ(Q, C, ε, τ).
+  Result<IndexListResponse> Prq(const QueryRequest& request);
+
+  /// Dense distance/probability sweep for one query.
+  Result<SweepResponse> MeasureSweep(const QueryRequest& request);
+
+  /// Liveness probe; delay_ms > 0 stalls the server's dispatcher (test aid).
+  Result<PongResponse> Ping(std::uint32_t delay_ms = 0,
+                            std::uint64_t echo = 0);
+
+  /// Fire a streaming k-NN sweep request (one KnnResult per query follows;
+  /// pull them with NextSweepItem).
+  Status StartKnnSweep(const QueryRequest& request);
+
+  /// Pull the next sweep item. Sets *done (and returns an empty response)
+  /// when the terminator arrives. Acknowledges each item as it is consumed.
+  Result<KnnResponse> NextSweepItem(bool* done);
+
+  /// Highest response sequence processed so far (what a Reconnect offers).
+  std::uint64_t last_seq_seen() const { return last_seq_seen_; }
+
+  /// The handshake result of the most recent Connect/Reconnect.
+  const HelloAckMessage& hello() const { return hello_; }
+
+  /// The most recent kError response (valid after a call failed with a
+  /// server-reported error; the saturation test reads code/retry_after_ms).
+  const ErrorResponse& last_error() const { return last_error_; }
+
+ private:
+  explicit Client(Options options);
+
+  /// Create the socket and connect (no handshake).
+  Status Dial();
+
+  /// Send Hello and read the HelloAck.
+  Status Handshake();
+
+  /// Send a request frame numbered with the next request sequence; the
+  /// assigned sequence is stored in *seq_out.
+  Status SendRequest(MessageType type, std::vector<std::uint8_t> payload,
+                     std::uint64_t* seq_out);
+
+  /// Read frames until a response for `request_seq` arrives; sequenced
+  /// frames are deduplicated and acked. A kError response for this request
+  /// is stored in last_error_ and surfaced as a Status.
+  Result<Frame> AwaitResponse(std::uint64_t request_seq);
+
+  /// Ack `seq` to let the server drop its backlog up to it.
+  void SendAck(std::uint64_t seq);
+
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t next_request_seq_ = 1;
+  std::uint64_t last_seq_seen_ = 0;
+  std::uint64_t sweep_request_seq_ = 0;  ///< Nonzero while a sweep streams.
+  HelloAckMessage hello_;
+  ErrorResponse last_error_;
+};
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_CLIENT_HPP_

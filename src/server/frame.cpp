@@ -1,0 +1,156 @@
+#include "server/frame.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace uts::server {
+
+namespace {
+
+void PutU16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void PutU32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void PutU64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t GetU16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+/// Blocking full-buffer send; MSG_NOSIGNAL so a dead peer surfaces as EPIPE
+/// instead of killing the process.
+Status SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("send: connection closed");
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Blocking full-buffer read; IOError with a distinguishable message on
+/// clean EOF so connection loops can exit quietly.
+Status RecvAll(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed");
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::uint32_t Checksum(std::span<const std::uint8_t> payload) {
+  // FNV-1a over the bytes, 64-bit state folded to 32 by xor of the halves.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : payload) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void EncodeFrameHeader(const FrameHeader& header, std::uint8_t* out) {
+  PutU32(out + 0, FrameHeader::kMagic);
+  out[4] = FrameHeader::kVersion;
+  out[5] = header.type;
+  PutU16(out + 6, header.flags);
+  PutU64(out + 8, header.sequence);
+  PutU32(out + 16, header.payload_size);
+  PutU32(out + 20, header.payload_checksum);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* in) {
+  if (GetU32(in + 0) != FrameHeader::kMagic) {
+    return Status::Corruption("frame header: bad magic");
+  }
+  if (in[4] != FrameHeader::kVersion) {
+    return Status::Corruption("frame header: unsupported version " +
+                              std::to_string(static_cast<int>(in[4])));
+  }
+  FrameHeader header;
+  header.type = in[5];
+  header.flags = GetU16(in + 6);
+  header.sequence = GetU64(in + 8);
+  header.payload_size = GetU32(in + 16);
+  header.payload_checksum = GetU32(in + 20);
+  if (header.payload_size > FrameHeader::kMaxPayloadSize) {
+    return Status::Corruption("frame header: payload size " +
+                              std::to_string(header.payload_size) +
+                              " exceeds the protocol maximum");
+  }
+  return header;
+}
+
+Frame MakeFrame(std::uint8_t type, std::uint64_t sequence,
+                std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.header.type = type;
+  frame.header.sequence = sequence;
+  frame.header.payload_size = static_cast<std::uint32_t>(payload.size());
+  frame.header.payload_checksum = Checksum(payload);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  std::uint8_t header[kFrameHeaderSize];
+  EncodeFrameHeader(frame.header, header);
+  UTS_RETURN_NOT_OK(SendAll(fd, header, kFrameHeaderSize));
+  if (!frame.payload.empty()) {
+    UTS_RETURN_NOT_OK(SendAll(fd, frame.payload.data(), frame.payload.size()));
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(int fd) {
+  std::uint8_t raw[kFrameHeaderSize];
+  UTS_RETURN_NOT_OK(RecvAll(fd, raw, kFrameHeaderSize));
+  UTS_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(raw));
+  Frame frame;
+  frame.header = header;
+  frame.payload.resize(header.payload_size);
+  if (header.payload_size > 0) {
+    UTS_RETURN_NOT_OK(RecvAll(fd, frame.payload.data(), frame.payload.size()));
+  }
+  if (Checksum(frame.payload) != header.payload_checksum) {
+    return Status::Corruption("frame payload: checksum mismatch");
+  }
+  return frame;
+}
+
+}  // namespace uts::server

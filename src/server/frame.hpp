@@ -1,0 +1,120 @@
+/// \file frame.hpp
+/// \brief The length-prefixed, sequence-numbered framing layer of the
+/// uncertts query server.
+///
+/// Every byte on a server connection belongs to a *frame*: a fixed 24-byte
+/// header followed by `payload_size` payload bytes. The header carries a
+/// magic/version pair (so a stray client talking another protocol fails
+/// immediately instead of desynchronizing), the message type, a monotone
+/// per-direction *sequence number* and an FNV-1a checksum of the payload.
+///
+/// Sequence numbers are what make responses resumable (the
+/// `BackedReader`/`BackedWriter` idea from EternalTerminal): the server
+/// numbers every response frame 1, 2, 3, … per session and keeps the unacked
+/// tail buffered; a client that reconnects presents the highest sequence it
+/// has seen and receives exactly the frames after it — an in-flight sweep
+/// continues instead of re-running. Frames with sequence 0 are *unsequenced*
+/// (handshake, acks, backpressure rejections) and are never replayed.
+///
+/// Byte order is little-endian on the wire; doubles travel as their IEEE-754
+/// bit patterns, so values survive the round trip bit-exactly — the server
+/// integration suite pins responses bitwise against in-process engine calls.
+
+#ifndef UTS_SERVER_FRAME_HPP_
+#define UTS_SERVER_FRAME_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+/// \namespace uts::server
+/// \brief The uncertain-similarity query daemon: framing, wire schemas,
+/// resumable sessions, admission control, and the synchronous client.
+
+namespace uts::server {
+
+/// \brief Frame header constants and field layout.
+///
+/// Wire layout (offsets in bytes, little-endian):
+///
+/// | offset | size | field            |
+/// |-------:|-----:|------------------|
+/// |      0 |    4 | magic `"UTSF"`   |
+/// |      4 |    1 | version (1)      |
+/// |      5 |    1 | type             |
+/// |      6 |    2 | flags (reserved) |
+/// |      8 |    8 | sequence         |
+/// |     16 |    4 | payload_size     |
+/// |     20 |    4 | payload_checksum |
+struct FrameHeader {
+  /// `"UTSF"` interpreted as a little-endian u32.
+  static constexpr std::uint32_t kMagic = 0x46535455u;
+
+  /// Protocol version this build speaks.
+  static constexpr std::uint8_t kVersion = 1;
+
+  /// Hard ceiling on payload bytes; a decoded header beyond it is rejected
+  /// as corruption before any allocation.
+  static constexpr std::uint32_t kMaxPayloadSize = 64u << 20;
+
+  /// Message type (a server::MessageType value; kept raw here so the
+  /// framing layer has no dependency on the schema layer).
+  std::uint8_t type = 0;
+
+  /// Reserved; must be zero in version 1.
+  std::uint16_t flags = 0;
+
+  /// Per-direction monotone counter starting at 1; 0 = unsequenced frame
+  /// (control traffic, excluded from resume/replay).
+  std::uint64_t sequence = 0;
+
+  /// Number of payload bytes following the header.
+  std::uint32_t payload_size = 0;
+
+  /// FNV-1a checksum of the payload bytes (Checksum()).
+  std::uint32_t payload_checksum = 0;
+};
+
+/// \brief Serialized size of a FrameHeader on the wire.
+inline constexpr std::size_t kFrameHeaderSize = 24;
+
+/// \brief One parsed frame: header plus owned payload bytes.
+struct Frame {
+  /// Decoded (or to-be-encoded) header; `payload_size` and
+  /// `payload_checksum` are derived from `payload` when encoding.
+  FrameHeader header;
+
+  /// Payload bytes, already checksum-verified on the read path.
+  std::vector<std::uint8_t> payload;
+};
+
+/// \brief FNV-1a over the payload bytes, folded to 32 bits.
+std::uint32_t Checksum(std::span<const std::uint8_t> payload);
+
+/// \brief Encode `header` into `out` (exactly kFrameHeaderSize bytes).
+/// `payload_size`/`payload_checksum` must already be set.
+void EncodeFrameHeader(const FrameHeader& header, std::uint8_t* out);
+
+/// \brief Decode and validate a header from `in` (exactly kFrameHeaderSize
+/// bytes). Fails with Corruption on magic/version mismatch or an oversized
+/// payload declaration.
+Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* in);
+
+/// \brief Build a frame: fills in the derived header fields from `payload`.
+Frame MakeFrame(std::uint8_t type, std::uint64_t sequence,
+                std::vector<std::uint8_t> payload);
+
+/// \brief Write one frame to a socket, looping over partial writes (EINTR
+/// safe, SIGPIPE suppressed). IOError when the peer is gone.
+Status WriteFrame(int fd, const Frame& frame);
+
+/// \brief Read one frame from a socket (blocking), verifying the checksum.
+/// IOError on EOF or socket failure, Corruption on a bad header/checksum.
+Result<Frame> ReadFrame(int fd);
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_FRAME_HPP_

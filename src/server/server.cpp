@@ -1,0 +1,444 @@
+#include "server/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace uts::server {
+
+namespace {
+
+WireError ToWireError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return WireError::kBadRequest;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kNotSupported:
+      return WireError::kUnavailable;
+    default:
+      return WireError::kInternal;
+  }
+}
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kPing:
+    case MessageType::kListDatasets:
+    case MessageType::kBindDataset:
+    case MessageType::kKnn:
+    case MessageType::kRange:
+    case MessageType::kPrq:
+    case MessageType::kMeasureSweep:
+    case MessageType::kKnnSweep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  UTS_RETURN_NOT_OK(server->Listen());
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  server->dispatch_thread_ = std::thread([raw = server.get()] {
+    raw->DispatchLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket(AF_UNIX) failed");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IOError("bind failed for " + options_.unix_socket_path);
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket(AF_INET) failed");
+    }
+    int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IOError("bind failed for 127.0.0.1:" +
+                             std::to_string(options_.tcp_port));
+    }
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen failed");
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(connection_threads_);
+  }
+  for (std::thread& thread : readers) {
+    if (thread.joinable()) thread.join();
+  }
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // Listener is gone; nothing left to accept.
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    live_fds_.insert(fd);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+std::shared_ptr<Session> Server::AttachSession(int fd,
+                                               const HelloMessage& hello,
+                                               Session::AttachResult* result) {
+  std::shared_ptr<Session> session;
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(hello.client_token);
+    if (it != sessions_.end() && !it->second->poisoned()) {
+      session = it->second;
+      resumed = true;
+    } else {
+      session = std::make_shared<Session>(hello.client_token,
+                                          options_.max_backlog_frames);
+      sessions_[hello.client_token] = session;
+    }
+  }
+  // A fresh session ignores the client's stale sequence state.
+  *result = session->Attach(fd, resumed ? hello.last_seq_seen : 0, resumed);
+  if (result->poisoned) {
+    // Lost the race with a concurrent overflow: hand out a clean session.
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session = std::make_shared<Session>(hello.client_token,
+                                        options_.max_backlog_frames);
+    sessions_[hello.client_token] = session;
+    *result = session->Attach(fd, 0, false);
+  }
+  return session;
+}
+
+void Server::HandleConnection(int fd) {
+  std::shared_ptr<Session> session;
+  while (!stopping_.load()) {
+    Result<Frame> frame_or = ReadFrame(fd);
+    if (!frame_or.ok()) break;  // EOF, corrupt frame, or shutdown.
+    Frame frame = std::move(frame_or).ValueOrDie();
+    const auto type = static_cast<MessageType>(frame.header.type);
+
+    if (session == nullptr) {
+      // First frame must be the handshake.
+      if (type != MessageType::kHello) break;
+      Result<HelloMessage> hello = HelloMessage::Decode(frame.payload);
+      if (!hello.ok()) break;
+      Session::AttachResult attach;
+      session = AttachSession(fd, hello.ValueOrDie(), &attach);
+      continue;
+    }
+
+    if (type == MessageType::kAck) {
+      Result<AckMessage> ack = AckMessage::Decode(frame.payload);
+      if (ack.ok()) {
+        session->HandleAck(ack.ValueOrDie().acked_seq);
+      }
+      continue;
+    }
+
+    if (!IsRequestType(type)) {
+      continue;  // Unknown but well-framed traffic: ignore, stay compatible.
+    }
+
+    WorkItem item;
+    item.session = session;
+    item.type = type;
+    item.request_seq = frame.header.sequence;
+    item.payload = std::move(frame.payload);
+    if (TryEnqueue(std::move(item))) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.admitted;
+    } else {
+      // Admission control: reject now, unsequenced (the request never
+      // entered the response stream, so it must not consume a sequence).
+      ErrorResponse error;
+      error.request_seq = frame.header.sequence;
+      error.code = WireError::kSaturated;
+      error.retry_after_ms = options_.retry_after_ms;
+      error.message = "admission queue full";
+      session->SendControl(static_cast<std::uint8_t>(MessageType::kError),
+                           error.Encode());
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+    }
+  }
+  if (session != nullptr) {
+    session->Detach(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    live_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+bool Server::TryEnqueue(WorkItem item) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (queue_.size() >= options_.queue_depth) {
+    return false;
+  }
+  queue_.push_back(std::move(item));
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::DispatchLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_.load() || !queue_.empty(); });
+      if (stopping_.load()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(item);
+  }
+}
+
+void Server::DeliverError(Session& session, std::uint64_t request_seq,
+                          const Status& status) {
+  ErrorResponse error;
+  error.request_seq = request_seq;
+  error.code = ToWireError(status);
+  error.message = status.message();
+  session.Deliver(static_cast<std::uint8_t>(MessageType::kError),
+                  error.Encode());
+}
+
+void Server::Execute(WorkItem& item) {
+  Session& session = *item.session;
+  const std::uint64_t seq = item.request_seq;
+  switch (item.type) {
+    case MessageType::kPing: {
+      Result<PingRequest> request_or = PingRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      const PingRequest& request = request_or.ValueOrDie();
+      if (request.delay_ms > 0) {
+        // Test hook: stall the dispatcher to make saturation reproducible.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(request.delay_ms));
+      }
+      PongResponse response;
+      response.request_seq = seq;
+      response.echo = request.echo;
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kPong),
+                      response.Encode());
+      return;
+    }
+    case MessageType::kListDatasets: {
+      DatasetListResponse response = service_.List(seq);
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kDatasetList),
+                      response.Encode());
+      return;
+    }
+    case MessageType::kBindDataset: {
+      Result<BindDatasetRequest> request_or =
+          BindDatasetRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      Result<BindOkResponse> response = service_.Bind(request_or.ValueOrDie(), seq);
+      if (!response.ok()) {
+        DeliverError(session, seq, response.status());
+        return;
+      }
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kBindOk),
+                      response.ValueOrDie().Encode());
+      return;
+    }
+    case MessageType::kKnn: {
+      Result<QueryRequest> request_or = QueryRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      Result<KnnResponse> response = service_.Knn(request_or.ValueOrDie(), seq);
+      if (!response.ok()) {
+        DeliverError(session, seq, response.status());
+        return;
+      }
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnResult),
+                      response.ValueOrDie().Encode());
+      return;
+    }
+    case MessageType::kRange:
+    case MessageType::kPrq: {
+      Result<QueryRequest> request_or = QueryRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      Result<IndexListResponse> response =
+          item.type == MessageType::kRange
+              ? service_.Range(request_or.ValueOrDie(), seq)
+              : service_.Prq(request_or.ValueOrDie(), seq);
+      if (!response.ok()) {
+        DeliverError(session, seq, response.status());
+        return;
+      }
+      const auto type = item.type == MessageType::kRange
+                            ? MessageType::kRangeResult
+                            : MessageType::kPrqResult;
+      session.Deliver(static_cast<std::uint8_t>(type),
+                      response.ValueOrDie().Encode());
+      return;
+    }
+    case MessageType::kMeasureSweep: {
+      Result<QueryRequest> request_or = QueryRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      Result<SweepResponse> response =
+          service_.MeasureSweep(request_or.ValueOrDie(), seq);
+      if (!response.ok()) {
+        DeliverError(session, seq, response.status());
+        return;
+      }
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kSweepResult),
+                      response.ValueOrDie().Encode());
+      return;
+    }
+    case MessageType::kKnnSweep: {
+      Result<QueryRequest> request_or = QueryRequest::Decode(item.payload);
+      if (!request_or.ok()) {
+        DeliverError(session, seq, request_or.status());
+        return;
+      }
+      const QueryRequest& request = request_or.ValueOrDie();
+      // Stream one sequenced KnnResult per query so the sweep is resumable
+      // mid-flight: finished items sit in the session backlog, and a
+      // reconnecting client replays only what it has not acked.
+      QueryRequest single = request;
+      std::uint32_t completed = 0;
+      for (std::uint32_t q = request.query;
+           q < request.query + request.num_queries; ++q) {
+        if (stopping_.load()) return;
+        single.query = q;
+        Result<KnnResponse> response = service_.Knn(single, seq);
+        if (!response.ok()) {
+          DeliverError(session, seq, response.status());
+          return;
+        }
+        service_.NoteSweepItem();
+        session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnResult),
+                        response.ValueOrDie().Encode());
+        ++completed;
+      }
+      KnnSweepDoneResponse done;
+      done.request_seq = seq;
+      done.num_items = completed;
+      session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnSweepDone),
+                      done.Encode());
+      return;
+    }
+    default:
+      DeliverError(session, seq,
+                   Status::InvalidArgument("unhandled request type"));
+      return;
+  }
+}
+
+}  // namespace uts::server

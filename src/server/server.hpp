@@ -1,0 +1,177 @@
+/// \file server.hpp
+/// \brief The uncertain-similarity query daemon: listeners, sessions,
+/// admission control, and the single dispatcher thread.
+///
+/// Thread model — three kinds of threads, one shared engine:
+///
+///   - The **accept thread** blocks on the listening socket (Unix-domain or
+///     loopback TCP) and spawns one reader thread per connection.
+///   - A **reader thread** performs the Hello handshake (resolving the
+///     client token to a Session, replaying unacked responses), then loops
+///     decoding request frames. Each request is pushed onto a bounded
+///     admission queue; when the queue is full the reader immediately sends
+///     an unsequenced `Error{kSaturated, retry_after_ms}` instead of
+///     blocking — backpressure is explicit, never implicit.
+///   - The **dispatcher thread** drains the admission queue one request at
+///     a time into the `Service`. Serializing here is what preserves the
+///     EngineContext's single-threaded setup rules; parallelism still comes
+///     from *inside* each query, which fans out over the context's shared
+///     `exec::ThreadPool`. Responses therefore stay bitwise identical to
+///     direct in-process engine calls at every pool width.
+///
+/// Responses are delivered through the client's Session, which numbers and
+/// buffers them (see session.hpp) so a reconnecting client resumes an
+/// in-flight sweep without the server recomputing finished items.
+
+#ifndef UTS_SERVER_SERVER_HPP_
+#define UTS_SERVER_SERVER_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "server/service.hpp"
+#include "server/session.hpp"
+#include "server/wire.hpp"
+
+namespace uts::server {
+
+/// \brief Transport and admission configuration of a Server.
+struct ServerOptions {
+  /// When non-empty, listen on this Unix-domain socket path (an existing
+  /// socket file is replaced). Takes precedence over TCP.
+  std::string unix_socket_path;
+
+  /// TCP port on 127.0.0.1 when no Unix socket path is given; 0 picks an
+  /// ephemeral port (read it back with tcp_port()).
+  std::uint16_t tcp_port = 0;
+
+  /// Admission queue capacity: requests admitted but not yet dispatched.
+  /// A full queue rejects with Error{kSaturated} instead of blocking.
+  std::size_t queue_depth = 64;
+
+  /// Retry hint (milliseconds) carried by saturation rejections.
+  std::uint32_t retry_after_ms = 50;
+
+  /// Per-session cap on buffered unacked response frames; overflow poisons
+  /// the session (see Session).
+  std::size_t max_backlog_frames = 4096;
+
+  /// Engine-side configuration handed to the Service.
+  ServiceOptions service;
+};
+
+/// \brief A running uncertain-similarity query daemon.
+class Server {
+ public:
+  /// Admission counters; snapshot via stats().
+  struct Stats {
+    std::uint64_t connections = 0;  ///< Sockets accepted.
+    std::uint64_t admitted = 0;     ///< Requests enqueued for dispatch.
+    std::uint64_t rejected = 0;     ///< Requests refused with kSaturated.
+  };
+
+  /// Bind the listener, then start the accept and dispatcher threads.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  /// Calls Stop().
+  ~Server();
+
+  Server(const Server&) = delete;  ///< Not copyable.
+  Server& operator=(const Server&) = delete;  ///< Not copyable.
+
+  /// Stop accepting, shut down live connections, drain nothing further,
+  /// and join every thread. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (meaningful for TCP listeners; resolves port 0).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// The bound Unix socket path ("" for TCP listeners).
+  const std::string& unix_socket_path() const {
+    return options_.unix_socket_path;
+  }
+
+  /// The request executor (tests read its counters and compare against a
+  /// directly driven EngineContext).
+  Service& service() { return service_; }
+
+  /// Admission counter snapshot (thread-safe).
+  Stats stats() const;
+
+ private:
+  /// One admitted request, bound to the session that gets its responses.
+  struct WorkItem {
+    std::shared_ptr<Session> session;
+    MessageType type = MessageType::kPing;
+    std::uint64_t request_seq = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  explicit Server(ServerOptions options);
+
+  /// Create and bind the listening socket per options_.
+  Status Listen();
+
+  /// Accept-loop body (accept thread).
+  void AcceptLoop();
+
+  /// Connection body (reader thread): handshake, then request admission.
+  void HandleConnection(int fd);
+
+  /// Resolve `token` to its session, replacing a poisoned one, and attach.
+  std::shared_ptr<Session> AttachSession(int fd, const HelloMessage& hello,
+                                         Session::AttachResult* result);
+
+  /// Push onto the admission queue; false when full (caller rejects).
+  bool TryEnqueue(WorkItem item);
+
+  /// Dispatcher-loop body: drain the queue into Execute.
+  void DispatchLoop();
+
+  /// Decode and run one admitted request, delivering sequenced responses
+  /// (or a sequenced error) through the session.
+  void Execute(WorkItem& item);
+
+  /// Deliver `status` as a sequenced Error response for `request_seq`.
+  void DeliverError(Session& session, std::uint64_t request_seq,
+                    const Status& status);
+
+  ServerOptions options_;
+  Service service_;
+
+  int listen_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::set<int> live_fds_;  ///< Open connection sockets, for Stop().
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_SERVER_HPP_

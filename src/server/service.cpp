@@ -1,0 +1,295 @@
+#include "server/service.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "ts/time_series.hpp"
+#include "uncertain/error_spec.hpp"
+#include "uncertain/perturb.hpp"
+
+namespace uts::server {
+
+namespace {
+
+prob::ErrorKind ToErrorKind(WireErrorKind kind) {
+  switch (kind) {
+    case WireErrorKind::kUniform:
+      return prob::ErrorKind::kUniform;
+    case WireErrorKind::kExponential:
+      return prob::ErrorKind::kExponential;
+    case WireErrorKind::kNormal:
+    default:
+      return prob::ErrorKind::kNormal;
+  }
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(options), context_([&options] {
+        query::EngineContextOptions context_options;
+        context_options.threads = options.threads;
+        context_options.simd = options.simd;
+        context_options.index = options.index;
+        return context_options;
+      }()) {}
+
+Result<BindOkResponse> Service::Bind(const BindDatasetRequest& request,
+                                     std::uint64_t request_seq) {
+  if (request.name.empty()) {
+    return Status::InvalidArgument("bind: dataset name must be non-empty");
+  }
+  if (request.series.empty()) {
+    return Status::InvalidArgument("bind: dataset must be non-empty");
+  }
+  const std::size_t length = request.series.front().size();
+  if (length == 0) {
+    return Status::InvalidArgument("bind: series must be non-empty");
+  }
+  ts::Dataset exact(request.name);
+  for (std::size_t i = 0; i < request.series.size(); ++i) {
+    if (request.series[i].size() != length) {
+      return Status::InvalidArgument(
+          "bind: the engines require uniform series lengths");
+    }
+    const int label = i < request.labels.size()
+                          ? static_cast<int>(request.labels[i])
+                          : ts::TimeSeries::kNoLabel;
+    exact.Add(ts::TimeSeries(request.series[i], label));
+  }
+
+  const prob::ErrorKind kind = ToErrorKind(request.kind);
+  const uncertain::ErrorSpec spec =
+      request.mixed_sigma != 0 ? uncertain::ErrorSpec::MixedSigma(kind)
+                               : uncertain::ErrorSpec::Constant(kind,
+                                                                request.sigma);
+  // Deterministic perturbation: the same exact values + spec + seed yield
+  // bit-identical uncertain datasets here and in any in-process reference.
+  uncertain::UncertainDataset pdf =
+      uncertain::PerturbDataset(exact, spec, request.seed);
+  std::optional<uncertain::MultiSampleDataset> samples;
+  if (request.samples_per_point > 0) {
+    samples = uncertain::PerturbDatasetMultiSample(
+        exact, spec, request.samples_per_point, request.seed);
+  }
+  const double proud_sigma = spec.RepresentativeSigma();
+  UTS_RETURN_NOT_OK(context_.AddResident(request.name, std::move(pdf),
+                                         std::move(samples), request.seed,
+                                         proud_sigma));
+  meta_[request.name] = ResidentMeta{proud_sigma};
+
+  BindOkResponse response;
+  response.request_seq = request_seq;
+  response.name = request.name;
+  response.num_series = static_cast<std::uint32_t>(request.series.size());
+  response.length = static_cast<std::uint32_t>(length);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.binds;
+  }
+  return response;
+}
+
+DatasetListResponse Service::List(std::uint64_t request_seq) {
+  DatasetListResponse response;
+  response.request_seq = request_seq;
+  response.names = context_.ResidentNames();
+  return response;
+}
+
+Status Service::Activate(const std::string& name, std::uint32_t query) {
+  UTS_RETURN_NOT_OK(context_.ActivateResident(name));
+  const auto* pdf = context_.ResidentPdf(name);
+  if (pdf != nullptr && query >= pdf->size()) {
+    return Status::NotFound("query index " + std::to_string(query) +
+                            " out of range (dataset has " +
+                            std::to_string(pdf->size()) + " series)");
+  }
+  return Status::OK();
+}
+
+Result<query::UncertainEngine*> Service::AcquireFor(
+    WireMeasure measure, const std::string& dataset) {
+  query::UncertainEngine* engine = nullptr;
+  switch (measure) {
+    case WireMeasure::kDust:
+      engine = context_.AcquireDust(options_.dust);
+      break;
+    case WireMeasure::kProud: {
+      auto it = meta_.find(dataset);
+      if (it == meta_.end()) {
+        return Status::NotFound("no resident dataset named '" + dataset + "'");
+      }
+      engine = context_.AcquireProud(it->second.proud_sigma);
+      break;
+    }
+    case WireMeasure::kMunich:
+      engine = context_.AcquireMunich(options_.munich);
+      break;
+    case WireMeasure::kEuclid:
+    default:
+      return Status::InvalidArgument("measure has no uncertain engine");
+  }
+  if (engine == nullptr) {
+    return Status::NotSupported(
+        "dataset '" + dataset +
+        "' cannot serve this measure with the shared engine (missing "
+        "sample model, non-uniform shape, or conflicting configuration)");
+  }
+  return engine;
+}
+
+Result<KnnResponse> Service::Knn(const QueryRequest& request,
+                                 std::uint64_t request_seq) {
+  UTS_RETURN_NOT_OK(Activate(request.dataset, request.query));
+  KnnResponse response;
+  response.request_seq = request_seq;
+  response.query = request.query;
+  index::SearchCost cost;
+  if (request.measure == WireMeasure::kEuclid) {
+    const ts::Dataset* observed = context_.ResidentObserved(request.dataset);
+    const auto& engine = context_.Certain(*observed);
+    response.neighbors =
+        engine.KNearestEuclidean(request.query, request.k, &cost);
+  } else {
+    UTS_ASSIGN_OR_RETURN(query::UncertainEngine * engine,
+                         AcquireFor(request.measure, request.dataset));
+    switch (request.measure) {
+      case WireMeasure::kDust: {
+        UTS_ASSIGN_OR_RETURN(
+            response.neighbors,
+            engine->KNearestDust(request.query, request.k, &cost));
+        break;
+      }
+      case WireMeasure::kProud:
+        response.neighbors =
+            engine->KNearestProud(request.query, request.epsilon, request.k);
+        break;
+      case WireMeasure::kMunich: {
+        UTS_ASSIGN_OR_RETURN(response.neighbors,
+                             engine->KNearestMunich(request.query,
+                                                    request.epsilon,
+                                                    request.k));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("knn: unsupported measure");
+    }
+  }
+  response.cost = WireSearchCost::From(cost);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+  return response;
+}
+
+Result<IndexListResponse> Service::Range(const QueryRequest& request,
+                                         std::uint64_t request_seq) {
+  UTS_RETURN_NOT_OK(Activate(request.dataset, request.query));
+  IndexListResponse response;
+  response.request_seq = request_seq;
+  index::SearchCost cost;
+  std::vector<std::size_t> matches;
+  if (request.measure == WireMeasure::kEuclid) {
+    const ts::Dataset* observed = context_.ResidentObserved(request.dataset);
+    const auto& engine = context_.Certain(*observed);
+    matches =
+        engine.RangeSearchEuclidean(request.query, request.epsilon, &cost);
+  } else if (request.measure == WireMeasure::kDust) {
+    UTS_ASSIGN_OR_RETURN(query::UncertainEngine * engine,
+                         AcquireFor(request.measure, request.dataset));
+    UTS_ASSIGN_OR_RETURN(
+        matches, engine->RangeSearchDust(request.query, request.epsilon,
+                                         &cost));
+  } else {
+    return Status::InvalidArgument(
+        "range: PROUD/MUNICH are probabilistic — use PRQ");
+  }
+  response.indices.assign(matches.begin(), matches.end());
+  response.cost = WireSearchCost::From(cost);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+  return response;
+}
+
+Result<IndexListResponse> Service::Prq(const QueryRequest& request,
+                                       std::uint64_t request_seq) {
+  if (request.measure != WireMeasure::kProud &&
+      request.measure != WireMeasure::kMunich) {
+    return Status::InvalidArgument(
+        "prq: only the probabilistic measures (PROUD, MUNICH) answer PRQ");
+  }
+  UTS_RETURN_NOT_OK(Activate(request.dataset, request.query));
+  UTS_ASSIGN_OR_RETURN(query::UncertainEngine * engine,
+                       AcquireFor(request.measure, request.dataset));
+  IndexListResponse response;
+  response.request_seq = request_seq;
+  std::vector<std::size_t> matches;
+  if (request.measure == WireMeasure::kProud) {
+    matches = engine->ProbabilisticRangeSearchProud(
+        request.query, request.epsilon, request.tau);
+  } else {
+    UTS_ASSIGN_OR_RETURN(matches, engine->ProbabilisticRangeSearchMunich(
+                                      request.query, request.epsilon,
+                                      request.tau));
+  }
+  response.indices.assign(matches.begin(), matches.end());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+  return response;
+}
+
+Result<SweepResponse> Service::MeasureSweep(const QueryRequest& request,
+                                            std::uint64_t request_seq) {
+  if (request.measure == WireMeasure::kEuclid) {
+    return Status::InvalidArgument(
+        "sweep: dense sweeps serve the uncertain measures (dust|proud|"
+        "munich)");
+  }
+  UTS_RETURN_NOT_OK(Activate(request.dataset, request.query));
+  UTS_ASSIGN_OR_RETURN(query::UncertainEngine * engine,
+                       AcquireFor(request.measure, request.dataset));
+  SweepResponse response;
+  response.request_seq = request_seq;
+  switch (request.measure) {
+    case WireMeasure::kDust: {
+      UTS_ASSIGN_OR_RETURN(response.values,
+                           engine->DustDistances(request.query));
+      break;
+    }
+    case WireMeasure::kProud:
+      response.values =
+          engine->ProudMatchProbabilities(request.query, request.epsilon);
+      break;
+    case WireMeasure::kMunich: {
+      UTS_ASSIGN_OR_RETURN(response.values,
+                           engine->MunichMatchProbabilities(request.query,
+                                                            request.epsilon));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("sweep: unsupported measure");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+  return response;
+}
+
+void Service::NoteSweepItem() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.sweep_items;
+}
+
+Service::Stats Service::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace uts::server

@@ -1,0 +1,133 @@
+/// \file service.hpp
+/// \brief Request execution over the shared query::EngineContext.
+///
+/// `Service` is the single-threaded heart of the server: the dispatcher
+/// thread (see server.hpp) feeds it one admitted request at a time, and it
+/// translates each into engine calls on one `EngineContext` — one thread
+/// pool, one SoA pack per resident dataset, cached engines. Serializing
+/// engine access here is what keeps the context's setup-time mutation rules
+/// intact while still extracting full parallelism: each individual query
+/// fans out over the context's shared `exec::ThreadPool` through the
+/// engines' deterministic `ParallelFor` partitions, so responses are
+/// bitwise identical to in-process engine calls at every pool width.
+///
+/// Thread-safety: all methods must be called from one thread at a time
+/// (the dispatcher). `stats()` is the exception — it snapshots under a lock
+/// so tests and monitoring can read concurrently.
+
+#ifndef UTS_SERVER_SERVICE_HPP_
+#define UTS_SERVER_SERVICE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.hpp"
+#include "measures/dust.hpp"
+#include "measures/munich.hpp"
+#include "query/engine_context.hpp"
+#include "server/wire.hpp"
+
+namespace uts::server {
+
+/// \brief Engine-side configuration of a Service.
+struct ServiceOptions {
+  /// Worker threads of the shared pool (EngineContextOptions::threads);
+  /// 1 = queries run inline on the dispatcher.
+  std::size_t threads = 1;
+
+  /// Kernel selection shared by every engine (EngineContextOptions::simd).
+  distance::SimdMode simd = distance::SimdMode::kAuto;
+
+  /// Prune-before-score index cascade shared by every engine.
+  index::IndexOptions index;
+
+  /// DUST table construction parameters used for every resident.
+  measures::DustOptions dust;
+
+  /// MUNICH estimator configuration used for every resident.
+  measures::MunichOptions munich;
+};
+
+/// \brief Executes wire requests against the shared engine context.
+class Service {
+ public:
+  /// Execution counters; snapshot via stats().
+  struct Stats {
+    std::uint64_t binds = 0;        ///< BindDataset requests served.
+    std::uint64_t queries = 0;      ///< Knn/Range/Prq/MeasureSweep served.
+    std::uint64_t sweep_items = 0;  ///< Per-query k-NN lists computed by
+                                    ///< KnnSweep requests. The reconnect
+                                    ///< test pins this to prove completed
+                                    ///< work is never re-run.
+  };
+
+  /// Create the service and its private EngineContext.
+  explicit Service(ServiceOptions options);
+
+  /// The underlying context (tests compare server responses against direct
+  /// calls on an identically configured private context).
+  query::EngineContext& context() { return context_; }
+
+  /// Perturb the uploaded exact dataset deterministically and make it
+  /// resident under `request.name` (pdf model, optional sample model, and
+  /// the observations as a certain dataset).
+  Result<BindOkResponse> Bind(const BindDatasetRequest& request,
+                              std::uint64_t request_seq);
+
+  /// Names of the resident datasets.
+  DatasetListResponse List(std::uint64_t request_seq);
+
+  /// k-NN under the requested measure. For the probability measures the
+  /// neighbor `distance` field carries the match probability at ε.
+  Result<KnnResponse> Knn(const QueryRequest& request,
+                          std::uint64_t request_seq);
+
+  /// Range query: Euclidean or DUST distance <= ε.
+  Result<IndexListResponse> Range(const QueryRequest& request,
+                                  std::uint64_t request_seq);
+
+  /// Probabilistic range query: PROUD or MUNICH Pr(dist <= ε) >= τ.
+  Result<IndexListResponse> Prq(const QueryRequest& request,
+                                std::uint64_t request_seq);
+
+  /// Dense per-candidate sweep: DUST distances or PROUD/MUNICH match
+  /// probabilities at ε.
+  Result<SweepResponse> MeasureSweep(const QueryRequest& request,
+                                     std::uint64_t request_seq);
+
+  /// Record one completed per-query k-NN list of a KnnSweep (called by the
+  /// dispatcher as it streams sweep items).
+  void NoteSweepItem();
+
+  /// Counter snapshot (thread-safe).
+  Stats stats() const;
+
+ private:
+  /// Per-resident parameters the wire layer needs again at query time.
+  struct ResidentMeta {
+    double proud_sigma = 1.0;  ///< σ reported to PROUD at bind time.
+  };
+
+  /// Activate `name` and fail with NotFound/InvalidArgument when absent or
+  /// the query index is out of range.
+  Status Activate(const std::string& name, std::uint32_t query);
+
+  /// The shared uncertain engine for `measure`, or a Status explaining why
+  /// the dataset cannot serve it.
+  Result<query::UncertainEngine*> AcquireFor(WireMeasure measure,
+                                             const std::string& dataset);
+
+  ServiceOptions options_;
+  query::EngineContext context_;
+  std::map<std::string, ResidentMeta> meta_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_SERVICE_HPP_

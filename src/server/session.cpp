@@ -1,0 +1,101 @@
+#include "server/session.hpp"
+
+#include <utility>
+
+#include "server/wire.hpp"
+
+namespace uts::server {
+
+Session::Session(std::uint64_t token, std::size_t max_backlog_frames)
+    : token_(token), max_backlog_frames_(max_backlog_frames) {}
+
+Session::AttachResult Session::Attach(int fd, std::uint64_t last_seq_seen,
+                                      bool resumed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AttachResult result;
+  result.server_seq = next_seq_ - 1;
+  if (poisoned_) {
+    result.poisoned = true;
+    return result;
+  }
+  // The client's cumulative receipt doubles as an ack.
+  while (!backlog_.empty() && backlog_.front().header.sequence <= last_seq_seen) {
+    backlog_.pop_front();
+  }
+  fd_ = fd;
+  write_ok_ = true;
+  result.replayed = backlog_.size();
+  // HelloAck first, then the retained tail, all under the lock: a response
+  // delivered concurrently can never overtake a replayed frame.
+  HelloAckMessage ack;
+  ack.resumed = resumed ? 1 : 0;
+  ack.replayed = result.replayed;
+  ack.server_seq = result.server_seq;
+  TryWriteLocked(
+      MakeFrame(static_cast<std::uint8_t>(MessageType::kHelloAck), 0,
+                ack.Encode()));
+  for (const Frame& frame : backlog_) {
+    if (!write_ok_) break;
+    TryWriteLocked(frame);
+  }
+  return result;
+}
+
+void Session::Detach(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Only the connection that owns the live fd detaches it; a stale closer
+  // racing a newer Attach must not tear down the new connection.
+  if (fd_ == fd) {
+    fd_ = -1;
+    write_ok_ = false;
+  }
+}
+
+std::uint64_t Session::Deliver(std::uint8_t type,
+                               std::vector<std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) return 0;
+  if (backlog_.size() >= max_backlog_frames_) {
+    // A client that stopped acking long ago: stop buffering on its behalf.
+    poisoned_ = true;
+    backlog_.clear();
+    return 0;
+  }
+  const std::uint64_t seq = next_seq_++;
+  backlog_.push_back(MakeFrame(type, seq, std::move(payload)));
+  TryWriteLocked(backlog_.back());
+  return seq;
+}
+
+void Session::SendControl(std::uint8_t type, std::vector<std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0 || !write_ok_) return;
+  TryWriteLocked(MakeFrame(type, 0, std::move(payload)));
+}
+
+void Session::HandleAck(std::uint64_t acked_seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!backlog_.empty() && backlog_.front().header.sequence <= acked_seq) {
+    backlog_.pop_front();
+  }
+}
+
+std::size_t Session::BacklogSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backlog_.size();
+}
+
+bool Session::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+void Session::TryWriteLocked(const Frame& frame) {
+  if (fd_ < 0 || !write_ok_) return;
+  if (!WriteFrame(fd_, frame).ok()) {
+    // Peer is gone; keep the frame buffered and wait for the reconnect.
+    write_ok_ = false;
+  }
+}
+
+}  // namespace uts::server

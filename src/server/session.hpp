@@ -1,0 +1,105 @@
+/// \file session.hpp
+/// \brief Per-client server session: sequence numbering, the unacked
+/// response backlog, and reconnect-replay.
+///
+/// A `Session` is the server half of the resumable channel (the
+/// `BackedWriter` of EternalTerminal's connection model): every response
+/// frame produced for a client is numbered by the session's monotone
+/// counter and retained in a backlog until the client acknowledges it.
+/// Delivery is decoupled from connectivity — `Deliver` appends to the
+/// backlog and *attempts* a socket write, but a dead connection just leaves
+/// the frame buffered. When the client reconnects and presents the highest
+/// sequence it has seen, `Attach` trims everything at or below it and
+/// replays the rest in order, so an in-flight sweep resumes mid-stream
+/// without the server recomputing anything.
+///
+/// Thread-safety: all public methods are safe to call concurrently — the
+/// dispatcher thread delivers responses while a connection thread attaches,
+/// acks, or detaches. A bounded backlog (`max_backlog_frames`) prevents a
+/// never-acking client from holding unbounded memory; overflow poisons the
+/// session (subsequent Deliver calls drop frames and the next Attach is
+/// refused), which the server surfaces as a fresh-session handshake.
+
+#ifndef UTS_SERVER_SESSION_HPP_
+#define UTS_SERVER_SESSION_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "server/frame.hpp"
+
+namespace uts::server {
+
+/// \brief Server-side session state for one client token.
+class Session {
+ public:
+  /// Create a session for `token`; the backlog keeps at most
+  /// `max_backlog_frames` unacked frames before the session poisons.
+  Session(std::uint64_t token, std::size_t max_backlog_frames);
+
+  /// The client token this session belongs to.
+  std::uint64_t token() const { return token_; }
+
+  /// Outcome of an Attach: what the HelloAck reported.
+  struct AttachResult {
+    std::uint64_t replayed = 0;    ///< Backlog frames replayed on reconnect.
+    std::uint64_t server_seq = 0;  ///< Highest sequence produced so far.
+    bool poisoned = false;         ///< Session overflowed; caller must
+                                   ///< discard it and start a fresh one.
+  };
+
+  /// Bind a (re)connected socket: trim the backlog through `last_seq_seen`
+  /// (the client's receipt doubles as a cumulative ack), write the HelloAck
+  /// control frame, replay every retained frame after the trim point, and
+  /// make `fd` the live write side — all atomically, so a response
+  /// delivered concurrently can never overtake the replayed tail. The fd is
+  /// borrowed; the connection thread owns its lifetime. `resumed` is echoed
+  /// in the HelloAck so the client knows whether its sequence state is
+  /// still meaningful.
+  AttachResult Attach(int fd, std::uint64_t last_seq_seen, bool resumed);
+
+  /// Drop the live write side (connection closed); buffered and future
+  /// frames accumulate until the next Attach.
+  void Detach(int fd);
+
+  /// Number a response frame, append it to the backlog and attempt to send
+  /// it. Returns the assigned sequence (0 when the session is poisoned and
+  /// the frame was dropped).
+  std::uint64_t Deliver(std::uint8_t type, std::vector<std::uint8_t> payload);
+
+  /// Send an unsequenced control frame (HelloAck, backpressure errors) on
+  /// the live connection, bypassing the backlog. No-op when detached.
+  void SendControl(std::uint8_t type, std::vector<std::uint8_t> payload);
+
+  /// Cumulative ack: drop every backlog frame with sequence <= acked_seq.
+  void HandleAck(std::uint64_t acked_seq);
+
+  /// Frames currently buffered (diagnostics / tests).
+  std::size_t BacklogSize() const;
+
+  /// True once the backlog overflowed; the server replaces the session.
+  bool poisoned() const;
+
+ private:
+  /// Write `frame` to the live fd; on failure mark the connection dead
+  /// (frame stays in the backlog for the next Attach). Caller holds mutex_.
+  void TryWriteLocked(const Frame& frame);
+
+  const std::uint64_t token_;
+  const std::size_t max_backlog_frames_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;                 ///< Live write side; -1 when detached.
+  bool write_ok_ = false;       ///< False after a failed write until Attach.
+  bool poisoned_ = false;       ///< Backlog overflowed.
+  std::uint64_t next_seq_ = 1;  ///< Next response sequence to assign.
+  std::deque<Frame> backlog_;   ///< Unacked sequenced frames, ascending.
+};
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_SESSION_HPP_

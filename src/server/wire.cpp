@@ -1,0 +1,430 @@
+#include "server/wire.hpp"
+
+#include <cstring>
+
+namespace uts::server {
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+void PayloadWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PayloadWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PayloadWriter::F64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void PayloadWriter::Str(const std::string& s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void PayloadWriter::F64Vec(const std::vector<double>& v) {
+  U32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) F64(x);
+}
+
+Result<std::uint8_t> PayloadReader::U8() {
+  if (pos_ + 1 > data_.size()) return Status::Corruption("payload truncated");
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> PayloadReader::U32() {
+  if (pos_ + 4 > data_.size()) return Status::Corruption("payload truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> PayloadReader::U64() {
+  if (pos_ + 8 > data_.size()) return Status::Corruption("payload truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> PayloadReader::F64() {
+  UTS_ASSIGN_OR_RETURN(std::uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> PayloadReader::Str() {
+  UTS_ASSIGN_OR_RETURN(std::uint32_t size, U32());
+  if (pos_ + size > data_.size()) return Status::Corruption("payload truncated");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), size);
+  pos_ += size;
+  return s;
+}
+
+Result<std::vector<double>> PayloadReader::F64Vec() {
+  UTS_ASSIGN_OR_RETURN(std::uint32_t size, U32());
+  // 8 bytes per element must still fit in the remaining payload.
+  if (pos_ + static_cast<std::size_t>(size) * 8 > data_.size()) {
+    return Status::Corruption("payload truncated");
+  }
+  std::vector<double> v(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    v[i] = F64().ValueOrDie();
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Control messages
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> HelloMessage::Encode() const {
+  PayloadWriter w;
+  w.U64(client_token);
+  w.U64(last_seq_seen);
+  return w.Take();
+}
+
+Result<HelloMessage> HelloMessage::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  HelloMessage m;
+  UTS_ASSIGN_OR_RETURN(m.client_token, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.last_seq_seen, r.U64());
+  return m;
+}
+
+std::vector<std::uint8_t> HelloAckMessage::Encode() const {
+  PayloadWriter w;
+  w.U8(resumed);
+  w.U64(replayed);
+  w.U64(server_seq);
+  return w.Take();
+}
+
+Result<HelloAckMessage> HelloAckMessage::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  HelloAckMessage m;
+  UTS_ASSIGN_OR_RETURN(m.resumed, r.U8());
+  UTS_ASSIGN_OR_RETURN(m.replayed, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.server_seq, r.U64());
+  return m;
+}
+
+std::vector<std::uint8_t> AckMessage::Encode() const {
+  PayloadWriter w;
+  w.U64(acked_seq);
+  return w.Take();
+}
+
+Result<AckMessage> AckMessage::Decode(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  AckMessage m;
+  UTS_ASSIGN_OR_RETURN(m.acked_seq, r.U64());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> PingRequest::Encode() const {
+  PayloadWriter w;
+  w.U32(delay_ms);
+  w.U64(echo);
+  return w.Take();
+}
+
+Result<PingRequest> PingRequest::Decode(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  PingRequest m;
+  UTS_ASSIGN_OR_RETURN(m.delay_ms, r.U32());
+  UTS_ASSIGN_OR_RETURN(m.echo, r.U64());
+  return m;
+}
+
+std::vector<std::uint8_t> BindDatasetRequest::Encode() const {
+  PayloadWriter w;
+  w.Str(name);
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.F64(sigma);
+  w.U8(mixed_sigma);
+  w.U64(seed);
+  w.U32(samples_per_point);
+  w.U32(static_cast<std::uint32_t>(series.size()));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    w.U32(static_cast<std::uint32_t>(
+        i < labels.size() ? labels[i] : -1));
+    w.F64Vec(series[i]);
+  }
+  return w.Take();
+}
+
+Result<BindDatasetRequest> BindDatasetRequest::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  BindDatasetRequest m;
+  UTS_ASSIGN_OR_RETURN(m.name, r.Str());
+  UTS_ASSIGN_OR_RETURN(std::uint8_t kind, r.U8());
+  if (kind > static_cast<std::uint8_t>(WireErrorKind::kExponential)) {
+    return Status::Corruption("bind request: unknown error kind");
+  }
+  m.kind = static_cast<WireErrorKind>(kind);
+  UTS_ASSIGN_OR_RETURN(m.sigma, r.F64());
+  UTS_ASSIGN_OR_RETURN(m.mixed_sigma, r.U8());
+  UTS_ASSIGN_OR_RETURN(m.seed, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.samples_per_point, r.U32());
+  UTS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  m.series.reserve(count);
+  m.labels.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    UTS_ASSIGN_OR_RETURN(std::uint32_t label, r.U32());
+    m.labels.push_back(static_cast<std::int32_t>(label));
+    UTS_ASSIGN_OR_RETURN(std::vector<double> values, r.F64Vec());
+    m.series.push_back(std::move(values));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> QueryRequest::Encode() const {
+  PayloadWriter w;
+  w.Str(dataset);
+  w.U8(static_cast<std::uint8_t>(measure));
+  w.U32(query);
+  w.U32(k);
+  w.F64(epsilon);
+  w.F64(tau);
+  w.U32(num_queries);
+  return w.Take();
+}
+
+Result<QueryRequest> QueryRequest::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  QueryRequest m;
+  UTS_ASSIGN_OR_RETURN(m.dataset, r.Str());
+  UTS_ASSIGN_OR_RETURN(std::uint8_t measure, r.U8());
+  if (measure > static_cast<std::uint8_t>(WireMeasure::kMunich)) {
+    return Status::Corruption("query request: unknown measure");
+  }
+  m.measure = static_cast<WireMeasure>(measure);
+  UTS_ASSIGN_OR_RETURN(m.query, r.U32());
+  UTS_ASSIGN_OR_RETURN(m.k, r.U32());
+  UTS_ASSIGN_OR_RETURN(m.epsilon, r.F64());
+  UTS_ASSIGN_OR_RETURN(m.tau, r.F64());
+  UTS_ASSIGN_OR_RETURN(m.num_queries, r.U32());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+WireSearchCost WireSearchCost::From(const index::SearchCost& cost) {
+  WireSearchCost wire;
+  wire.candidates_total = cost.candidates_total;
+  wire.candidates_touched = cost.candidates_touched;
+  wire.pruned_lower_bound = cost.pruned_lower_bound;
+  wire.abandoned_early = cost.abandoned_early;
+  return wire;
+}
+
+void WireSearchCost::EncodeTo(PayloadWriter& writer) const {
+  writer.U64(candidates_total);
+  writer.U64(candidates_touched);
+  writer.U64(pruned_lower_bound);
+  writer.U64(abandoned_early);
+}
+
+Result<WireSearchCost> WireSearchCost::DecodeFrom(PayloadReader& reader) {
+  WireSearchCost cost;
+  UTS_ASSIGN_OR_RETURN(cost.candidates_total, reader.U64());
+  UTS_ASSIGN_OR_RETURN(cost.candidates_touched, reader.U64());
+  UTS_ASSIGN_OR_RETURN(cost.pruned_lower_bound, reader.U64());
+  UTS_ASSIGN_OR_RETURN(cost.abandoned_early, reader.U64());
+  return cost;
+}
+
+std::vector<std::uint8_t> PongResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U64(echo);
+  return w.Take();
+}
+
+Result<PongResponse> PongResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  PongResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.echo, r.U64());
+  return m;
+}
+
+std::vector<std::uint8_t> DatasetListResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U32(static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) w.Str(name);
+  return w.Take();
+}
+
+Result<DatasetListResponse> DatasetListResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  DatasetListResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  m.names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    UTS_ASSIGN_OR_RETURN(std::string name, r.Str());
+    m.names.push_back(std::move(name));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> BindOkResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.Str(name);
+  w.U32(num_series);
+  w.U32(length);
+  return w.Take();
+}
+
+Result<BindOkResponse> BindOkResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  BindOkResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.name, r.Str());
+  UTS_ASSIGN_OR_RETURN(m.num_series, r.U32());
+  UTS_ASSIGN_OR_RETURN(m.length, r.U32());
+  return m;
+}
+
+std::vector<std::uint8_t> KnnResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U32(query);
+  w.U32(static_cast<std::uint32_t>(neighbors.size()));
+  for (const auto& nb : neighbors) {
+    w.U32(static_cast<std::uint32_t>(nb.index));
+    w.F64(nb.distance);
+  }
+  cost.EncodeTo(w);
+  return w.Take();
+}
+
+Result<KnnResponse> KnnResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  KnnResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.query, r.U32());
+  UTS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  m.neighbors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    query::Neighbor nb;
+    UTS_ASSIGN_OR_RETURN(std::uint32_t index, r.U32());
+    nb.index = index;
+    UTS_ASSIGN_OR_RETURN(nb.distance, r.F64());
+    m.neighbors.push_back(nb);
+  }
+  UTS_ASSIGN_OR_RETURN(m.cost, WireSearchCost::DecodeFrom(r));
+  return m;
+}
+
+std::vector<std::uint8_t> IndexListResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U32(static_cast<std::uint32_t>(indices.size()));
+  for (std::uint64_t index : indices) w.U64(index);
+  cost.EncodeTo(w);
+  return w.Take();
+}
+
+Result<IndexListResponse> IndexListResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  IndexListResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  m.indices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    UTS_ASSIGN_OR_RETURN(std::uint64_t index, r.U64());
+    m.indices.push_back(index);
+  }
+  UTS_ASSIGN_OR_RETURN(m.cost, WireSearchCost::DecodeFrom(r));
+  return m;
+}
+
+std::vector<std::uint8_t> SweepResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.F64Vec(values);
+  return w.Take();
+}
+
+Result<SweepResponse> SweepResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  SweepResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.values, r.F64Vec());
+  return m;
+}
+
+std::vector<std::uint8_t> KnnSweepDoneResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U32(num_items);
+  return w.Take();
+}
+
+Result<KnnSweepDoneResponse> KnnSweepDoneResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  KnnSweepDoneResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.num_items, r.U32());
+  return m;
+}
+
+std::vector<std::uint8_t> ErrorResponse::Encode() const {
+  PayloadWriter w;
+  w.U64(request_seq);
+  w.U32(static_cast<std::uint32_t>(code));
+  w.U32(retry_after_ms);
+  w.Str(message);
+  return w.Take();
+}
+
+Result<ErrorResponse> ErrorResponse::Decode(
+    std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  ErrorResponse m;
+  UTS_ASSIGN_OR_RETURN(m.request_seq, r.U64());
+  UTS_ASSIGN_OR_RETURN(std::uint32_t code, r.U32());
+  if (code < 1 || code > 5) {
+    return Status::Corruption("error response: unknown code");
+  }
+  m.code = static_cast<WireError>(code);
+  UTS_ASSIGN_OR_RETURN(m.retry_after_ms, r.U32());
+  UTS_ASSIGN_OR_RETURN(m.message, r.Str());
+  return m;
+}
+
+}  // namespace uts::server

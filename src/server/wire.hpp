@@ -1,0 +1,434 @@
+/// \file wire.hpp
+/// \brief Request/response schemas of the uncertts query server.
+///
+/// One schema struct per message type, each with `Encode`/`Decode` against
+/// the flat payload codec (`PayloadWriter`/`PayloadReader`). The framing
+/// layer (frame.hpp) carries these payloads; docs/PROTOCOL.md is the
+/// normative field-by-field reference and every change here must update it.
+///
+/// Conventions:
+///
+///  * requests carry no sequence of their own beyond the frame header's —
+///    the client numbers its request frames and the server echoes that
+///    number back as `request_seq` in every response it produces for it,
+///    so a client can correlate out-of-order traffic;
+///  * doubles travel as IEEE-754 bit patterns (bit-exact round trip);
+///  * responses that answer a query carry the index-cascade work accounting
+///    (`WireSearchCost`) so clients see candidates touched vs pruned
+///    per request.
+
+#ifndef UTS_SERVER_WIRE_HPP_
+#define UTS_SERVER_WIRE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "index/synopsis_index.hpp"
+#include "query/search.hpp"
+#include "ts/dataset.hpp"
+
+namespace uts::server {
+
+/// \brief Every message type of protocol version 1, grouped by direction.
+enum class MessageType : std::uint8_t {
+  // Control (unsequenced, both directions).
+  kHello = 0x01,     ///< Client opens/resumes a session.
+  kHelloAck = 0x02,  ///< Server confirms the session state.
+  kAck = 0x03,       ///< Client acknowledges received response sequences.
+
+  // Requests (client → server, sequenced by the client).
+  kPing = 0x10,          ///< Liveness probe with optional dispatcher delay.
+  kListDatasets = 0x11,  ///< Names of the resident datasets.
+  kBindDataset = 0x12,   ///< Upload + perturb + make a dataset resident.
+  kKnn = 0x13,           ///< k-nearest-neighbors query.
+  kRange = 0x14,         ///< Range query RQ(Q, C, ε).
+  kPrq = 0x15,           ///< Probabilistic range query PRQ(Q, C, ε, τ).
+  kMeasureSweep = 0x16,  ///< Dense distance/probability sweep of one query.
+  kKnnSweep = 0x17,      ///< Streaming k-NN over a block of queries.
+
+  // Responses (server → client, sequenced by the server per session).
+  kPong = 0x20,          ///< Ping reply.
+  kDatasetList = 0x21,   ///< ListDatasets reply.
+  kBindOk = 0x22,        ///< BindDataset reply.
+  kKnnResult = 0x23,     ///< Knn reply (also each KnnSweep item).
+  kRangeResult = 0x24,   ///< Range reply.
+  kPrqResult = 0x25,     ///< Prq reply.
+  kSweepResult = 0x26,   ///< MeasureSweep reply.
+  kKnnSweepDone = 0x27,  ///< KnnSweep terminator.
+  kError = 0x3f,         ///< Any request failing (also backpressure).
+};
+
+/// \brief Error codes carried by kError responses.
+enum class WireError : std::uint32_t {
+  kBadRequest = 1,   ///< Malformed payload or invalid parameters.
+  kNotFound = 2,     ///< Unknown dataset / query index out of range.
+  kSaturated = 3,    ///< Admission queue full — retry after the hint.
+  kUnavailable = 4,  ///< Dataset not servable by the shared engine.
+  kInternal = 5,     ///< Engine-side failure; message has the Status.
+};
+
+/// \brief Measures a query request can name.
+enum class WireMeasure : std::uint8_t {
+  kEuclid = 0,  ///< Certain Euclidean over the observations.
+  kDust = 1,    ///< DUST distance (pdf model).
+  kProud = 2,   ///< PROUD match probability at ε (constant-σ model).
+  kMunich = 3,  ///< MUNICH match probability at ε (sample model).
+};
+
+/// \brief Error-model families a BindDataset request can name (matches
+/// prob::ErrorKind).
+enum class WireErrorKind : std::uint8_t {
+  kNormal = 0,       ///< Gaussian error.
+  kUniform = 1,      ///< Uniform error.
+  kExponential = 2,  ///< (Shifted) exponential error.
+};
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+/// \brief Append-only little-endian payload builder.
+class PayloadWriter {
+ public:
+  /// Append one byte.
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+
+  /// Append a 32-bit word.
+  void U32(std::uint32_t v);
+
+  /// Append a 64-bit word.
+  void U64(std::uint64_t v);
+
+  /// Append a double as its IEEE-754 bit pattern (bit-exact).
+  void F64(double v);
+
+  /// Append a length-prefixed UTF-8 string.
+  void Str(const std::string& s);
+
+  /// Append a length-prefixed vector of doubles.
+  void F64Vec(const std::vector<double>& v);
+
+  /// Move the built payload out.
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// \brief Bounds-checked reader over a received payload.
+///
+/// Every getter returns Corruption once the payload runs short; decoding is
+/// total — no getter reads past the span.
+class PayloadReader {
+ public:
+  /// Read from `payload` (borrowed; must outlive the reader).
+  explicit PayloadReader(std::span<const std::uint8_t> payload)
+      : data_(payload) {}
+
+  /// Read one byte.
+  Result<std::uint8_t> U8();
+
+  /// Read a 32-bit word.
+  Result<std::uint32_t> U32();
+
+  /// Read a 64-bit word.
+  Result<std::uint64_t> U64();
+
+  /// Read a double from its bit pattern.
+  Result<double> F64();
+
+  /// Read a length-prefixed string.
+  Result<std::string> Str();
+
+  /// Read a length-prefixed vector of doubles.
+  Result<std::vector<double>> F64Vec();
+
+  /// True iff every byte has been consumed.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Control messages (unsequenced)
+// ---------------------------------------------------------------------------
+
+/// \brief Client → server session open/resume.
+struct HelloMessage {
+  /// Client-chosen stable session token; reconnecting with the same token
+  /// resumes the server-side session.
+  std::uint64_t client_token = 0;
+
+  /// Highest response sequence the client has seen (0 on a fresh session);
+  /// the server replays everything after it.
+  std::uint64_t last_seq_seen = 0;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<HelloMessage> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief Server → client handshake confirmation.
+struct HelloAckMessage {
+  /// 1 when an existing session was resumed, 0 when freshly created.
+  std::uint8_t resumed = 0;
+
+  /// Number of buffered response frames replayed right after this ack.
+  std::uint64_t replayed = 0;
+
+  /// Highest response sequence the server has produced for this session.
+  std::uint64_t server_seq = 0;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<HelloAckMessage> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief Client → server cumulative acknowledgment.
+struct AckMessage {
+  /// Every response frame with sequence <= acked_seq may be dropped from
+  /// the server's replay backlog.
+  std::uint64_t acked_seq = 0;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<AckMessage> Decode(std::span<const std::uint8_t> payload);
+};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// \brief Liveness probe; `delay_ms` stalls the dispatcher (testing /
+/// drain-measurement aid).
+struct PingRequest {
+  /// Milliseconds the dispatcher sleeps before answering.
+  std::uint32_t delay_ms = 0;
+
+  /// Opaque value echoed back in the pong.
+  std::uint64_t echo = 0;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<PingRequest> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief Upload an exact dataset; the server perturbs it deterministically
+/// (uncertain::PerturbDataset semantics) and keeps the result resident.
+struct BindDatasetRequest {
+  /// Residency name; re-binding an existing name replaces it.
+  std::string name;
+
+  /// Error family of the injected measurement error.
+  WireErrorKind kind = WireErrorKind::kNormal;
+
+  /// Error std for the constant regime; ignored when `mixed_sigma`.
+  double sigma = 0.5;
+
+  /// 1 = the paper's mixed-σ regime (20% at σ=1.0, 80% at σ=0.4).
+  std::uint8_t mixed_sigma = 0;
+
+  /// Perturbation seed (series i draws with DeriveSeed(seed, i)).
+  std::uint64_t seed = 42;
+
+  /// Repeated observations per timestamp for the MUNICH sample model;
+  /// 0 = no sample-model dataset (MUNICH queries then fail kUnavailable).
+  std::uint32_t samples_per_point = 0;
+
+  /// The exact series values; uniform length required.
+  std::vector<std::vector<double>> series;
+
+  /// Per-series integer labels, parallel to `series`.
+  std::vector<std::int32_t> labels;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<BindDatasetRequest> Decode(
+      std::span<const std::uint8_t> payload);
+};
+
+/// \brief One query against a resident dataset; shared by Knn/Range/Prq/
+/// MeasureSweep/KnnSweep, which use the subset of fields they need.
+struct QueryRequest {
+  /// Resident dataset name.
+  std::string dataset;
+
+  /// Measure the query runs under.
+  WireMeasure measure = WireMeasure::kEuclid;
+
+  /// Query series index (for KnnSweep: the first query of the block).
+  std::uint32_t query = 0;
+
+  /// Neighbors requested (kNN paths).
+  std::uint32_t k = 0;
+
+  /// ε of RQ / PRQ / probability measures.
+  double epsilon = 0.0;
+
+  /// τ of PRQ.
+  double tau = 0.0;
+
+  /// KnnSweep only: number of consecutive queries in the block.
+  std::uint32_t num_queries = 0;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<QueryRequest> Decode(std::span<const std::uint8_t> payload);
+};
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// \brief Work accounting of one answered query (index::SearchCost on the
+/// wire). All zero when the engine did not export cost for the path.
+struct WireSearchCost {
+  std::uint64_t candidates_total = 0;    ///< Eligible rows (self excluded).
+  std::uint64_t candidates_touched = 0;  ///< Rows handed to exact scoring.
+  std::uint64_t pruned_lower_bound = 0;  ///< Rejected by the synopsis bound.
+  std::uint64_t abandoned_early = 0;     ///< Rows cut short by early abandon.
+
+  /// Convert from the engine's accounting struct.
+  static WireSearchCost From(const index::SearchCost& cost);
+
+  /// Append to a payload.
+  void EncodeTo(PayloadWriter& writer) const;
+
+  /// Read from a payload.
+  static Result<WireSearchCost> DecodeFrom(PayloadReader& reader);
+};
+
+/// \brief Ping reply.
+struct PongResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the answered request.
+  std::uint64_t echo = 0;         ///< Echoed PingRequest::echo.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<PongResponse> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief ListDatasets reply.
+struct DatasetListResponse {
+  std::uint64_t request_seq = 0;        ///< Sequence of the answered request.
+  std::vector<std::string> names;       ///< Resident dataset names, sorted.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<DatasetListResponse> Decode(
+      std::span<const std::uint8_t> payload);
+};
+
+/// \brief BindDataset reply.
+struct BindOkResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the answered request.
+  std::string name;               ///< Residency name bound.
+  std::uint32_t num_series = 0;   ///< Series made resident.
+  std::uint32_t length = 0;       ///< Shared series length.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<BindOkResponse> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief Knn reply, and the per-query item of a KnnSweep stream.
+struct KnnResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the answered request.
+  std::uint32_t query = 0;        ///< Query index this list answers.
+  /// Neighbor lists ordered exactly as the engine returned them (ascending
+  /// distance / descending probability, ties by index); `distance` carries
+  /// the probability for the probability measures.
+  std::vector<query::Neighbor> neighbors;
+  WireSearchCost cost;            ///< Work accounting of this query.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<KnnResponse> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief Range / Prq reply (indices ascending, self excluded).
+struct IndexListResponse {
+  std::uint64_t request_seq = 0;      ///< Sequence of the answered request.
+  std::vector<std::uint64_t> indices; ///< Matching series indices.
+  WireSearchCost cost;                ///< Work accounting of this query.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<IndexListResponse> Decode(
+      std::span<const std::uint8_t> payload);
+};
+
+/// \brief MeasureSweep reply: the dense per-candidate vector.
+struct SweepResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the answered request.
+  /// Distance (DUST) or match probability (PROUD/MUNICH) per series index;
+  /// the self slot holds the engine's documented self value.
+  std::vector<double> values;
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<SweepResponse> Decode(std::span<const std::uint8_t> payload);
+};
+
+/// \brief KnnSweep terminator.
+struct KnnSweepDoneResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the answered request.
+  std::uint32_t num_items = 0;    ///< KnnResult frames the sweep produced.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<KnnSweepDoneResponse> Decode(
+      std::span<const std::uint8_t> payload);
+};
+
+/// \brief Failure reply for any request, including backpressure rejections.
+struct ErrorResponse {
+  std::uint64_t request_seq = 0;  ///< Sequence of the failed request.
+  WireError code = WireError::kInternal;  ///< Machine-readable error class.
+  /// kSaturated only: suggested client backoff before retrying.
+  std::uint32_t retry_after_ms = 0;
+  std::string message;            ///< Human-readable diagnostic.
+
+  /// Serialize into a payload.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parse from a payload.
+  static Result<ErrorResponse> Decode(std::span<const std::uint8_t> payload);
+};
+
+}  // namespace uts::server
+
+#endif  // UTS_SERVER_WIRE_HPP_

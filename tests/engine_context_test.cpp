@@ -391,5 +391,83 @@ TEST(EngineContextTest, UnboundMatcherQueriesReturnStatusNotUb) {
   }
 }
 
+TEST(EngineContextTest, ResidencyTableActivatesAndQueriesMultipleDatasets) {
+  const ts::Dataset exact_a = MakeExact(10, 8, 21);
+  const ts::Dataset exact_b = MakeExact(6, 12, 22);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.4);
+
+  EngineContext engines{EngineContextOptions{}};
+  EXPECT_FALSE(engines.HasResident("a"));
+  EXPECT_EQ(engines.active_resident(), nullptr);
+  ASSERT_TRUE(engines
+                  .AddResident("a", uncertain::PerturbDataset(exact_a, spec, 1),
+                               std::nullopt, 1, 0.4)
+                  .ok());
+  ASSERT_TRUE(engines
+                  .AddResident("b", uncertain::PerturbDataset(exact_b, spec, 2),
+                               std::nullopt, 2, 0.4)
+                  .ok());
+  EXPECT_TRUE(engines.HasResident("a"));
+  EXPECT_EQ(engines.ResidentNames(),
+            (std::vector<std::string>{"a", "b"}));
+
+  // Activation routes residents through BindData; each serves queries on
+  // its own data (sweep lengths prove which dataset is live).
+  ASSERT_TRUE(engines.ActivateResident("a").ok());
+  ASSERT_NE(engines.active_resident(), nullptr);
+  EXPECT_EQ(*engines.active_resident(), "a");
+  UncertainEngine* dust_a = engines.AcquireDust(measures::DustOptions{});
+  ASSERT_NE(dust_a, nullptr);
+  EXPECT_EQ(dust_a->DustDistances(0).ValueOrDie().size(), 10u);
+
+  ASSERT_TRUE(engines.ActivateResident("b").ok());
+  UncertainEngine* dust_b = engines.AcquireDust(measures::DustOptions{});
+  ASSERT_NE(dust_b, nullptr);
+  EXPECT_EQ(dust_b->DustDistances(0).ValueOrDie().size(), 6u);
+
+  // Re-activating the already-active resident is dedup'd by the content
+  // fingerprint: no repack.
+  const std::size_t packs_before = engines.stats().pdf_packs;
+  ASSERT_TRUE(engines.ActivateResident("b").ok());
+  EXPECT_EQ(engines.stats().pdf_packs, packs_before);
+  EXPECT_EQ(engines.stats().resident_adds, 2u);
+  EXPECT_GE(engines.stats().resident_activations, 3u);
+
+  // Unknown names fail; dropping clears the active label.
+  EXPECT_FALSE(engines.ActivateResident("zzz").ok());
+  EXPECT_FALSE(engines.DropResident("zzz").ok());
+  ASSERT_TRUE(engines.DropResident("b").ok());
+  EXPECT_EQ(engines.active_resident(), nullptr);
+  EXPECT_FALSE(engines.HasResident("b"));
+  EXPECT_TRUE(engines.HasResident("a"));
+}
+
+TEST(EngineContextTest, ResidentActivationMatchesDirectBindBitwise) {
+  // Queries served through the residency table are bit-identical to binding
+  // the same pdf dataset directly — residency adds routing, never values.
+  const ts::Dataset exact = MakeExact(12, 10, 5);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.5);
+  uncertain::UncertainDataset pdf = uncertain::PerturbDataset(exact, spec, 9);
+
+  EngineContext direct{EngineContextOptions{}};
+  ASSERT_TRUE(direct.BindData(pdf, std::nullopt, 9, 0.5).ok());
+  UncertainEngine* want = direct.AcquireDust(measures::DustOptions{});
+  ASSERT_NE(want, nullptr);
+
+  EngineContext resident{EngineContextOptions{}};
+  ASSERT_TRUE(resident.AddResident("r", pdf, std::nullopt, 9, 0.5).ok());
+  ASSERT_TRUE(resident.ActivateResident("r").ok());
+  UncertainEngine* got = resident.AcquireDust(measures::DustOptions{});
+  ASSERT_NE(got, nullptr);
+
+  for (std::size_t q = 0; q < 3; ++q) {
+    const auto a = want->DustDistances(q);
+    const auto b = got->DustDistances(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.ValueOrDie(), b.ValueOrDie()) << "query " << q;
+  }
+}
+
 }  // namespace
 }  // namespace uts::query

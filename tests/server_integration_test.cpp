@@ -1,0 +1,453 @@
+// End-to-end suite for the uncertts query server (src/server):
+//
+//  * bitwise parity — N concurrent clients querying one server (every
+//    measure: Euclid/DUST/PROUD/MUNICH; kNN, RQ, PRQ, sweeps) receive
+//    responses bit-identical to a directly driven in-process Service/
+//    EngineContext, at shared-pool widths 1, 2 and 8;
+//  * kill-and-reconnect resume — a client killed mid-sweep reconnects with
+//    its last seen sequence and receives the remaining responses from the
+//    session backlog; the Service sweep-item counter pins that nothing is
+//    recomputed;
+//  * admission-control saturation — flooding a busy single-dispatcher
+//    server with a depth-2 queue yields explicit kSaturated rejections
+//    carrying the configured retry hint, never a block or a crash, and a
+//    later retry succeeds;
+//  * multi-dataset residency through the wire (bind two, query both, list).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prob/rng.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "ts/dataset.hpp"
+
+namespace uts::server {
+namespace {
+
+ts::Dataset MakeExact(std::size_t n, std::size_t len, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("server-exact");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian();
+    d.Add(ts::TimeSeries(std::move(values), static_cast<int>(i % 2)));
+  }
+  return d.ZNormalizedCopy();
+}
+
+BindDatasetRequest MakeBind(const std::string& name, const ts::Dataset& exact,
+                            std::uint32_t samples_per_point) {
+  BindDatasetRequest request;
+  request.name = name;
+  request.kind = WireErrorKind::kNormal;
+  request.sigma = 0.4;
+  request.seed = 1234;
+  request.samples_per_point = samples_per_point;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto values = exact[i].values();
+    request.series.emplace_back(values.begin(), values.end());
+    request.labels.push_back(exact[i].label());
+  }
+  return request;
+}
+
+measures::MunichOptions CheapMunich() {
+  measures::MunichOptions options;
+  options.mc_samples = 200;
+  return options;
+}
+
+ServiceOptions MakeServiceOptions(std::size_t threads) {
+  ServiceOptions options;
+  options.threads = threads;
+  options.munich = CheapMunich();
+  return options;
+}
+
+std::string SocketPath(const std::string& tag) {
+  return "/tmp/uts_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+void ExpectSameNeighbors(const std::vector<query::Neighbor>& a,
+                         const std::vector<query::Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << "rank " << i;
+    // EXPECT_EQ on doubles is exact equality: the parity claim is bitwise.
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+TEST(ServerIntegration, ConcurrentClientsBitwiseParityAcrossPoolWidths) {
+  const ts::Dataset exact = MakeExact(12, 32, 99);
+  const BindDatasetRequest bind = MakeBind("d", exact, 3);
+  constexpr std::size_t kClients = 4;
+  constexpr std::uint32_t kK = 4;
+  constexpr double kEpsilon = 5.0;
+  constexpr double kTau = 0.2;
+
+  // The single-width reference: a directly driven Service (a thin layer over
+  // one EngineContext). Every server width below must match it bit for bit.
+  Service reference(MakeServiceOptions(1));
+  ASSERT_TRUE(reference.Bind(bind, 0).ok());
+  struct Expected {
+    KnnResponse euclid, dust, proud, munich;
+    IndexListResponse range_dust, prq_munich;
+    SweepResponse sweep_proud;
+  };
+  std::vector<Expected> expected(kClients);
+  for (std::size_t q = 0; q < kClients; ++q) {
+    QueryRequest query;
+    query.dataset = "d";
+    query.query = static_cast<std::uint32_t>(q);
+    query.k = kK;
+    query.epsilon = kEpsilon;
+    query.tau = kTau;
+    query.measure = WireMeasure::kEuclid;
+    expected[q].euclid = reference.Knn(query, 0).ValueOrDie();
+    query.measure = WireMeasure::kDust;
+    expected[q].dust = reference.Knn(query, 0).ValueOrDie();
+    expected[q].range_dust = reference.Range(query, 0).ValueOrDie();
+    query.measure = WireMeasure::kProud;
+    expected[q].proud = reference.Knn(query, 0).ValueOrDie();
+    expected[q].sweep_proud = reference.MeasureSweep(query, 0).ValueOrDie();
+    query.measure = WireMeasure::kMunich;
+    expected[q].munich = reference.Knn(query, 0).ValueOrDie();
+    expected[q].prq_munich = reference.Prq(query, 0).ValueOrDie();
+  }
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ServerOptions options;
+    options.unix_socket_path =
+        SocketPath("parity" + std::to_string(threads));
+    options.service = MakeServiceOptions(threads);
+    auto server_or = Server::Start(options);
+    ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+    auto server = std::move(server_or).ValueOrDie();
+
+    {
+      Client::Options copts;
+      copts.unix_socket_path = options.unix_socket_path;
+      copts.token = 1000;
+      auto binder = Client::Connect(copts);
+      ASSERT_TRUE(binder.ok()) << binder.status().ToString();
+      auto bound = binder.ValueOrDie()->Bind(bind);
+      ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+      EXPECT_EQ(bound.ValueOrDie().num_series, 12u);
+    }
+
+    std::vector<std::thread> workers;
+    std::vector<std::string> failures(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        Client::Options copts;
+        copts.unix_socket_path = options.unix_socket_path;
+        copts.token = c + 1;
+        auto client_or = Client::Connect(copts);
+        if (!client_or.ok()) {
+          failures[c] = client_or.status().ToString();
+          return;
+        }
+        auto client = std::move(client_or).ValueOrDie();
+        QueryRequest query;
+        query.dataset = "d";
+        query.query = static_cast<std::uint32_t>(c);
+        query.k = kK;
+        query.epsilon = kEpsilon;
+        query.tau = kTau;
+        auto run = [&](WireMeasure m, auto&& call) {
+          query.measure = m;
+          return call();
+        };
+        auto euclid = run(WireMeasure::kEuclid,
+                          [&] { return client->Knn(query); });
+        auto dust = run(WireMeasure::kDust,
+                        [&] { return client->Knn(query); });
+        auto range = run(WireMeasure::kDust,
+                         [&] { return client->Range(query); });
+        auto proud = run(WireMeasure::kProud,
+                         [&] { return client->Knn(query); });
+        auto sweep = run(WireMeasure::kProud,
+                         [&] { return client->MeasureSweep(query); });
+        auto munich = run(WireMeasure::kMunich,
+                          [&] { return client->Knn(query); });
+        auto prq = run(WireMeasure::kMunich,
+                       [&] { return client->Prq(query); });
+        for (const Status& s :
+             {euclid.status(), dust.status(), range.status(), proud.status(),
+              sweep.status(), munich.status(), prq.status()}) {
+          if (!s.ok()) {
+            failures[c] = s.ToString();
+            return;
+          }
+        }
+        ExpectSameNeighbors(euclid.ValueOrDie().neighbors,
+                            expected[c].euclid.neighbors);
+        ExpectSameNeighbors(dust.ValueOrDie().neighbors,
+                            expected[c].dust.neighbors);
+        EXPECT_EQ(range.ValueOrDie().indices,
+                  expected[c].range_dust.indices);
+        ExpectSameNeighbors(proud.ValueOrDie().neighbors,
+                            expected[c].proud.neighbors);
+        EXPECT_EQ(sweep.ValueOrDie().values,
+                  expected[c].sweep_proud.values);
+        ExpectSameNeighbors(munich.ValueOrDie().neighbors,
+                            expected[c].munich.neighbors);
+        EXPECT_EQ(prq.ValueOrDie().indices,
+                  expected[c].prq_munich.indices);
+        // The per-request work accounting travels with every kNN answer.
+        EXPECT_EQ(euclid.ValueOrDie().cost.candidates_total,
+                  expected[c].euclid.cost.candidates_total);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (std::size_t c = 0; c < kClients; ++c) {
+      EXPECT_TRUE(failures[c].empty())
+          << "client " << c << " at " << threads
+          << " threads: " << failures[c];
+    }
+    server->Stop();
+  }
+}
+
+TEST(ServerIntegration, KillAndReconnectResumesSweepWithoutRecompute) {
+  const ts::Dataset exact = MakeExact(10, 24, 7);
+  const BindDatasetRequest bind = MakeBind("r", exact, 0);
+
+  ServerOptions options;
+  options.unix_socket_path = SocketPath("resume");
+  options.service = MakeServiceOptions(1);
+  auto server_or = Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).ValueOrDie();
+
+  Service reference(MakeServiceOptions(1));
+  ASSERT_TRUE(reference.Bind(bind, 0).ok());
+
+  Client::Options copts;
+  copts.unix_socket_path = options.unix_socket_path;
+  copts.token = 7;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).ValueOrDie();
+  ASSERT_TRUE(client->Bind(bind).ok());
+
+  QueryRequest sweep;
+  sweep.dataset = "r";
+  sweep.measure = WireMeasure::kEuclid;
+  sweep.query = 0;
+  sweep.k = 3;
+  sweep.num_queries = 10;
+  ASSERT_TRUE(client->StartKnnSweep(sweep).ok());
+
+  std::map<std::uint32_t, KnnResponse> received;
+  for (int i = 0; i < 3; ++i) {
+    bool done = false;
+    auto item = client->NextSweepItem(&done);
+    ASSERT_TRUE(item.ok()) << item.status().ToString();
+    ASSERT_FALSE(done);
+    received[item.ValueOrDie().query] = item.ValueOrDie();
+  }
+
+  // Kill the connection mid-stream. The dispatcher keeps computing and the
+  // session buffers what it cannot send.
+  client->CloseAbruptly();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server->service().stats().sweep_items < 10) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "sweep did not finish server-side";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::uint64_t computed_before = server->service().stats().sweep_items;
+  EXPECT_EQ(computed_before, 10u);
+
+  // Resume: the server replays only the frames after our last seen
+  // sequence — the remaining 7 items (and the terminator once delivered).
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_EQ(client->hello().resumed, 1);
+  EXPECT_GE(client->hello().replayed, 7u);
+  while (true) {
+    bool done = false;
+    auto item = client->NextSweepItem(&done);
+    ASSERT_TRUE(item.ok()) << item.status().ToString();
+    if (done) break;
+    const bool inserted =
+        received.emplace(item.ValueOrDie().query, item.ValueOrDie()).second;
+    EXPECT_TRUE(inserted) << "duplicate sweep item for query "
+                          << item.ValueOrDie().query;
+  }
+
+  // Everything arrived exactly once, bit-identical to the direct engine —
+  // and the server never recomputed a finished item.
+  ASSERT_EQ(received.size(), 10u);
+  for (std::uint32_t q = 0; q < 10; ++q) {
+    QueryRequest one = sweep;
+    one.query = q;
+    one.num_queries = 0;
+    const KnnResponse expected = reference.Knn(one, 0).ValueOrDie();
+    ASSERT_TRUE(received.count(q));
+    ExpectSameNeighbors(received[q].neighbors, expected.neighbors);
+  }
+  EXPECT_EQ(server->service().stats().sweep_items, computed_before);
+  server->Stop();
+}
+
+TEST(ServerIntegration, SaturationRejectsWithRetryHintInsteadOfBlocking) {
+  ServerOptions options;
+  options.unix_socket_path = SocketPath("saturate");
+  options.queue_depth = 2;
+  options.retry_after_ms = 5;
+  options.service = MakeServiceOptions(1);
+  auto server_or = Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).ValueOrDie();
+
+  // A raw-socket client gives full control over pipelining (the sync Client
+  // would wait for each pong before sending the next ping).
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.unix_socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  HelloMessage hello;
+  hello.client_token = 99;
+  ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
+                                           MessageType::kHello),
+                                       0, hello.Encode()))
+                  .ok());
+  auto hello_ack = ReadFrame(fd);
+  ASSERT_TRUE(hello_ack.ok());
+  ASSERT_EQ(static_cast<MessageType>(hello_ack.ValueOrDie().header.type),
+            MessageType::kHelloAck);
+
+  // Stall the dispatcher, then flood: with the dispatcher busy and a
+  // depth-2 queue, most of the burst must bounce with kSaturated.
+  std::uint64_t seq = 1;
+  PingRequest slow;
+  slow.delay_ms = 300;
+  ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
+                                           MessageType::kPing),
+                                       seq++, slow.Encode()))
+                  .ok());
+  constexpr int kBurst = 20;
+  for (int i = 0; i < kBurst; ++i) {
+    PingRequest fast;
+    ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
+                                             MessageType::kPing),
+                                         seq++, fast.Encode()))
+                    .ok());
+  }
+
+  // Drain until every burst request is answered one way or the other.
+  int pongs = 0;
+  int saturated = 0;
+  while (pongs + saturated < kBurst + 1) {
+    auto frame = ReadFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    const auto type =
+        static_cast<MessageType>(frame.ValueOrDie().header.type);
+    if (type == MessageType::kPong) {
+      ++pongs;
+    } else if (type == MessageType::kError) {
+      auto error = ErrorResponse::Decode(frame.ValueOrDie().payload);
+      ASSERT_TRUE(error.ok());
+      EXPECT_EQ(error.ValueOrDie().code, WireError::kSaturated);
+      EXPECT_EQ(error.ValueOrDie().retry_after_ms, 5u);
+      ++saturated;
+    } else {
+      FAIL() << "unexpected frame type";
+    }
+  }
+  EXPECT_GE(saturated, 1);
+  EXPECT_GE(pongs, 1);  // Admitted requests still complete.
+  EXPECT_GE(server->stats().rejected, 1u);
+
+  // After the storm a retry succeeds: saturation was a soft, retryable
+  // condition, not a wedge.
+  PingRequest retry;
+  retry.echo = 424242;
+  ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
+                                           MessageType::kPing),
+                                       seq++, retry.Encode()))
+                  .ok());
+  auto pong = ReadFrame(fd);
+  ASSERT_TRUE(pong.ok());
+  ASSERT_EQ(static_cast<MessageType>(pong.ValueOrDie().header.type),
+            MessageType::kPong);
+  auto decoded = PongResponse::Decode(pong.ValueOrDie().payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().echo, 424242u);
+
+  ::close(fd);
+  server->Stop();
+}
+
+TEST(ServerIntegration, MultiDatasetResidencyOverTheWire) {
+  const ts::Dataset exact_a = MakeExact(8, 16, 1);
+  const ts::Dataset exact_b = MakeExact(6, 20, 2);
+
+  ServerOptions options;
+  options.unix_socket_path = SocketPath("multi");
+  options.service = MakeServiceOptions(1);
+  auto server_or = Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).ValueOrDie();
+
+  Client::Options copts;
+  copts.unix_socket_path = options.unix_socket_path;
+  copts.token = 5;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok());
+  auto client = std::move(client_or).ValueOrDie();
+
+  ASSERT_TRUE(client->Bind(MakeBind("alpha", exact_a, 0)).ok());
+  ASSERT_TRUE(client->Bind(MakeBind("beta", exact_b, 0)).ok());
+  auto list = client->ListDatasets();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.ValueOrDie().names,
+            (std::vector<std::string>{"alpha", "beta"}));
+
+  // Alternate queries across the two residents; each answers on its own
+  // data (different sizes prove the routing).
+  QueryRequest query;
+  query.measure = WireMeasure::kDust;
+  query.query = 0;
+  query.k = 3;
+  query.dataset = "alpha";
+  auto a = client->Knn(query);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  query.dataset = "beta";
+  auto b = client->Knn(query);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a.ValueOrDie().cost.candidates_total, 7u);
+  EXPECT_EQ(b.ValueOrDie().cost.candidates_total, 5u);
+
+  // Unknown names and bad query indices fail cleanly over the wire.
+  query.dataset = "gamma";
+  auto missing = client->Knn(query);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(client->last_error().code, WireError::kNotFound);
+
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace uts::server

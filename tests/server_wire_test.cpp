@@ -1,0 +1,289 @@
+// Codec suite for the server wire layer (src/server/frame, src/server/wire):
+//
+//  * frame header encode/decode roundtrip, magic/version/size rejection,
+//    and checksum-mismatch detection over a socketpair;
+//  * payload primitive roundtrips, with doubles travelling as IEEE-754 bit
+//    patterns (bit-exact including negative zero and subnormals);
+//  * schema roundtrips for every request/response message, including a
+//    dataset upload whose values survive bit-exactly;
+//  * truncation safety — every decoder returns Corruption, never reads
+//    past the payload.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "server/frame.hpp"
+#include "server/wire.hpp"
+
+namespace uts::server {
+namespace {
+
+TEST(FrameHeader, Roundtrip) {
+  FrameHeader header;
+  header.type = static_cast<std::uint8_t>(MessageType::kKnnResult);
+  header.flags = 0x1234;
+  header.sequence = 0x0102030405060708ULL;
+  header.payload_size = 4096;
+  header.payload_checksum = 0xdeadbeef;
+
+  std::uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(header, buf);
+  Result<FrameHeader> decoded = DecodeFrameHeader(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().type, header.type);
+  EXPECT_EQ(decoded.ValueOrDie().flags, header.flags);
+  EXPECT_EQ(decoded.ValueOrDie().sequence, header.sequence);
+  EXPECT_EQ(decoded.ValueOrDie().payload_size, header.payload_size);
+  EXPECT_EQ(decoded.ValueOrDie().payload_checksum, header.payload_checksum);
+}
+
+TEST(FrameHeader, RejectsBadMagicVersionAndSize) {
+  FrameHeader header;
+  header.payload_size = 16;
+  std::uint8_t buf[kFrameHeaderSize];
+
+  EncodeFrameHeader(header, buf);
+  buf[0] ^= 0xff;  // Corrupt the magic.
+  EXPECT_FALSE(DecodeFrameHeader(buf).ok());
+
+  EncodeFrameHeader(header, buf);
+  buf[4] = 99;  // Unknown protocol version.
+  EXPECT_FALSE(DecodeFrameHeader(buf).ok());
+
+  header.payload_size = FrameHeader::kMaxPayloadSize + 1;
+  EncodeFrameHeader(header, buf);
+  EXPECT_FALSE(DecodeFrameHeader(buf).ok());
+}
+
+TEST(Frame, SocketRoundtripAndChecksumMismatch) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  std::vector<std::uint8_t> payload = {1, 2, 3, 250, 251, 252};
+  Frame sent = MakeFrame(static_cast<std::uint8_t>(MessageType::kPong), 7,
+                         payload);
+  ASSERT_TRUE(WriteFrame(fds[0], sent).ok());
+  Result<Frame> received = ReadFrame(fds[1]);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received.ValueOrDie().header.sequence, 7u);
+  EXPECT_EQ(received.ValueOrDie().payload, payload);
+
+  // Flip one payload byte on the wire: the reader must detect it.
+  Frame bad = MakeFrame(static_cast<std::uint8_t>(MessageType::kPong), 8,
+                        payload);
+  std::uint8_t header_buf[kFrameHeaderSize];
+  EncodeFrameHeader(bad.header, header_buf);
+  ASSERT_EQ(::send(fds[0], header_buf, sizeof(header_buf), 0),
+            static_cast<ssize_t>(sizeof(header_buf)));
+  bad.payload[2] ^= 0x40;
+  ASSERT_EQ(::send(fds[0], bad.payload.data(), bad.payload.size(), 0),
+            static_cast<ssize_t>(bad.payload.size()));
+  Result<Frame> corrupt = ReadFrame(fds[1]);
+  EXPECT_FALSE(corrupt.ok());
+
+  // A closed peer reads as a clean error, not a hang.
+  ::close(fds[0]);
+  EXPECT_FALSE(ReadFrame(fds[1]).ok());
+  ::close(fds[1]);
+}
+
+TEST(PayloadCodec, PrimitivesRoundtripBitExact) {
+  PayloadWriter writer;
+  writer.U8(0xab);
+  writer.U32(0xfeedc0de);
+  writer.U64(0x0123456789abcdefULL);
+  writer.F64(-0.0);
+  writer.F64(std::numeric_limits<double>::denorm_min());
+  writer.F64(1.0 / 3.0);
+  writer.Str("uncertain");
+  writer.F64Vec({1.5, -2.25, 1e-300});
+  const std::vector<std::uint8_t> payload = writer.Take();
+
+  PayloadReader reader(payload);
+  EXPECT_EQ(reader.U8().ValueOrDie(), 0xab);
+  EXPECT_EQ(reader.U32().ValueOrDie(), 0xfeedc0deu);
+  EXPECT_EQ(reader.U64().ValueOrDie(), 0x0123456789abcdefULL);
+  const double neg_zero = reader.F64().ValueOrDie();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(reader.F64().ValueOrDie(),
+            std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(reader.F64().ValueOrDie(), 1.0 / 3.0);
+  EXPECT_EQ(reader.Str().ValueOrDie(), "uncertain");
+  EXPECT_EQ(reader.F64Vec().ValueOrDie(),
+            (std::vector<double>{1.5, -2.25, 1e-300}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(PayloadCodec, TruncationIsCorruptionNotOverread) {
+  PayloadWriter writer;
+  writer.Str("hello");
+  writer.F64Vec({1.0, 2.0});
+  std::vector<std::uint8_t> payload = writer.Take();
+  // Every proper prefix must decode to an error, never crash.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(payload.begin(), payload.begin() + cut);
+    PayloadReader reader(prefix);
+    Result<std::string> s = reader.Str();
+    if (!s.ok()) continue;
+    EXPECT_FALSE(reader.F64Vec().ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireMessages, ControlRoundtrip) {
+  HelloMessage hello;
+  hello.client_token = 42;
+  hello.last_seq_seen = 99;
+  auto hello2 = HelloMessage::Decode(hello.Encode());
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2.ValueOrDie().client_token, 42u);
+  EXPECT_EQ(hello2.ValueOrDie().last_seq_seen, 99u);
+
+  HelloAckMessage ack;
+  ack.resumed = 1;
+  ack.replayed = 3;
+  ack.server_seq = 17;
+  auto ack2 = HelloAckMessage::Decode(ack.Encode());
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_EQ(ack2.ValueOrDie().resumed, 1);
+  EXPECT_EQ(ack2.ValueOrDie().replayed, 3u);
+  EXPECT_EQ(ack2.ValueOrDie().server_seq, 17u);
+
+  AckMessage a;
+  a.acked_seq = 1234;
+  auto a2 = AckMessage::Decode(a.Encode());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2.ValueOrDie().acked_seq, 1234u);
+}
+
+TEST(WireMessages, BindDatasetRoundtripBitExact) {
+  BindDatasetRequest request;
+  request.name = "heartbeats";
+  request.kind = WireErrorKind::kExponential;
+  request.sigma = 0.75;
+  request.mixed_sigma = 1;
+  request.seed = 777;
+  request.samples_per_point = 5;
+  request.series = {{1.0, -0.0, 1e-300}, {0.25, 1.0 / 3.0, -5.5}};
+  request.labels = {3, -1};
+
+  auto decoded = BindDatasetRequest::Decode(request.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const BindDatasetRequest& d = decoded.ValueOrDie();
+  EXPECT_EQ(d.name, request.name);
+  EXPECT_EQ(d.kind, request.kind);
+  EXPECT_EQ(d.sigma, request.sigma);
+  EXPECT_EQ(d.mixed_sigma, request.mixed_sigma);
+  EXPECT_EQ(d.seed, request.seed);
+  EXPECT_EQ(d.samples_per_point, request.samples_per_point);
+  ASSERT_EQ(d.series.size(), request.series.size());
+  for (std::size_t i = 0; i < d.series.size(); ++i) {
+    ASSERT_EQ(d.series[i].size(), request.series[i].size());
+    for (std::size_t j = 0; j < d.series[i].size(); ++j) {
+      // Bit-pattern equality, not numeric closeness.
+      std::uint64_t a, b;
+      std::memcpy(&a, &d.series[i][j], sizeof(a));
+      std::memcpy(&b, &request.series[i][j], sizeof(b));
+      EXPECT_EQ(a, b) << "series " << i << " value " << j;
+    }
+  }
+  EXPECT_EQ(d.labels, request.labels);
+}
+
+TEST(WireMessages, QueryAndResponsesRoundtrip) {
+  QueryRequest query;
+  query.dataset = "d";
+  query.measure = WireMeasure::kMunich;
+  query.query = 9;
+  query.k = 4;
+  query.epsilon = 2.5;
+  query.tau = 0.125;
+  query.num_queries = 16;
+  auto query2 = QueryRequest::Decode(query.Encode());
+  ASSERT_TRUE(query2.ok());
+  EXPECT_EQ(query2.ValueOrDie().dataset, "d");
+  EXPECT_EQ(query2.ValueOrDie().measure, WireMeasure::kMunich);
+  EXPECT_EQ(query2.ValueOrDie().query, 9u);
+  EXPECT_EQ(query2.ValueOrDie().k, 4u);
+  EXPECT_EQ(query2.ValueOrDie().epsilon, 2.5);
+  EXPECT_EQ(query2.ValueOrDie().tau, 0.125);
+  EXPECT_EQ(query2.ValueOrDie().num_queries, 16u);
+
+  KnnResponse knn;
+  knn.request_seq = 5;
+  knn.query = 2;
+  knn.neighbors = {{7, 0.5}, {3, 1.25}};
+  knn.cost.candidates_total = 10;
+  knn.cost.candidates_touched = 6;
+  knn.cost.pruned_lower_bound = 4;
+  knn.cost.abandoned_early = 1;
+  auto knn2 = KnnResponse::Decode(knn.Encode());
+  ASSERT_TRUE(knn2.ok());
+  EXPECT_EQ(knn2.ValueOrDie().request_seq, 5u);
+  EXPECT_EQ(knn2.ValueOrDie().query, 2u);
+  ASSERT_EQ(knn2.ValueOrDie().neighbors.size(), 2u);
+  EXPECT_EQ(knn2.ValueOrDie().neighbors[0].index, 7u);
+  EXPECT_EQ(knn2.ValueOrDie().neighbors[0].distance, 0.5);
+  EXPECT_EQ(knn2.ValueOrDie().neighbors[1].index, 3u);
+  EXPECT_EQ(knn2.ValueOrDie().cost.candidates_total, 10u);
+  EXPECT_EQ(knn2.ValueOrDie().cost.pruned_lower_bound, 4u);
+
+  ErrorResponse error;
+  error.request_seq = 8;
+  error.code = WireError::kSaturated;
+  error.retry_after_ms = 25;
+  error.message = "admission queue full";
+  auto error2 = ErrorResponse::Decode(error.Encode());
+  ASSERT_TRUE(error2.ok());
+  EXPECT_EQ(error2.ValueOrDie().request_seq, 8u);
+  EXPECT_EQ(error2.ValueOrDie().code, WireError::kSaturated);
+  EXPECT_EQ(error2.ValueOrDie().retry_after_ms, 25u);
+  EXPECT_EQ(error2.ValueOrDie().message, "admission queue full");
+
+  IndexListResponse indices;
+  indices.request_seq = 11;
+  indices.indices = {0, 5, 9};
+  auto indices2 = IndexListResponse::Decode(indices.Encode());
+  ASSERT_TRUE(indices2.ok());
+  EXPECT_EQ(indices2.ValueOrDie().indices,
+            (std::vector<std::uint64_t>{0, 5, 9}));
+
+  SweepResponse sweep;
+  sweep.request_seq = 12;
+  sweep.values = {0.0, 0.5, 1.0};
+  auto sweep2 = SweepResponse::Decode(sweep.Encode());
+  ASSERT_TRUE(sweep2.ok());
+  EXPECT_EQ(sweep2.ValueOrDie().values, (std::vector<double>{0.0, 0.5, 1.0}));
+
+  KnnSweepDoneResponse done;
+  done.request_seq = 13;
+  done.num_items = 40;
+  auto done2 = KnnSweepDoneResponse::Decode(done.Encode());
+  ASSERT_TRUE(done2.ok());
+  EXPECT_EQ(done2.ValueOrDie().num_items, 40u);
+}
+
+TEST(WireMessages, DecodersRejectTrailingGarbageEnums) {
+  QueryRequest query;
+  query.measure = WireMeasure::kDust;
+  std::vector<std::uint8_t> payload = query.Encode();
+  // Find the measure byte by decoding a mutated copy: an out-of-range
+  // measure must be rejected rather than cast blindly.
+  bool rejected_somewhere = false;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::vector<std::uint8_t> mutated = payload;
+    mutated[i] = 0x7f;
+    if (!QueryRequest::Decode(mutated).ok()) rejected_somewhere = true;
+  }
+  EXPECT_TRUE(rejected_somewhere);
+}
+
+}  // namespace
+}  // namespace uts::server

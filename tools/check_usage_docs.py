@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate the README command-line reference against the binaries' --help.
+
+The README documents each tool's flags inside a marked block:
+
+    <!-- usage:uncertts_server -->
+    ... flag table ...
+    <!-- /usage:uncertts_server -->
+
+For every such block this script runs ``<bin-dir>/<name> --help``, extracts
+the set of ``--flag`` tokens from both the help output and the block, and
+fails when the sets differ in either direction. That keeps the consolidated
+flags reference honest: adding, removing or renaming a flag without updating
+the README (or documenting a flag the binary does not actually accept) fails
+CI.
+
+Usage:
+    tools/check_usage_docs.py --bin-dir build [--readme README.md]
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+FLAG_RE = re.compile(r"--[a-zA-Z][a-zA-Z0-9-]*")
+BLOCK_RE = re.compile(
+    r"<!--\s*usage:([A-Za-z0-9_]+)\s*-->(.*?)<!--\s*/usage:\1\s*-->",
+    re.DOTALL,
+)
+
+
+def flag_set(text: str) -> set:
+    return set(FLAG_RE.findall(text))
+
+
+def help_output(binary: pathlib.Path) -> str:
+    proc = subprocess.run(
+        [str(binary), "--help"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=30,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{binary} --help exited with {proc.returncode}:\n{proc.stdout}"
+        )
+    return proc.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bin-dir", required=True, help="directory holding the built binaries"
+    )
+    parser.add_argument("--readme", default="README.md")
+    args = parser.parse_args()
+
+    readme = pathlib.Path(args.readme).read_text(encoding="utf-8")
+    blocks = BLOCK_RE.findall(readme)
+    if not blocks:
+        print(f"error: no <!-- usage:NAME --> blocks found in {args.readme}")
+        return 1
+
+    failures = 0
+    for name, block in blocks:
+        binary = pathlib.Path(args.bin_dir) / name
+        if not binary.exists():
+            print(f"FAIL {name}: binary not found at {binary}")
+            failures += 1
+            continue
+        try:
+            documented = flag_set(block)
+            actual = flag_set(help_output(binary))
+        except RuntimeError as err:
+            print(f"FAIL {name}: {err}")
+            failures += 1
+            continue
+        missing = sorted(actual - documented)
+        stale = sorted(documented - actual)
+        if missing or stale:
+            print(f"FAIL {name}: README flag docs out of sync with --help")
+            if missing:
+                print(f"  in --help but not documented: {' '.join(missing)}")
+            if stale:
+                print(f"  documented but not in --help: {' '.join(stale)}")
+            failures += 1
+        else:
+            print(f"OK   {name}: {len(actual)} flags in sync")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

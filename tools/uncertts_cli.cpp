@@ -324,10 +324,12 @@ void PrintUsage() {
       " [--error normal|uniform|exponential] [--sigma X] [--mixed] [--seed S]\n"
       "  uncertts match    --in data.ucr --query I --k N"
       " [--measure euclid|dtw|dust|uma|uema] [--sigma X]\n"
+      "                    [--window N] [--lambda X]  (uma/uema smoothing)\n"
       "                    [--index [--coefficients K]]  (euclid only:\n"
       "                    prune-before-score cascade, identical results;\n"
       "                    reports candidates touched vs pruned)\n"
-      "  uncertts motifs   --in data.ucr --k N\n\n"
+      "  uncertts motifs   --in data.ucr --k N\n"
+      "  uncertts --help   this text\n\n"
       "Any command also accepts --force-scalar: pin the bit-exact scalar\n"
       "kernels instead of the runtime-dispatched SIMD level (equivalent to\n"
       "setting UNCERTTS_FORCE_SCALAR=1 in the environment).\n");

@@ -1,0 +1,295 @@
+/// \file uncertts_client.cpp
+/// \brief `uncertts_client` — command-line client for `uncertts_server`.
+///
+/// Subcommands (each takes the connection flags --socket or --host/--port,
+/// plus --token to name the resumable session):
+///
+///   uncertts_client ping      [--delay-ms N] [--echo V]
+///   uncertts_client datasets
+///   uncertts_client bind      --in data.ucr --name NAME [--error KIND]
+///                             [--sigma X] [--mixed] [--seed S] [--samples N]
+///   uncertts_client knn       --dataset NAME --query I --k N
+///                             [--measure M] [--epsilon X]
+///   uncertts_client range     --dataset NAME --query I --epsilon X
+///                             [--measure M]
+///   uncertts_client prq       --dataset NAME --query I --epsilon X --tau T
+///                             [--measure M]
+///   uncertts_client sweep     --dataset NAME --query I [--measure M]
+///                             [--epsilon X]
+///   uncertts_client knnsweep  --dataset NAME --query I --k N --num-queries N
+///                             [--measure M] [--epsilon X]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "io/ucr_io.hpp"
+#include "server/client.hpp"
+
+using namespace uts;
+
+namespace {
+
+/// Minimal --flag value parser: collects `--key value` pairs and bare flags.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    return Has(key) ? std::strtoull(Get(key).c_str(), nullptr, 10) : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
+  }
+
+  std::string Require(const std::string& key) const {
+    if (!Has(key) || Get(key).empty()) {
+      std::fprintf(stderr, "missing required --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return Get(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void PrintUsage() {
+  std::printf(
+      "uncertts_client — client for the uncertts query daemon\n\n"
+      "  uncertts_client ping      [--delay-ms N] [--echo V]\n"
+      "  uncertts_client datasets\n"
+      "  uncertts_client bind      --in data.ucr --name NAME\n"
+      "                            [--error normal|uniform|exponential]\n"
+      "                            [--sigma X] [--mixed] [--seed S]"
+      " [--samples N]\n"
+      "  uncertts_client knn       --dataset NAME --query I --k N\n"
+      "                            [--measure euclid|dust|proud|munich]"
+      " [--epsilon X]\n"
+      "  uncertts_client range     --dataset NAME --query I --epsilon X\n"
+      "                            [--measure euclid|dust]\n"
+      "  uncertts_client prq       --dataset NAME --query I --epsilon X"
+      " --tau T\n"
+      "                            [--measure proud|munich]\n"
+      "  uncertts_client sweep     --dataset NAME --query I"
+      " [--measure dust|proud|munich]\n"
+      "                            [--epsilon X]\n"
+      "  uncertts_client knnsweep  --dataset NAME --query I --k N"
+      " --num-queries N\n"
+      "                            [--measure euclid|dust|proud|munich]"
+      " [--epsilon X]\n\n"
+      "Connection flags accepted by every subcommand:\n"
+      "  --socket PATH  Unix-domain socket of the server (default\n"
+      "                 /tmp/uncertts.sock)\n"
+      "  --host H       TCP host when --port is given (default 127.0.0.1)\n"
+      "  --port N       TCP port of the server (overrides --socket)\n"
+      "  --token T      stable session token; reconnecting with the same\n"
+      "                 token resumes undelivered responses (default 1)\n"
+      "  --help         this text\n");
+}
+
+server::WireMeasure ParseMeasure(const std::string& name) {
+  if (name == "euclid") return server::WireMeasure::kEuclid;
+  if (name == "dust") return server::WireMeasure::kDust;
+  if (name == "proud") return server::WireMeasure::kProud;
+  if (name == "munich") return server::WireMeasure::kMunich;
+  std::fprintf(stderr, "unknown measure '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+server::WireErrorKind ParseErrorKind(const std::string& name) {
+  if (name == "normal") return server::WireErrorKind::kNormal;
+  if (name == "uniform") return server::WireErrorKind::kUniform;
+  if (name == "exponential") return server::WireErrorKind::kExponential;
+  std::fprintf(stderr, "unknown error kind '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+server::QueryRequest ParseQuery(const Args& args) {
+  server::QueryRequest request;
+  request.dataset = args.Require("dataset");
+  request.measure = ParseMeasure(args.Get("measure", "euclid"));
+  request.query = static_cast<std::uint32_t>(args.GetSize("query", 0));
+  request.k = static_cast<std::uint32_t>(args.GetSize("k", 0));
+  request.epsilon = args.GetDouble("epsilon", 0.0);
+  request.tau = args.GetDouble("tau", 0.0);
+  request.num_queries =
+      static_cast<std::uint32_t>(args.GetSize("num-queries", 0));
+  return request;
+}
+
+void PrintCost(const server::WireSearchCost& cost) {
+  if (cost.candidates_total == 0) return;
+  std::printf("cost: %llu candidates, %llu touched, %llu pruned, "
+              "%llu abandoned\n",
+              static_cast<unsigned long long>(cost.candidates_total),
+              static_cast<unsigned long long>(cost.candidates_touched),
+              static_cast<unsigned long long>(cost.pruned_lower_bound),
+              static_cast<unsigned long long>(cost.abandoned_early));
+}
+
+void PrintNeighbors(const std::vector<query::Neighbor>& neighbors) {
+  core::TextTable table({"rank", "index", "value"});
+  for (std::size_t r = 0; r < neighbors.size(); ++r) {
+    table.AddRow({std::to_string(r + 1), std::to_string(neighbors[r].index),
+                  core::TextTable::Num(neighbors[r].distance, 6)});
+  }
+  table.Print(std::cout);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    PrintUsage();
+    return 0;
+  }
+  const Args args(argc, argv);
+
+  server::Client::Options options;
+  if (args.Has("port")) {
+    options.host = args.Get("host", "127.0.0.1");
+    options.port = static_cast<std::uint16_t>(args.GetSize("port", 0));
+  } else {
+    options.unix_socket_path = args.Get("socket", "/tmp/uncertts.sock");
+  }
+  options.token = args.GetSize("token", 1);
+
+  auto connected = server::Client::Connect(options);
+  if (!connected.ok()) return Fail(connected.status());
+  auto client = std::move(connected).ValueOrDie();
+
+  if (command == "ping") {
+    auto pong = client->Ping(
+        static_cast<std::uint32_t>(args.GetSize("delay-ms", 0)),
+        args.GetSize("echo", 0));
+    if (!pong.ok()) return Fail(pong.status());
+    std::printf("pong (echo=%llu)\n",
+                static_cast<unsigned long long>(pong.ValueOrDie().echo));
+    return 0;
+  }
+
+  if (command == "datasets") {
+    auto list = client->ListDatasets();
+    if (!list.ok()) return Fail(list.status());
+    for (const std::string& name : list.ValueOrDie().names) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "bind") {
+    auto loaded = io::ReadUcrFile(args.Require("in"), "input");
+    if (!loaded.ok()) return Fail(loaded.status());
+    const ts::Dataset& dataset = loaded.ValueOrDie();
+    server::BindDatasetRequest request;
+    request.name = args.Require("name");
+    request.kind = ParseErrorKind(args.Get("error", "normal"));
+    request.sigma = args.GetDouble("sigma", 0.5);
+    request.mixed_sigma = args.Has("mixed") ? 1 : 0;
+    request.seed = args.GetSize("seed", 42);
+    request.samples_per_point =
+        static_cast<std::uint32_t>(args.GetSize("samples", 0));
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      const auto values = dataset[i].values();
+      request.series.emplace_back(values.begin(), values.end());
+      request.labels.push_back(dataset[i].label());
+    }
+    auto bound = client->Bind(request);
+    if (!bound.ok()) return Fail(bound.status());
+    const auto& ok = bound.ValueOrDie();
+    std::printf("bound '%s': %u series of length %u\n", ok.name.c_str(),
+                ok.num_series, ok.length);
+    return 0;
+  }
+
+  if (command == "knn") {
+    auto response = client->Knn(ParseQuery(args));
+    if (!response.ok()) return Fail(response.status());
+    PrintNeighbors(response.ValueOrDie().neighbors);
+    PrintCost(response.ValueOrDie().cost);
+    return 0;
+  }
+
+  if (command == "range" || command == "prq") {
+    const server::QueryRequest request = ParseQuery(args);
+    auto response =
+        command == "range" ? client->Range(request) : client->Prq(request);
+    if (!response.ok()) return Fail(response.status());
+    for (std::uint64_t index : response.ValueOrDie().indices) {
+      std::printf("%llu\n", static_cast<unsigned long long>(index));
+    }
+    PrintCost(response.ValueOrDie().cost);
+    return 0;
+  }
+
+  if (command == "sweep") {
+    auto response = client->MeasureSweep(ParseQuery(args));
+    if (!response.ok()) return Fail(response.status());
+    const auto& values = response.ValueOrDie().values;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("%zu %.17g\n", i, values[i]);
+    }
+    return 0;
+  }
+
+  if (command == "knnsweep") {
+    server::QueryRequest request = ParseQuery(args);
+    if (request.num_queries == 0) {
+      std::fprintf(stderr, "missing required --num-queries\n");
+      return 2;
+    }
+    if (Status s = client->StartKnnSweep(request); !s.ok()) return Fail(s);
+    while (true) {
+      bool done = false;
+      auto item = client->NextSweepItem(&done);
+      if (!item.ok()) return Fail(item.status());
+      if (done) break;
+      std::printf("query %u:\n", item.ValueOrDie().query);
+      PrintNeighbors(item.ValueOrDie().neighbors);
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  PrintUsage();
+  return 2;
+}

@@ -1,0 +1,126 @@
+/// \file uncertts_server.cpp
+/// \brief `uncertts_server` — the long-running uncertain-similarity query
+/// daemon.
+///
+/// Starts one server::Server (one EngineContext, one thread pool, one
+/// dispatcher) on a Unix-domain socket or a loopback TCP port, then waits
+/// for SIGINT/SIGTERM. Clients talk the length-prefixed frame protocol of
+/// docs/PROTOCOL.md; `uncertts_client` is the reference client.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.hpp"
+
+using namespace uts;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "uncertts_server — uncertain time-series query daemon\n\n"
+      "  uncertts_server [--socket PATH | --port N] [--threads N]\n"
+      "                  [--queue-depth N] [--retry-after-ms N]\n"
+      "                  [--max-backlog N] [--mc-samples N] [--force-scalar]\n\n"
+      "  --socket PATH       listen on a Unix-domain socket (default)\n"
+      "  --port N            listen on 127.0.0.1:N instead (0 = ephemeral;\n"
+      "                      the bound port is printed on startup)\n"
+      "  --threads N         worker threads of the shared engine pool\n"
+      "                      (default 1; results are bit-identical at any\n"
+      "                      width)\n"
+      "  --queue-depth N     admission queue capacity; a full queue rejects\n"
+      "                      with a saturation error (default 64)\n"
+      "  --retry-after-ms N  backoff hint carried by saturation rejections\n"
+      "                      (default 50)\n"
+      "  --max-backlog N     per-session cap on buffered unacked response\n"
+      "                      frames (default 4096)\n"
+      "  --mc-samples N      MUNICH Monte Carlo sample count (default 20000)\n"
+      "  --force-scalar      pin the bit-exact scalar kernels instead of the\n"
+      "                      runtime-dispatched SIMD level\n"
+      "  --help              this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  options.unix_socket_path = "/tmp/uncertts.sock";
+  bool tcp = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--socket") {
+      options.unix_socket_path = next();
+      tcp = false;
+    } else if (arg == "--port") {
+      options.tcp_port = static_cast<std::uint16_t>(std::atoi(next()));
+      tcp = true;
+    } else if (arg == "--threads") {
+      options.service.threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--queue-depth") {
+      options.queue_depth = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--retry-after-ms") {
+      options.retry_after_ms =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-backlog") {
+      options.max_backlog_frames = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--mc-samples") {
+      options.service.munich.mc_samples = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--force-scalar") {
+      setenv("UNCERTTS_FORCE_SCALAR", "1", 1);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (tcp) {
+    options.unix_socket_path.clear();
+  }
+
+  // Block the shutdown signals before any thread starts so sigwait below is
+  // the only consumer.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  auto started = server::Server::Start(options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(started).ValueOrDie();
+  if (tcp) {
+    std::printf("uncertts_server listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server->tcp_port()));
+  } else {
+    std::printf("uncertts_server listening on %s\n",
+                server->unix_socket_path().c_str());
+  }
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("received signal %d, shutting down\n", sig);
+  server->Stop();
+  const auto stats = server->stats();
+  std::printf("served %llu connections, %llu admitted, %llu rejected\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}

@@ -118,6 +118,11 @@ EngineContext::~EngineContext() = default;
 
 exec::ThreadPool* EngineContext::pool() {
   if (threads_ <= 1) return nullptr;
+  if (options_.shared_pool != nullptr) {
+    // Borrowed executor: partitioning still follows threads_, so results
+    // match an owned pool of the same width bit for bit.
+    return options_.shared_pool;
+  }
   if (pool_ == nullptr) {
     pool_ = std::make_unique<exec::ThreadPool>(threads_);
     ++stats_.pools_created;

@@ -83,6 +83,14 @@ struct EngineContextOptions {
   /// (default off); results are bitwise identical either way. See
   /// index/synopsis_index.hpp.
   index::IndexOptions index;
+
+  /// Borrowed executor lent to this context instead of an owned pool (the
+  /// server's `--pool-policy=shared` mode: many contexts, one pool). When
+  /// set, `pool()` returns it — `threads` still controls partitioning, so
+  /// results stay bit-identical to an owned pool of the same width — and
+  /// the context never constructs a pool of its own (`pools_created` stays
+  /// 0). The pool must outlive the context. Null = own the pool (default).
+  exec::ThreadPool* shared_pool = nullptr;
 };
 
 /// \brief Owns the shared execution resources of one evaluation run: the

@@ -98,9 +98,11 @@ Status Client::Handshake() {
   HelloMessage hello;
   hello.client_token = options_.token;
   hello.last_seq_seen = last_seq_seen_;
-  UTS_RETURN_NOT_OK(WriteFrame(
-      fd_, MakeFrame(static_cast<std::uint8_t>(MessageType::kHello), 0,
-                     hello.Encode())));
+  UTS_ASSIGN_OR_RETURN(
+      Frame hello_frame,
+      MakeFrame(static_cast<std::uint8_t>(MessageType::kHello), 0,
+                hello.Encode()));
+  UTS_RETURN_NOT_OK(WriteFrame(fd_, hello_frame));
   UTS_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
   if (static_cast<MessageType>(frame.header.type) != MessageType::kHelloAck) {
     return Status::Corruption("handshake: expected HelloAck");
@@ -132,11 +134,14 @@ Status Client::SendRequest(MessageType type, std::vector<std::uint8_t> payload,
   if (fd_ < 0) {
     return Status::IOError("client is not connected");
   }
-  const std::uint64_t seq = next_request_seq_++;
-  UTS_RETURN_NOT_OK(WriteFrame(
-      fd_, MakeFrame(static_cast<std::uint8_t>(type), seq,
-                     std::move(payload))));
-  *seq_out = seq;
+  // Oversize requests (e.g. a dataset upload past the 64 MiB frame cap)
+  // fail here with InvalidArgument before consuming a request sequence or
+  // desynchronizing the stream.
+  UTS_ASSIGN_OR_RETURN(Frame frame,
+                       MakeFrame(static_cast<std::uint8_t>(type),
+                                 next_request_seq_, std::move(payload)));
+  UTS_RETURN_NOT_OK(WriteFrame(fd_, frame));
+  *seq_out = next_request_seq_++;
   return Status::OK();
 }
 
@@ -144,9 +149,9 @@ void Client::SendAck(std::uint64_t seq) {
   AckMessage ack;
   ack.acked_seq = seq;
   // Best effort: a lost ack only means the server buffers a little longer.
-  WriteFrame(fd_, MakeFrame(static_cast<std::uint8_t>(MessageType::kAck), 0,
-                            ack.Encode()))
-      .ok();
+  Result<Frame> frame = MakeFrame(
+      static_cast<std::uint8_t>(MessageType::kAck), 0, ack.Encode());
+  if (frame.ok()) WriteFrame(fd_, frame.ValueOrDie()).ok();
 }
 
 Result<Frame> Client::AwaitResponse(std::uint64_t request_seq) {
@@ -223,10 +228,12 @@ Result<SweepResponse> Client::MeasureSweep(const QueryRequest& request) {
   return SweepResponse::Decode(frame.payload);
 }
 
-Result<PongResponse> Client::Ping(std::uint32_t delay_ms, std::uint64_t echo) {
+Result<PongResponse> Client::Ping(std::uint32_t delay_ms, std::uint64_t echo,
+                                  const std::string& dataset) {
   PingRequest request;
   request.delay_ms = delay_ms;
   request.echo = echo;
+  request.dataset = dataset;
   std::uint64_t seq = 0;
   UTS_RETURN_NOT_OK(SendRequest(MessageType::kPing, request.Encode(), &seq));
   UTS_ASSIGN_OR_RETURN(Frame frame, AwaitResponse(seq));

@@ -85,9 +85,12 @@ class Client {
   /// Dense distance/probability sweep for one query.
   Result<SweepResponse> MeasureSweep(const QueryRequest& request);
 
-  /// Liveness probe; delay_ms > 0 stalls the server's dispatcher (test aid).
+  /// Liveness probe; delay_ms > 0 stalls the targeted shard's dispatcher
+  /// (test aid). `dataset` names the shard to probe; empty = the control
+  /// shard.
   Result<PongResponse> Ping(std::uint32_t delay_ms = 0,
-                            std::uint64_t echo = 0);
+                            std::uint64_t echo = 0,
+                            const std::string& dataset = std::string());
 
   /// Fire a streaming k-NN sweep request (one KnnResult per query follows;
   /// pull them with NextSweepItem).

@@ -48,6 +48,11 @@ Status SendAll(int fd, const std::uint8_t* data, std::size_t size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading. Callers treat the
+        // connection as dead and keep the frame buffered for replay.
+        return Status::IOError("send: timed out (peer not reading)");
+      }
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     if (n == 0) return Status::IOError("send: connection closed");
@@ -116,8 +121,14 @@ Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* in) {
   return header;
 }
 
-Frame MakeFrame(std::uint8_t type, std::uint64_t sequence,
-                std::vector<std::uint8_t> payload) {
+Result<Frame> MakeFrame(std::uint8_t type, std::uint64_t sequence,
+                        std::vector<std::uint8_t> payload) {
+  if (payload.size() > FrameHeader::kMaxPayloadSize) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the protocol maximum of " +
+        std::to_string(FrameHeader::kMaxPayloadSize));
+  }
   Frame frame;
   frame.header.type = type;
   frame.header.sequence = sequence;
@@ -128,6 +139,16 @@ Frame MakeFrame(std::uint8_t type, std::uint64_t sequence,
 }
 
 Status WriteFrame(int fd, const Frame& frame) {
+  // Refuse before any byte hits the socket: a header whose size field lies
+  // about the payload (truncated cast, stale hand-built frame) would
+  // desynchronize every later frame on the connection.
+  if (frame.payload.size() > FrameHeader::kMaxPayloadSize ||
+      frame.header.payload_size != frame.payload.size()) {
+    return Status::InvalidArgument(
+        "frame header declares " + std::to_string(frame.header.payload_size) +
+        " payload bytes but the payload holds " +
+        std::to_string(frame.payload.size()));
+  }
   std::uint8_t header[kFrameHeaderSize];
   EncodeFrameHeader(frame.header, header);
   UTS_RETURN_NOT_OK(SendAll(fd, header, kFrameHeaderSize));

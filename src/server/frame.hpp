@@ -104,11 +104,18 @@ void EncodeFrameHeader(const FrameHeader& header, std::uint8_t* out);
 Result<FrameHeader> DecodeFrameHeader(const std::uint8_t* in);
 
 /// \brief Build a frame: fills in the derived header fields from `payload`.
-Frame MakeFrame(std::uint8_t type, std::uint64_t sequence,
-                std::vector<std::uint8_t> payload);
+/// InvalidArgument when the payload exceeds `FrameHeader::kMaxPayloadSize` —
+/// an oversize payload must never reach the wire, where the 32-bit size
+/// field would truncate while the checksum covers the full buffer,
+/// desynchronizing the stream.
+Result<Frame> MakeFrame(std::uint8_t type, std::uint64_t sequence,
+                        std::vector<std::uint8_t> payload);
 
 /// \brief Write one frame to a socket, looping over partial writes (EINTR
-/// safe, SIGPIPE suppressed). IOError when the peer is gone.
+/// safe, SIGPIPE suppressed). IOError when the peer is gone or a configured
+/// send timeout expires. InvalidArgument — before any byte is sent — when
+/// the frame's payload exceeds the protocol cap or disagrees with its
+/// header's `payload_size` (defense in depth for hand-built frames).
 Status WriteFrame(int fd, const Frame& frame);
 
 /// \brief Read one frame from a socket (blocking), verifying the checksum.

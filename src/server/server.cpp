@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -45,17 +46,27 @@ bool IsRequestType(MessageType type) {
 
 }  // namespace
 
-Server::Server(ServerOptions options)
-    : options_(std::move(options)), service_(options_.service) {}
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(std::move(options)));
+  ServerOptions& resolved = server->options_;
+  // Resolve the worker width once so a shared pool and every shard context
+  // agree on it (EngineContext resolves 0 the same way).
+  if (resolved.service.threads == 0) {
+    resolved.service.threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (resolved.pool_policy == PoolPolicy::kShared &&
+      resolved.service.threads > 1) {
+    server->shared_pool_ =
+        std::make_unique<exec::ThreadPool>(resolved.service.threads);
+    resolved.service.shared_pool = server->shared_pool_.get();
+  }
   UTS_RETURN_NOT_OK(server->Listen());
+  server->ShardFor(std::string());  // The control shard exists from startup.
   server->accept_thread_ = std::thread([raw = server.get()] {
     raw->AcceptLoop();
-  });
-  server->dispatch_thread_ = std::thread([raw = server.get()] {
-    raw->DispatchLoop();
   });
   return server;
 }
@@ -133,9 +144,25 @@ void Server::Stop() {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
-  queue_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  // Collect the shards under the lock: ShardFor refuses to create new ones
+  // once stopping_ is set (checked under the same lock), so this snapshot
+  // is complete and every dispatcher gets joined exactly once.
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards.reserve(shards_.size());
+    for (auto& entry : shards_) shards.push_back(entry.second.get());
+  }
+  for (Shard* shard : shards) {
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mutex);
+    }
+    shard->queue_cv.notify_all();
+  }
+  for (Shard* shard : shards) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
+  }
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -152,6 +179,25 @@ void Server::Stop() {
 Server::Stats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+Service* Server::shard_service(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  auto it = shards_.find(dataset);
+  return it == shards_.end() ? nullptr : it->second->service.get();
+}
+
+Server::ShardStats Server::shard_stats(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  auto it = shards_.find(dataset);
+  if (it == shards_.end()) return ShardStats{};
+  std::lock_guard<std::mutex> stats_lock(it->second->stats_mutex);
+  return it->second->stats;
+}
+
+std::size_t Server::shard_count() const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  return shards_.size();
 }
 
 void Server::AcceptLoop() {
@@ -189,7 +235,8 @@ std::shared_ptr<Session> Server::AttachSession(int fd,
       resumed = true;
     } else {
       session = std::make_shared<Session>(hello.client_token,
-                                          options_.max_backlog_frames);
+                                          options_.max_backlog_frames,
+                                          options_.send_timeout_ms);
       sessions_[hello.client_token] = session;
     }
   }
@@ -199,11 +246,53 @@ std::shared_ptr<Session> Server::AttachSession(int fd,
     // Lost the race with a concurrent overflow: hand out a clean session.
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     session = std::make_shared<Session>(hello.client_token,
-                                        options_.max_backlog_frames);
+                                        options_.max_backlog_frames,
+                                        options_.send_timeout_ms);
     sessions_[hello.client_token] = session;
     *result = session->Attach(fd, 0, false);
   }
   return session;
+}
+
+Server::Shard& Server::ShardFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  auto it = shards_.find(key);
+  if (it != shards_.end()) {
+    return *it->second;
+  }
+  if (stopping_.load()) {
+    // Too late to start a dispatcher Stop() would miss; the control shard
+    // exists from startup and its (already finished) queue absorbs the
+    // request harmlessly.
+    return *shards_.at(std::string());
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->key = key;
+  shard->service = std::make_unique<Service>(options_.service);
+  Shard* raw = shard.get();
+  shards_[key] = std::move(shard);
+  raw->dispatcher = std::thread([this, raw] { DispatchLoop(*raw); });
+  return *raw;
+}
+
+Server::Shard& Server::RouteShard(MessageType type, const std::string& key) {
+  if (key.empty()) {
+    return ShardFor(std::string());
+  }
+  if (type == MessageType::kBindDataset) {
+    // Binds create their dataset's shard on demand.
+    return ShardFor(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    auto it = shards_.find(key);
+    if (it != shards_.end()) {
+      return *it->second;
+    }
+  }
+  // Unknown dataset: the control shard's empty Service produces the
+  // authoritative NotFound without minting a shard per typo.
+  return ShardFor(std::string());
 }
 
 void Server::HandleConnection(int fd) {
@@ -236,17 +325,25 @@ void Server::HandleConnection(int fd) {
       continue;  // Unknown but well-framed traffic: ignore, stay compatible.
     }
 
+    Shard& shard = RouteShard(type, ShardKeyOf(type, frame.payload));
     WorkItem item;
     item.session = session;
     item.type = type;
     item.request_seq = frame.header.sequence;
     item.payload = std::move(frame.payload);
-    if (TryEnqueue(std::move(item))) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.admitted;
-    } else {
+    if (!TryEnqueue(shard, std::move(item))) {
       // Admission control: reject now, unsequenced (the request never
       // entered the response stream, so it must not consume a sequence).
+      // Count before sending, so a client that observes the rejection can
+      // never read a counter that has not seen it yet.
+      {
+        std::lock_guard<std::mutex> lock(shard.stats_mutex);
+        ++shard.stats.rejected;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected;
+      }
       ErrorResponse error;
       error.request_seq = frame.header.sequence;
       error.code = WireError::kSaturated;
@@ -254,8 +351,6 @@ void Server::HandleConnection(int fd) {
       error.message = "admission queue full";
       session->SendControl(static_cast<std::uint8_t>(MessageType::kError),
                            error.Encode());
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected;
     }
   }
   if (session != nullptr) {
@@ -268,28 +363,57 @@ void Server::HandleConnection(int fd) {
   ::close(fd);
 }
 
-bool Server::TryEnqueue(WorkItem item) {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  if (queue_.size() >= options_.queue_depth) {
+bool Server::TryEnqueue(Shard& shard, WorkItem item) {
+  std::lock_guard<std::mutex> lock(shard.queue_mutex);
+  if (shard.queue.size() >= options_.queue_depth) {
     return false;
   }
-  queue_.push_back(std::move(item));
-  queue_cv_.notify_one();
+  if (options_.global_queue_depth > 0) {
+    // Cross-shard budget: claim a slot atomically; the shard dispatcher
+    // releases it when the item leaves the queue.
+    if (queued_total_.fetch_add(1) >= options_.global_queue_depth) {
+      queued_total_.fetch_sub(1);
+      return false;
+    }
+  }
+  // Count before the push makes the item visible: a response can reach the
+  // client the instant the dispatcher sees the queue, and the admission
+  // counters must never lag a client-visible outcome.
+  {
+    std::lock_guard<std::mutex> stats_lock(shard.stats_mutex);
+    ++shard.stats.admitted;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.admitted;
+  }
+  shard.queue.push_back(std::move(item));
+  shard.queue_cv.notify_one();
   return true;
 }
 
-void Server::DispatchLoop() {
+void Server::DispatchLoop(Shard& shard) {
   while (true) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return stopping_.load() || !queue_.empty(); });
+      std::unique_lock<std::mutex> lock(shard.queue_mutex);
+      shard.queue_cv.wait(lock, [this, &shard] {
+        return stopping_.load() || !shard.queue.empty();
+      });
       if (stopping_.load()) return;
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
     }
-    Execute(item);
+    if (options_.global_queue_depth > 0) {
+      queued_total_.fetch_sub(1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.stats_mutex);
+      ++shard.stats.dispatched;
+    }
+    Execute(shard, item);
+    std::lock_guard<std::mutex> lock(shard.stats_mutex);
+    ++shard.stats.completed;
   }
 }
 
@@ -300,11 +424,12 @@ void Server::DeliverError(Session& session, std::uint64_t request_seq,
   error.code = ToWireError(status);
   error.message = status.message();
   session.Deliver(static_cast<std::uint8_t>(MessageType::kError),
-                  error.Encode());
+                  error.Encode(), request_seq);
 }
 
-void Server::Execute(WorkItem& item) {
+void Server::Execute(Shard& shard, WorkItem& item) {
   Session& session = *item.session;
+  Service& service = *shard.service;
   const std::uint64_t seq = item.request_seq;
   switch (item.type) {
     case MessageType::kPing: {
@@ -315,7 +440,8 @@ void Server::Execute(WorkItem& item) {
       }
       const PingRequest& request = request_or.ValueOrDie();
       if (request.delay_ms > 0) {
-        // Test hook: stall the dispatcher to make saturation reproducible.
+        // Test hook: stall this shard's dispatcher to make saturation and
+        // cross-shard independence reproducible.
         std::this_thread::sleep_for(
             std::chrono::milliseconds(request.delay_ms));
       }
@@ -323,13 +449,20 @@ void Server::Execute(WorkItem& item) {
       response.request_seq = seq;
       response.echo = request.echo;
       session.Deliver(static_cast<std::uint8_t>(MessageType::kPong),
-                      response.Encode());
+                      response.Encode(), seq);
       return;
     }
     case MessageType::kListDatasets: {
-      DatasetListResponse response = service_.List(seq);
+      // Aggregated across shards, not asked of this shard's context: each
+      // shard only knows its own residents.
+      DatasetListResponse response;
+      response.request_seq = seq;
+      {
+        std::lock_guard<std::mutex> lock(bound_names_mutex_);
+        response.names.assign(bound_names_.begin(), bound_names_.end());
+      }
       session.Deliver(static_cast<std::uint8_t>(MessageType::kDatasetList),
-                      response.Encode());
+                      response.Encode(), seq);
       return;
     }
     case MessageType::kBindDataset: {
@@ -339,13 +472,17 @@ void Server::Execute(WorkItem& item) {
         DeliverError(session, seq, request_or.status());
         return;
       }
-      Result<BindOkResponse> response = service_.Bind(request_or.ValueOrDie(), seq);
+      Result<BindOkResponse> response = service.Bind(request_or.ValueOrDie(), seq);
       if (!response.ok()) {
         DeliverError(session, seq, response.status());
         return;
       }
+      {
+        std::lock_guard<std::mutex> lock(bound_names_mutex_);
+        bound_names_.insert(response.ValueOrDie().name);
+      }
       session.Deliver(static_cast<std::uint8_t>(MessageType::kBindOk),
-                      response.ValueOrDie().Encode());
+                      response.ValueOrDie().Encode(), seq);
       return;
     }
     case MessageType::kKnn: {
@@ -354,13 +491,13 @@ void Server::Execute(WorkItem& item) {
         DeliverError(session, seq, request_or.status());
         return;
       }
-      Result<KnnResponse> response = service_.Knn(request_or.ValueOrDie(), seq);
+      Result<KnnResponse> response = service.Knn(request_or.ValueOrDie(), seq);
       if (!response.ok()) {
         DeliverError(session, seq, response.status());
         return;
       }
       session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnResult),
-                      response.ValueOrDie().Encode());
+                      response.ValueOrDie().Encode(), seq);
       return;
     }
     case MessageType::kRange:
@@ -372,8 +509,8 @@ void Server::Execute(WorkItem& item) {
       }
       Result<IndexListResponse> response =
           item.type == MessageType::kRange
-              ? service_.Range(request_or.ValueOrDie(), seq)
-              : service_.Prq(request_or.ValueOrDie(), seq);
+              ? service.Range(request_or.ValueOrDie(), seq)
+              : service.Prq(request_or.ValueOrDie(), seq);
       if (!response.ok()) {
         DeliverError(session, seq, response.status());
         return;
@@ -382,7 +519,7 @@ void Server::Execute(WorkItem& item) {
                             ? MessageType::kRangeResult
                             : MessageType::kPrqResult;
       session.Deliver(static_cast<std::uint8_t>(type),
-                      response.ValueOrDie().Encode());
+                      response.ValueOrDie().Encode(), seq);
       return;
     }
     case MessageType::kMeasureSweep: {
@@ -392,13 +529,13 @@ void Server::Execute(WorkItem& item) {
         return;
       }
       Result<SweepResponse> response =
-          service_.MeasureSweep(request_or.ValueOrDie(), seq);
+          service.MeasureSweep(request_or.ValueOrDie(), seq);
       if (!response.ok()) {
         DeliverError(session, seq, response.status());
         return;
       }
       session.Deliver(static_cast<std::uint8_t>(MessageType::kSweepResult),
-                      response.ValueOrDie().Encode());
+                      response.ValueOrDie().Encode(), seq);
       return;
     }
     case MessageType::kKnnSweep: {
@@ -417,21 +554,21 @@ void Server::Execute(WorkItem& item) {
            q < request.query + request.num_queries; ++q) {
         if (stopping_.load()) return;
         single.query = q;
-        Result<KnnResponse> response = service_.Knn(single, seq);
+        Result<KnnResponse> response = service.Knn(single, seq);
         if (!response.ok()) {
           DeliverError(session, seq, response.status());
           return;
         }
-        service_.NoteSweepItem();
+        service.NoteSweepItem();
         session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnResult),
-                        response.ValueOrDie().Encode());
+                        response.ValueOrDie().Encode(), seq);
         ++completed;
       }
       KnnSweepDoneResponse done;
       done.request_seq = seq;
       done.num_items = completed;
       session.Deliver(static_cast<std::uint8_t>(MessageType::kKnnSweepDone),
-                      done.Encode());
+                      done.Encode(), seq);
       return;
     }
     default:

@@ -1,27 +1,45 @@
 /// \file server.hpp
 /// \brief The uncertain-similarity query daemon: listeners, sessions,
-/// admission control, and the single dispatcher thread.
+/// admission control, and the per-dataset shard dispatchers.
 ///
-/// Thread model — three kinds of threads, one shared engine:
+/// Thread model — three kinds of threads, one engine context *per shard*:
 ///
 ///   - The **accept thread** blocks on the listening socket (Unix-domain or
 ///     loopback TCP) and spawns one reader thread per connection.
 ///   - A **reader thread** performs the Hello handshake (resolving the
 ///     client token to a Session, replaying unacked responses), then loops
-///     decoding request frames. Each request is pushed onto a bounded
-///     admission queue; when the queue is full the reader immediately sends
-///     an unsequenced `Error{kSaturated, retry_after_ms}` instead of
-///     blocking — backpressure is explicit, never implicit.
-///   - The **dispatcher thread** drains the admission queue one request at
-///     a time into the `Service`. Serializing here is what preserves the
-///     EngineContext's single-threaded setup rules; parallelism still comes
-///     from *inside* each query, which fans out over the context's shared
-///     `exec::ThreadPool`. Responses therefore stay bitwise identical to
-///     direct in-process engine calls at every pool width.
+///     decoding request frames. Each request is routed by the dataset name
+///     its payload leads with (see ShardKeyOf) and pushed onto that shard's
+///     bounded admission queue; when the shard queue — or the cross-shard
+///     global budget — is full, the reader immediately sends an unsequenced
+///     `Error{kSaturated, retry_after_ms}` instead of blocking —
+///     backpressure is explicit, never implicit.
+///   - One **shard dispatcher thread per resident dataset** drains its
+///     shard's queue one request at a time into the shard's private
+///     `Service` (its own `query::EngineContext`). Serializing per shard is
+///     what preserves each context's single-threaded setup rules, while
+///     requests against *different* datasets now execute concurrently.
+///     Parallelism inside a query still comes from the engines'
+///     deterministic `ParallelFor` partitions, so responses stay bitwise
+///     identical to direct in-process engine calls at every pool width —
+///     and identical across both pool policies.
+///
+/// A distinguished **control shard** (key "") exists from startup: it
+/// answers pings, ListDatasets, and any request whose dataset cannot be
+/// resolved to a shard — its empty Service produces the authoritative
+/// NotFound/InvalidArgument for unknown datasets.
+///
+/// Pool policy: with `kPerShard` every shard's context lazily owns a pool;
+/// with `kShared` the server constructs one `exec::ThreadPool` and lends it
+/// to every shard (EngineContextOptions::shared_pool), bounding worker
+/// threads at `service.threads` regardless of how many datasets are
+/// resident.
 ///
 /// Responses are delivered through the client's Session, which numbers and
 /// buffers them (see session.hpp) so a reconnecting client resumes an
-/// in-flight sweep without the server recomputing finished items.
+/// in-flight sweep without the server recomputing finished items. Session
+/// sequences are per client, not per shard: two shards answering one
+/// client serialize briefly on its session mutex when numbering frames.
 
 #ifndef UTS_SERVER_SERVER_HPP_
 #define UTS_SERVER_SERVER_HPP_
@@ -40,11 +58,26 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "exec/thread_pool.hpp"
 #include "server/service.hpp"
 #include "server/session.hpp"
 #include "server/wire.hpp"
 
 namespace uts::server {
+
+/// \brief How shard engine contexts obtain their worker threads.
+enum class PoolPolicy {
+  /// Every shard's context lazily creates its own `exec::ThreadPool` of
+  /// `service.threads` workers — full isolation, worker count grows with
+  /// the number of resident datasets.
+  kPerShard,
+
+  /// The server constructs one `exec::ThreadPool` of `service.threads`
+  /// workers and lends it to every shard's context — a fixed worker budget
+  /// shared by all datasets. Results are bitwise identical to kPerShard:
+  /// partitioning depends on the configured width, not on pool ownership.
+  kShared,
+};
 
 /// \brief Transport and admission configuration of a Server.
 struct ServerOptions {
@@ -56,9 +89,16 @@ struct ServerOptions {
   /// ephemeral port (read it back with tcp_port()).
   std::uint16_t tcp_port = 0;
 
-  /// Admission queue capacity: requests admitted but not yet dispatched.
-  /// A full queue rejects with Error{kSaturated} instead of blocking.
+  /// Per-shard admission queue capacity: requests admitted but not yet
+  /// dispatched on one shard. A full queue rejects with Error{kSaturated}
+  /// instead of blocking.
   std::size_t queue_depth = 64;
+
+  /// Cross-shard admission budget: total queued requests across every
+  /// shard. A busy shard can therefore starve admission server-wide, which
+  /// bounds memory no matter how many datasets are resident. 0 = no global
+  /// cap (per-shard caps still apply).
+  std::size_t global_queue_depth = 256;
 
   /// Retry hint (milliseconds) carried by saturation rejections.
   std::uint32_t retry_after_ms = 50;
@@ -67,21 +107,40 @@ struct ServerOptions {
   /// the session (see Session).
   std::size_t max_backlog_frames = 4096;
 
-  /// Engine-side configuration handed to the Service.
+  /// Bound on every per-session socket write (SO_SNDTIMEO): a peer that
+  /// stops reading stalls a shard dispatcher for at most this long before
+  /// the connection is marked dead and frames buffer in the session
+  /// backlog. 0 = blocking sends.
+  std::uint32_t send_timeout_ms = 0;
+
+  /// Worker-thread ownership across shards (see PoolPolicy).
+  PoolPolicy pool_policy = PoolPolicy::kPerShard;
+
+  /// Engine-side configuration handed to every shard's Service.
   ServiceOptions service;
 };
 
 /// \brief A running uncertain-similarity query daemon.
 class Server {
  public:
-  /// Admission counters; snapshot via stats().
+  /// Server-wide admission counters; snapshot via stats().
   struct Stats {
     std::uint64_t connections = 0;  ///< Sockets accepted.
     std::uint64_t admitted = 0;     ///< Requests enqueued for dispatch.
     std::uint64_t rejected = 0;     ///< Requests refused with kSaturated.
   };
 
-  /// Bind the listener, then start the accept and dispatcher threads.
+  /// Per-shard work counters; snapshot via shard_stats(). The multi-tenant
+  /// test pins `dispatched` vs `completed` to prove one shard's stalled
+  /// dispatcher does not block another's progress.
+  struct ShardStats {
+    std::uint64_t admitted = 0;    ///< Requests enqueued on this shard.
+    std::uint64_t rejected = 0;    ///< Requests this shard refused.
+    std::uint64_t dispatched = 0;  ///< Requests its dispatcher picked up.
+    std::uint64_t completed = 0;   ///< Requests fully executed.
+  };
+
+  /// Bind the listener, start the accept thread and the control shard.
   static Result<std::unique_ptr<Server>> Start(ServerOptions options);
 
   /// Calls Stop().
@@ -91,7 +150,8 @@ class Server {
   Server& operator=(const Server&) = delete;  ///< Not copyable.
 
   /// Stop accepting, shut down live connections, drain nothing further,
-  /// and join every thread. Idempotent.
+  /// and join every thread (accept, readers, all shard dispatchers).
+  /// Idempotent.
   void Stop();
 
   /// The bound TCP port (meaningful for TCP listeners; resolves port 0).
@@ -102,11 +162,19 @@ class Server {
     return options_.unix_socket_path;
   }
 
-  /// The request executor (tests read its counters and compare against a
-  /// directly driven EngineContext).
-  Service& service() { return service_; }
+  /// The request executor of the shard owning `dataset` ("" = the control
+  /// shard), or null when no such shard exists yet. Tests read its counters
+  /// and compare against a directly driven Service.
+  Service* shard_service(const std::string& dataset);
 
-  /// Admission counter snapshot (thread-safe).
+  /// Work counters of the shard owning `dataset` (thread-safe); zeros when
+  /// no such shard exists.
+  ShardStats shard_stats(const std::string& dataset) const;
+
+  /// Number of shards (including the control shard).
+  std::size_t shard_count() const;
+
+  /// Server-wide admission counter snapshot (thread-safe).
   Stats stats() const;
 
  private:
@@ -116,6 +184,21 @@ class Server {
     MessageType type = MessageType::kPing;
     std::uint64_t request_seq = 0;
     std::vector<std::uint8_t> payload;
+  };
+
+  /// One per-dataset dispatch unit: a private Service (own EngineContext),
+  /// a bounded queue, and the dispatcher thread that drains it.
+  struct Shard {
+    std::string key;                   ///< Dataset name; "" = control.
+    std::unique_ptr<Service> service;  ///< Executor; one context per shard.
+    std::thread dispatcher;            ///< Drains queue into service.
+
+    mutable std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<WorkItem> queue;
+
+    mutable std::mutex stats_mutex;
+    ShardStats stats;
   };
 
   explicit Server(ServerOptions options);
@@ -133,29 +216,45 @@ class Server {
   std::shared_ptr<Session> AttachSession(int fd, const HelloMessage& hello,
                                          Session::AttachResult* result);
 
-  /// Push onto the admission queue; false when full (caller rejects).
-  bool TryEnqueue(WorkItem item);
+  /// The shard a request with this routing key executes on. Binds create
+  /// their dataset's shard on demand; every other request runs on an
+  /// existing shard or falls back to the control shard, whose empty Service
+  /// produces the authoritative NotFound.
+  Shard& RouteShard(MessageType type, const std::string& key);
 
-  /// Dispatcher-loop body: drain the queue into Execute.
-  void DispatchLoop();
+  /// The existing shard for `key`, or the one created for it. Caller must
+  /// not hold shards_mutex_.
+  Shard& ShardFor(const std::string& key);
 
-  /// Decode and run one admitted request, delivering sequenced responses
-  /// (or a sequenced error) through the session.
-  void Execute(WorkItem& item);
+  /// Push onto the shard's admission queue, honoring both the per-shard
+  /// and the cross-shard caps; false when full (caller rejects).
+  bool TryEnqueue(Shard& shard, WorkItem item);
+
+  /// Dispatcher-loop body of one shard: drain its queue into Execute.
+  void DispatchLoop(Shard& shard);
+
+  /// Decode and run one admitted request on `shard`, delivering sequenced
+  /// responses (or a sequenced error) through the session.
+  void Execute(Shard& shard, WorkItem& item);
 
   /// Deliver `status` as a sequenced Error response for `request_seq`.
   void DeliverError(Session& session, std::uint64_t request_seq,
                     const Status& status);
 
   ServerOptions options_;
-  Service service_;
 
-  int listen_fd_ = -1;
+  /// The lent pool of PoolPolicy::kShared (null for kPerShard or
+  /// threads <= 1). Declared before shards_ so it outlives every shard's
+  /// context on destruction.
+  std::unique_ptr<exec::ThreadPool> shared_pool_;
+
+  /// Listening socket; atomic because Stop() shuts it down and resets it
+  /// while the accept thread is still blocked on (and re-reading) it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t tcp_port_ = 0;
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::thread dispatch_thread_;
 
   mutable std::mutex connections_mutex_;
   std::vector<std::thread> connection_threads_;
@@ -164,9 +263,16 @@ class Server {
   mutable std::mutex sessions_mutex_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<WorkItem> queue_;
+  mutable std::mutex shards_mutex_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+
+  /// Requests queued across every shard (cross-shard admission budget).
+  std::atomic<std::size_t> queued_total_{0};
+
+  /// Datasets bound successfully on any shard, for ListDatasets — the
+  /// shard map itself also holds shards whose bind failed.
+  mutable std::mutex bound_names_mutex_;
+  std::set<std::string> bound_names_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

@@ -25,12 +25,37 @@ prob::ErrorKind ToErrorKind(WireErrorKind kind) {
 
 }  // namespace
 
+std::string ShardKeyOf(MessageType type,
+                       std::span<const std::uint8_t> payload) {
+  switch (type) {
+    case MessageType::kBindDataset:
+    case MessageType::kKnn:
+    case MessageType::kRange:
+    case MessageType::kPrq:
+    case MessageType::kMeasureSweep:
+    case MessageType::kKnnSweep: {
+      // Both request schemas lead with the dataset name; peek it without
+      // decoding the rest (bind payloads carry whole datasets).
+      PayloadReader reader(payload);
+      Result<std::string> name = reader.Str();
+      return name.ok() ? name.ValueOrDie() : std::string();
+    }
+    case MessageType::kPing: {
+      Result<PingRequest> ping = PingRequest::Decode(payload);
+      return ping.ok() ? ping.ValueOrDie().dataset : std::string();
+    }
+    default:
+      return std::string();
+  }
+}
+
 Service::Service(ServiceOptions options)
     : options_(options), context_([&options] {
         query::EngineContextOptions context_options;
         context_options.threads = options.threads;
         context_options.simd = options.simd;
         context_options.index = options.index;
+        context_options.shared_pool = options.shared_pool;
         return context_options;
       }()) {}
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "common/result.hpp"
@@ -49,7 +50,24 @@ struct ServiceOptions {
 
   /// MUNICH estimator configuration used for every resident.
   measures::MunichOptions munich;
+
+  /// Borrowed executor handed through to the context
+  /// (EngineContextOptions::shared_pool): the server's `shared` pool policy
+  /// lends one pool to every shard's service. Must be at least `threads`
+  /// wide and outlive the service. Null = the context owns its pool.
+  exec::ThreadPool* shared_pool = nullptr;
 };
+
+/// \brief The dataset a request payload addresses, used to route it to the
+/// per-dataset shard whose dispatcher owns that dataset's EngineContext.
+///
+/// Every dataset-carrying request schema leads with its dataset name
+/// (`BindDatasetRequest::name`, `QueryRequest::dataset`), so routing decodes
+/// only the leading string — not the full payload. Pings route by
+/// `PingRequest::dataset`. Everything else — and any payload too malformed
+/// to yield its leading string — returns "" (the control shard), whose full
+/// decode produces the authoritative error response.
+std::string ShardKeyOf(MessageType type, std::span<const std::uint8_t> payload);
 
 /// \brief Executes wire requests against the shared engine context.
 class Service {

@@ -1,13 +1,19 @@
 #include "server/session.hpp"
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
 #include <utility>
 
 #include "server/wire.hpp"
 
 namespace uts::server {
 
-Session::Session(std::uint64_t token, std::size_t max_backlog_frames)
-    : token_(token), max_backlog_frames_(max_backlog_frames) {}
+Session::Session(std::uint64_t token, std::size_t max_backlog_frames,
+                 std::uint32_t send_timeout_ms)
+    : token_(token),
+      max_backlog_frames_(max_backlog_frames),
+      send_timeout_ms_(send_timeout_ms) {}
 
 Session::AttachResult Session::Attach(int fd, std::uint64_t last_seq_seen,
                                       bool resumed) {
@@ -17,6 +23,15 @@ Session::AttachResult Session::Attach(int fd, std::uint64_t last_seq_seen,
   if (poisoned_) {
     result.poisoned = true;
     return result;
+  }
+  // Bound every write on this connection: a peer that stops draining its
+  // receive buffer must stall at most one timeout, never the delivering
+  // dispatcher forever (frames stay in the backlog for the next Attach).
+  if (send_timeout_ms_ > 0) {
+    timeval tv;
+    tv.tv_sec = send_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(send_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   // The client's cumulative receipt doubles as an ack.
   while (!backlog_.empty() && backlog_.front().header.sequence <= last_seq_seen) {
@@ -33,7 +48,8 @@ Session::AttachResult Session::Attach(int fd, std::uint64_t last_seq_seen,
   ack.server_seq = result.server_seq;
   TryWriteLocked(
       MakeFrame(static_cast<std::uint8_t>(MessageType::kHelloAck), 0,
-                ack.Encode()));
+                ack.Encode())
+          .ValueOrDie());
   for (const Frame& frame : backlog_) {
     if (!write_ok_) break;
     TryWriteLocked(frame);
@@ -52,7 +68,8 @@ void Session::Detach(int fd) {
 }
 
 std::uint64_t Session::Deliver(std::uint8_t type,
-                               std::vector<std::uint8_t> payload) {
+                               std::vector<std::uint8_t> payload,
+                               std::uint64_t request_seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (poisoned_) return 0;
   if (backlog_.size() >= max_backlog_frames_) {
@@ -61,8 +78,19 @@ std::uint64_t Session::Deliver(std::uint8_t type,
     backlog_.clear();
     return 0;
   }
+  if (payload.size() > FrameHeader::kMaxPayloadSize) {
+    // The response cannot travel; answer with a sequenced error so the
+    // client is not left waiting on a frame that can never be framed.
+    ErrorResponse error;
+    error.request_seq = request_seq;
+    error.code = WireError::kInternal;
+    error.message = "response payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the frame-size cap";
+    type = static_cast<std::uint8_t>(MessageType::kError);
+    payload = error.Encode();
+  }
   const std::uint64_t seq = next_seq_++;
-  backlog_.push_back(MakeFrame(type, seq, std::move(payload)));
+  backlog_.push_back(MakeFrame(type, seq, std::move(payload)).ValueOrDie());
   TryWriteLocked(backlog_.back());
   return seq;
 }
@@ -70,7 +98,9 @@ std::uint64_t Session::Deliver(std::uint8_t type,
 void Session::SendControl(std::uint8_t type, std::vector<std::uint8_t> payload) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0 || !write_ok_) return;
-  TryWriteLocked(MakeFrame(type, 0, std::move(payload)));
+  Result<Frame> frame = MakeFrame(type, 0, std::move(payload));
+  if (!frame.ok()) return;  // Control payloads are tiny; cannot happen.
+  TryWriteLocked(frame.ValueOrDie());
 }
 
 void Session::HandleAck(std::uint64_t acked_seq) {
@@ -93,7 +123,8 @@ bool Session::poisoned() const {
 void Session::TryWriteLocked(const Frame& frame) {
   if (fd_ < 0 || !write_ok_) return;
   if (!WriteFrame(fd_, frame).ok()) {
-    // Peer is gone; keep the frame buffered and wait for the reconnect.
+    // Peer is gone or stopped reading (send timeout); keep the frame
+    // buffered and wait for the reconnect.
     write_ok_ = false;
   }
 }

@@ -39,7 +39,13 @@ class Session {
  public:
   /// Create a session for `token`; the backlog keeps at most
   /// `max_backlog_frames` unacked frames before the session poisons.
-  Session(std::uint64_t token, std::size_t max_backlog_frames);
+  /// `send_timeout_ms` bounds every socket write (SO_SNDTIMEO, set at
+  /// Attach): a peer that stops reading makes the write time out, the
+  /// connection is marked dead and frames keep accumulating in the backlog
+  /// instead of blocking the delivering dispatcher. 0 = no timeout
+  /// (blocking sends, the pre-hardening behavior).
+  Session(std::uint64_t token, std::size_t max_backlog_frames,
+          std::uint32_t send_timeout_ms = 0);
 
   /// The client token this session belongs to.
   std::uint64_t token() const { return token_; }
@@ -68,8 +74,11 @@ class Session {
 
   /// Number a response frame, append it to the backlog and attempt to send
   /// it. Returns the assigned sequence (0 when the session is poisoned and
-  /// the frame was dropped).
-  std::uint64_t Deliver(std::uint8_t type, std::vector<std::uint8_t> payload);
+  /// the frame was dropped). A payload beyond the frame-size cap is
+  /// replaced by a sequenced `Error{kInternal}` for `request_seq` — the
+  /// client gets a well-formed answer instead of a desynchronized stream.
+  std::uint64_t Deliver(std::uint8_t type, std::vector<std::uint8_t> payload,
+                        std::uint64_t request_seq = 0);
 
   /// Send an unsequenced control frame (HelloAck, backpressure errors) on
   /// the live connection, bypassing the backlog. No-op when detached.
@@ -91,6 +100,7 @@ class Session {
 
   const std::uint64_t token_;
   const std::size_t max_backlog_frames_;
+  const std::uint32_t send_timeout_ms_;
 
   mutable std::mutex mutex_;
   int fd_ = -1;                 ///< Live write side; -1 when detached.

@@ -144,6 +144,7 @@ std::vector<std::uint8_t> PingRequest::Encode() const {
   PayloadWriter w;
   w.U32(delay_ms);
   w.U64(echo);
+  w.Str(dataset);
   return w.Take();
 }
 
@@ -152,6 +153,7 @@ Result<PingRequest> PingRequest::Decode(std::span<const std::uint8_t> payload) {
   PingRequest m;
   UTS_ASSIGN_OR_RETURN(m.delay_ms, r.U32());
   UTS_ASSIGN_OR_RETURN(m.echo, r.U64());
+  UTS_ASSIGN_OR_RETURN(m.dataset, r.Str());
   return m;
 }
 

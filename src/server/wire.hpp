@@ -221,6 +221,11 @@ struct PingRequest {
   /// Opaque value echoed back in the pong.
   std::uint64_t echo = 0;
 
+  /// Dataset whose shard dispatcher should answer (and, with `delay_ms`,
+  /// stall). Empty targets the control shard, preserving the pre-sharding
+  /// behavior.
+  std::string dataset;
+
   /// Serialize into a payload.
   std::vector<std::uint8_t> Encode() const;
 

@@ -19,6 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstddef>
 #include <optional>
 #include <vector>
@@ -29,6 +32,9 @@
 #include "prob/rng.hpp"
 #include "query/engine_context.hpp"
 #include "query/uncertain_engine.hpp"
+#include "server/frame.hpp"
+#include "server/session.hpp"
+#include "server/wire.hpp"
 #include "uncertain/error_spec.hpp"
 #include "uncertain/perturb.hpp"
 
@@ -467,6 +473,134 @@ TEST(EngineContextTest, ResidentActivationMatchesDirectBindBitwise) {
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.ValueOrDie(), b.ValueOrDie()) << "query " << q;
   }
+}
+
+TEST(EngineContextTest, DropActiveResidentClearsLabelButKeepsEnginesUsable) {
+  // Dropping the resident that is currently bound removes the name from the
+  // table and clears the active label — but the binding owns copies, so
+  // engines acquired before the drop keep answering, bitwise unchanged.
+  const ts::Dataset exact = MakeExact(10, 8, 31);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.4);
+
+  EngineContext engines{EngineContextOptions{}};
+  ASSERT_TRUE(engines
+                  .AddResident("live", uncertain::PerturbDataset(exact, spec, 1),
+                               std::nullopt, 1, 0.4)
+                  .ok());
+  ASSERT_TRUE(engines.ActivateResident("live").ok());
+  UncertainEngine* dust = engines.AcquireDust(measures::DustOptions{});
+  ASSERT_NE(dust, nullptr);
+  const auto before = dust->DustDistances(0);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(engines.DropResident("live").ok());
+  EXPECT_EQ(engines.active_resident(), nullptr);
+  EXPECT_FALSE(engines.HasResident("live"));
+
+  // The bound engine outlives the table entry: same pointer, same answers.
+  EXPECT_EQ(engines.AcquireDust(measures::DustOptions{}), dust);
+  const auto after = dust->DustDistances(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie(), before.ValueOrDie());
+}
+
+TEST(EngineContextTest, ReAddSameNameRebindsOnIdenticalDataRebuildsOnNew) {
+  // Re-AddResident under an existing name replaces the stored entry.
+  // Activation then goes through BindData's content fingerprint: identical
+  // bytes keep the pack and engines (a rebind hit), different bytes repack.
+  const ts::Dataset exact = MakeExact(12, 6, 33);
+  const auto spec = uncertain::ErrorSpec::Constant(ErrorKind::kNormal, 0.5);
+
+  EngineContext engines{EngineContextOptions{}};
+  ASSERT_TRUE(engines
+                  .AddResident("r", uncertain::PerturbDataset(exact, spec, 5),
+                               std::nullopt, 5, 0.5)
+                  .ok());
+  ASSERT_TRUE(engines.ActivateResident("r").ok());
+  ASSERT_NE(engines.AcquireDust(measures::DustOptions{}), nullptr);
+  EXPECT_EQ(engines.stats().data_binds, 1u);
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+
+  // Same name, bit-identical data (same exact dataset, spec and seed):
+  // rebind, not rebuild.
+  ASSERT_TRUE(engines
+                  .AddResident("r", uncertain::PerturbDataset(exact, spec, 5),
+                               std::nullopt, 5, 0.5)
+                  .ok());
+  ASSERT_TRUE(engines.ActivateResident("r").ok());
+  EXPECT_EQ(engines.stats().data_binds, 1u);
+  EXPECT_EQ(engines.stats().data_rebind_hits, 1u);
+  EXPECT_EQ(engines.stats().pdf_packs, 1u);
+
+  // Same name, different perturbation seed: the fingerprint differs, so the
+  // activation replaces the binding and packs the new data.
+  ASSERT_TRUE(engines
+                  .AddResident("r", uncertain::PerturbDataset(exact, spec, 6),
+                               std::nullopt, 6, 0.5)
+                  .ok());
+  ASSERT_TRUE(engines.ActivateResident("r").ok());
+  ASSERT_NE(engines.AcquireDust(measures::DustOptions{}), nullptr);
+  EXPECT_EQ(engines.stats().data_binds, 2u);
+  EXPECT_EQ(engines.stats().data_rebind_hits, 1u);
+  EXPECT_EQ(engines.stats().pdf_packs, 2u);
+  EXPECT_EQ(engines.stats().resident_adds, 3u);
+  EXPECT_EQ(engines.stats().resident_activations, 3u);
+}
+
+TEST(EngineContextTest, SessionAttachReplaysOnlyFramesPastPartialAck) {
+  // The resumable-session half of the residency story: a client that acked
+  // part of the stream, died, and reconnects claiming a later receipt gets
+  // exactly the unseen tail — nothing recomputed, nothing duplicated.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  server::Session session(7, 64);
+  const auto first = session.Attach(sv[0], 0, false);
+  EXPECT_EQ(first.replayed, 0u);
+  EXPECT_FALSE(first.poisoned);
+
+  const std::uint8_t kType =
+      static_cast<std::uint8_t>(server::MessageType::kPong);
+  EXPECT_EQ(session.Deliver(kType, {0x01}, 1), 1u);
+  EXPECT_EQ(session.Deliver(kType, {0x02}, 2), 2u);
+  EXPECT_EQ(session.Deliver(kType, {0x03}, 3), 3u);
+  EXPECT_EQ(session.BacklogSize(), 3u);
+
+  // Partial ack: frame 1 is released, 2 and 3 stay retained.
+  session.HandleAck(1);
+  EXPECT_EQ(session.BacklogSize(), 2u);
+
+  session.Detach(sv[0]);
+  close(sv[0]);
+  close(sv[1]);
+
+  // Reconnect claiming receipt through sequence 2 — the receipt doubles as
+  // a cumulative ack, so only frame 3 is replayed.
+  int fresh[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fresh), 0);
+  const auto resumed = session.Attach(fresh[0], 2, true);
+  EXPECT_EQ(resumed.replayed, 1u);
+  EXPECT_EQ(resumed.server_seq, 3u);
+  EXPECT_FALSE(resumed.poisoned);
+  EXPECT_EQ(session.BacklogSize(), 1u);
+
+  // On the wire: the HelloAck control frame, then frame 3 verbatim.
+  auto hello = server::ReadFrame(fresh[1]);
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_EQ(hello.ValueOrDie().header.type,
+            static_cast<std::uint8_t>(server::MessageType::kHelloAck));
+  auto tail = server::ReadFrame(fresh[1]);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(tail.ValueOrDie().header.sequence, 3u);
+  EXPECT_EQ(tail.ValueOrDie().payload, (std::vector<std::uint8_t>{0x03}));
+
+  // A full ack drains the backlog.
+  session.HandleAck(3);
+  EXPECT_EQ(session.BacklogSize(), 0u);
+
+  session.Detach(fresh[0]);
+  close(fresh[0]);
+  close(fresh[1]);
 }
 
 }  // namespace

@@ -8,11 +8,17 @@
 //    its last seen sequence and receives the remaining responses from the
 //    session backlog; the Service sweep-item counter pins that nothing is
 //    recomputed;
-//  * admission-control saturation — flooding a busy single-dispatcher
-//    server with a depth-2 queue yields explicit kSaturated rejections
-//    carrying the configured retry hint, never a block or a crash, and a
-//    later retry succeeds;
-//  * multi-dataset residency through the wire (bind two, query both, list).
+//  * admission-control saturation — flooding a busy shard dispatcher with
+//    a depth-2 queue yields explicit kSaturated rejections carrying the
+//    configured retry hint, never a block or a crash, and a later retry
+//    succeeds;
+//  * multi-dataset residency through the wire (bind two, query both, list);
+//  * stalled-peer hardening — a client that stops reading its socket stalls
+//    a dispatcher for at most send_timeout_ms; responses buffer in the
+//    session backlog and replay on reconnect.
+//
+// Cross-shard behavior (per-dataset dispatchers, pool policies, global
+// admission) lives in server_shard_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +26,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -30,6 +37,7 @@
 #include "prob/rng.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "server/session.hpp"
 #include "ts/dataset.hpp"
 
 namespace uts::server {
@@ -266,12 +274,14 @@ TEST(ServerIntegration, KillAndReconnectResumesSweepWithoutRecompute) {
   client->CloseAbruptly();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (server->service().stats().sweep_items < 10) {
+  Service* shard_service = server->shard_service("r");
+  ASSERT_NE(shard_service, nullptr);
+  while (shard_service->stats().sweep_items < 10) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << "sweep did not finish server-side";
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  const std::uint64_t computed_before = server->service().stats().sweep_items;
+  const std::uint64_t computed_before = shard_service->stats().sweep_items;
   EXPECT_EQ(computed_before, 10u);
 
   // Resume: the server replays only the frames after our last seen
@@ -301,7 +311,7 @@ TEST(ServerIntegration, KillAndReconnectResumesSweepWithoutRecompute) {
     ASSERT_TRUE(received.count(q));
     ExpectSameNeighbors(received[q].neighbors, expected.neighbors);
   }
-  EXPECT_EQ(server->service().stats().sweep_items, computed_before);
+  EXPECT_EQ(shard_service->stats().sweep_items, computed_before);
   server->Stop();
 }
 
@@ -331,7 +341,8 @@ TEST(ServerIntegration, SaturationRejectsWithRetryHintInsteadOfBlocking) {
   hello.client_token = 99;
   ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
                                            MessageType::kHello),
-                                       0, hello.Encode()))
+                                       0, hello.Encode())
+                                 .ValueOrDie())
                   .ok());
   auto hello_ack = ReadFrame(fd);
   ASSERT_TRUE(hello_ack.ok());
@@ -345,14 +356,16 @@ TEST(ServerIntegration, SaturationRejectsWithRetryHintInsteadOfBlocking) {
   slow.delay_ms = 300;
   ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
                                            MessageType::kPing),
-                                       seq++, slow.Encode()))
+                                       seq++, slow.Encode())
+                                 .ValueOrDie())
                   .ok());
   constexpr int kBurst = 20;
   for (int i = 0; i < kBurst; ++i) {
     PingRequest fast;
     ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
                                              MessageType::kPing),
-                                         seq++, fast.Encode()))
+                                         seq++, fast.Encode())
+                                   .ValueOrDie())
                     .ok());
   }
 
@@ -386,7 +399,8 @@ TEST(ServerIntegration, SaturationRejectsWithRetryHintInsteadOfBlocking) {
   retry.echo = 424242;
   ASSERT_TRUE(WriteFrame(fd, MakeFrame(static_cast<std::uint8_t>(
                                            MessageType::kPing),
-                                       seq++, retry.Encode()))
+                                       seq++, retry.Encode())
+                                 .ValueOrDie())
                   .ok());
   auto pong = ReadFrame(fd);
   ASSERT_TRUE(pong.ok());
@@ -398,6 +412,64 @@ TEST(ServerIntegration, SaturationRejectsWithRetryHintInsteadOfBlocking) {
 
   ::close(fd);
   server->Stop();
+}
+
+TEST(ServerIntegration, StalledPeerTimesOutDeliveryAndReplaysOnReconnect) {
+  // A peer that stops reading its socket must stall delivery for at most
+  // one send timeout — not block the delivering dispatcher forever. The
+  // frames stay in the session backlog and replay on the next Attach.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the pair's buffers so a handful of frames fills them.
+  const int small = 8 * 1024;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  Session session(42, /*max_backlog_frames=*/1024, /*send_timeout_ms=*/50);
+  session.Attach(fds[0], 0, false);
+
+  // Deliver well past the socket buffering without ever reading fds[1].
+  // Before the timeout hardening this loop blocked inside send() forever.
+  const std::vector<std::uint8_t> payload(64 * 1024, 0xaa);
+  constexpr std::uint64_t kFrames = 32;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t last_seq = 0;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    last_seq = session.Deliver(
+        static_cast<std::uint8_t>(MessageType::kSweepResult), payload, i + 1);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Every frame was numbered and retained; the stall cost at most roughly
+  // one timeout (after it fires, the connection is dead and later Delivers
+  // do not touch the socket at all).
+  EXPECT_EQ(last_seq, kFrames);
+  EXPECT_FALSE(session.poisoned());
+  EXPECT_GT(session.BacklogSize(), 0u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // Reconnect on a fresh socket: Attach replays the full retained tail.
+  int fresh[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fresh), 0);
+  std::uint64_t highest_seen = 0;
+  std::thread drain([&] {
+    std::uint64_t frames_seen = 0;
+    while (frames_seen < kFrames + 1) {  // HelloAck + the replayed tail.
+      Result<Frame> frame = ReadFrame(fresh[1]);
+      if (!frame.ok()) break;
+      ++frames_seen;
+      highest_seen = std::max(highest_seen, frame.ValueOrDie().header.sequence);
+    }
+  });
+  const Session::AttachResult attach = session.Attach(fresh[0], 0, true);
+  drain.join();
+  EXPECT_EQ(attach.replayed, kFrames);
+  EXPECT_EQ(highest_seen, kFrames);
+  ::close(fresh[0]);
+  ::close(fresh[1]);
 }
 
 TEST(ServerIntegration, MultiDatasetResidencyOverTheWire) {

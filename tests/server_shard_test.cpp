@@ -1,0 +1,417 @@
+// Multi-tenant suite for the sharded dispatch tier (src/server/server):
+//
+//  * bitwise parity under sharding — two clients pinned to different
+//    datasets query one server concurrently; every response is
+//    bit-identical to directly driven per-dataset reference Services, at
+//    worker widths 1, 2 and 8, under BOTH pool policies (per-shard pools
+//    and one shared pool lent to all shards);
+//  * pool-policy accounting — `shared` constructs exactly one ThreadPool
+//    no matter how many datasets are resident; `per-shard` builds one per
+//    queried shard;
+//  * cross-shard progress — a deliberately stalled shard dispatcher (shard-
+//    targeted ping with a delay) does not stop another shard's dispatcher
+//    from completing queries, pinned via the per-shard dispatch counters;
+//  * cross-shard admission — the global queue budget rejects with
+//    kSaturated (carrying the retry hint) even when the target shard is
+//    idle, and a later retry succeeds.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "prob/rng.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "ts/dataset.hpp"
+
+namespace uts::server {
+namespace {
+
+ts::Dataset MakeExact(std::size_t n, std::size_t len, std::uint64_t seed) {
+  prob::Rng rng(seed);
+  ts::Dataset d("shard-exact");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian();
+    d.Add(ts::TimeSeries(std::move(values), static_cast<int>(i % 2)));
+  }
+  return d.ZNormalizedCopy();
+}
+
+BindDatasetRequest MakeBind(const std::string& name, const ts::Dataset& exact,
+                            std::uint32_t samples_per_point) {
+  BindDatasetRequest request;
+  request.name = name;
+  request.kind = WireErrorKind::kNormal;
+  request.sigma = 0.4;
+  request.seed = 1234;
+  request.samples_per_point = samples_per_point;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto values = exact[i].values();
+    request.series.emplace_back(values.begin(), values.end());
+    request.labels.push_back(exact[i].label());
+  }
+  return request;
+}
+
+ServiceOptions MakeServiceOptions(std::size_t threads) {
+  ServiceOptions options;
+  options.threads = threads;
+  options.munich.mc_samples = 200;
+  return options;
+}
+
+std::string SocketPath(const std::string& tag) {
+  return "/tmp/uts_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+void ExpectSameNeighbors(const std::vector<query::Neighbor>& a,
+                         const std::vector<query::Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << "rank " << i;
+    // EXPECT_EQ on doubles is exact equality: the parity claim is bitwise.
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+/// Everything one tenant expects for its dataset, computed on a directly
+/// driven single-width Service holding only that dataset (exactly what the
+/// dataset's shard holds).
+struct TenantExpected {
+  KnnResponse euclid, dust, munich;
+  IndexListResponse range_dust;
+  SweepResponse sweep_proud;
+};
+
+QueryRequest TenantQuery(const std::string& dataset) {
+  QueryRequest query;
+  query.dataset = dataset;
+  query.query = 1;
+  query.k = 4;
+  query.epsilon = 5.0;
+  query.tau = 0.2;
+  return query;
+}
+
+TenantExpected ComputeExpected(const BindDatasetRequest& bind) {
+  Service reference(MakeServiceOptions(1));
+  EXPECT_TRUE(reference.Bind(bind, 0).ok());
+  QueryRequest query = TenantQuery(bind.name);
+  TenantExpected expected;
+  query.measure = WireMeasure::kEuclid;
+  expected.euclid = reference.Knn(query, 0).ValueOrDie();
+  query.measure = WireMeasure::kDust;
+  expected.dust = reference.Knn(query, 0).ValueOrDie();
+  expected.range_dust = reference.Range(query, 0).ValueOrDie();
+  query.measure = WireMeasure::kProud;
+  expected.sweep_proud = reference.MeasureSweep(query, 0).ValueOrDie();
+  query.measure = WireMeasure::kMunich;
+  expected.munich = reference.Knn(query, 0).ValueOrDie();
+  return expected;
+}
+
+/// One tenant's whole wire conversation: query its dataset with every
+/// measure and pin the responses bitwise against the reference.
+void RunTenant(const std::string& socket, std::uint64_t token,
+               const std::string& dataset, const TenantExpected& expected,
+               std::string* failure) {
+  Client::Options copts;
+  copts.unix_socket_path = socket;
+  copts.token = token;
+  auto client_or = Client::Connect(copts);
+  if (!client_or.ok()) {
+    *failure = client_or.status().ToString();
+    return;
+  }
+  auto client = std::move(client_or).ValueOrDie();
+  QueryRequest query = TenantQuery(dataset);
+  query.measure = WireMeasure::kEuclid;
+  auto euclid = client->Knn(query);
+  query.measure = WireMeasure::kDust;
+  auto dust = client->Knn(query);
+  auto range = client->Range(query);
+  query.measure = WireMeasure::kProud;
+  auto sweep = client->MeasureSweep(query);
+  query.measure = WireMeasure::kMunich;
+  auto munich = client->Knn(query);
+  for (const Status& s : {euclid.status(), dust.status(), range.status(),
+                          sweep.status(), munich.status()}) {
+    if (!s.ok()) {
+      *failure = s.ToString();
+      return;
+    }
+  }
+  ExpectSameNeighbors(euclid.ValueOrDie().neighbors,
+                      expected.euclid.neighbors);
+  ExpectSameNeighbors(dust.ValueOrDie().neighbors, expected.dust.neighbors);
+  EXPECT_EQ(range.ValueOrDie().indices, expected.range_dust.indices);
+  EXPECT_EQ(sweep.ValueOrDie().values, expected.sweep_proud.values);
+  ExpectSameNeighbors(munich.ValueOrDie().neighbors,
+                      expected.munich.neighbors);
+  // The per-request work accounting travels per shard.
+  EXPECT_EQ(euclid.ValueOrDie().cost.candidates_total,
+            expected.euclid.cost.candidates_total);
+}
+
+TEST(ServerShard, TwoTenantsBitwiseParityAcrossWidthsAndPoolPolicies) {
+  const ts::Dataset exact_a = MakeExact(12, 32, 99);
+  const ts::Dataset exact_b = MakeExact(9, 24, 4242);
+  const BindDatasetRequest bind_a = MakeBind("a", exact_a, 3);
+  const BindDatasetRequest bind_b = MakeBind("b", exact_b, 3);
+  const TenantExpected expected_a = ComputeExpected(bind_a);
+  const TenantExpected expected_b = ComputeExpected(bind_b);
+
+  for (PoolPolicy policy : {PoolPolicy::kPerShard, PoolPolicy::kShared}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      ServerOptions options;
+      options.unix_socket_path = SocketPath(
+          "shardparity" + std::to_string(threads) +
+          (policy == PoolPolicy::kShared ? "s" : "p"));
+      options.pool_policy = policy;
+      options.service = MakeServiceOptions(threads);
+      auto server_or = Server::Start(options);
+      ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+      auto server = std::move(server_or).ValueOrDie();
+
+      {
+        Client::Options copts;
+        copts.unix_socket_path = options.unix_socket_path;
+        copts.token = 1000;
+        auto binder = Client::Connect(copts);
+        ASSERT_TRUE(binder.ok()) << binder.status().ToString();
+        ASSERT_TRUE(binder.ValueOrDie()->Bind(bind_a).ok());
+        ASSERT_TRUE(binder.ValueOrDie()->Bind(bind_b).ok());
+        auto list = binder.ValueOrDie()->ListDatasets();
+        ASSERT_TRUE(list.ok());
+        EXPECT_EQ(list.ValueOrDie().names,
+                  (std::vector<std::string>{"a", "b"}));
+      }
+      EXPECT_EQ(server->shard_count(), 3u);  // control + "a" + "b".
+
+      // Two tenants pinned to different datasets, concurrently.
+      std::string failure_a, failure_b;
+      std::thread tenant_a([&] {
+        RunTenant(options.unix_socket_path, 1, "a", expected_a, &failure_a);
+      });
+      std::thread tenant_b([&] {
+        RunTenant(options.unix_socket_path, 2, "b", expected_b, &failure_b);
+      });
+      tenant_a.join();
+      tenant_b.join();
+      EXPECT_TRUE(failure_a.empty())
+          << "tenant a, " << threads << " threads: " << failure_a;
+      EXPECT_TRUE(failure_b.empty())
+          << "tenant b, " << threads << " threads: " << failure_b;
+
+      // Each tenant's work was dispatched by its own shard.
+      EXPECT_GE(server->shard_stats("a").completed, 5u);
+      EXPECT_GE(server->shard_stats("b").completed, 5u);
+      server->Stop();
+    }
+  }
+}
+
+TEST(ServerShard, SharedPoolPolicyConstructsExactlyOnePool) {
+  const ts::Dataset exact = MakeExact(8, 16, 5);
+  const BindDatasetRequest bind_a = MakeBind("a", exact, 0);
+  const BindDatasetRequest bind_b = MakeBind("b", exact, 0);
+  QueryRequest query = TenantQuery("a");
+  query.measure = WireMeasure::kDust;
+
+  for (PoolPolicy policy : {PoolPolicy::kShared, PoolPolicy::kPerShard}) {
+    ServerOptions options;
+    options.unix_socket_path = SocketPath(
+        policy == PoolPolicy::kShared ? "onepool" : "npools");
+    options.pool_policy = policy;
+    options.service = MakeServiceOptions(4);
+    const std::size_t pools_before = exec::ThreadPool::TotalCreated();
+    auto server_or = Server::Start(options);
+    ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+    auto server = std::move(server_or).ValueOrDie();
+
+    Client::Options copts;
+    copts.unix_socket_path = options.unix_socket_path;
+    copts.token = 3;
+    auto client_or = Client::Connect(copts);
+    ASSERT_TRUE(client_or.ok());
+    auto client = std::move(client_or).ValueOrDie();
+    ASSERT_TRUE(client->Bind(bind_a).ok());
+    ASSERT_TRUE(client->Bind(bind_b).ok());
+    query.dataset = "a";
+    ASSERT_TRUE(client->Knn(query).ok());
+    query.dataset = "b";
+    ASSERT_TRUE(client->Knn(query).ok());
+    server->Stop();
+
+    const std::size_t pools = exec::ThreadPool::TotalCreated() - pools_before;
+    if (policy == PoolPolicy::kShared) {
+      // One pool for the whole server; the shard contexts borrow it and
+      // never construct their own.
+      EXPECT_EQ(pools, 1u);
+      EXPECT_EQ(server->shard_service("a")->context().stats().pools_created,
+                0u);
+      EXPECT_EQ(server->shard_service("b")->context().stats().pools_created,
+                0u);
+    } else {
+      // One lazily built pool per shard that actually ran a parallel query.
+      EXPECT_EQ(pools, 2u);
+      EXPECT_EQ(server->shard_service("a")->context().stats().pools_created,
+                1u);
+      EXPECT_EQ(server->shard_service("b")->context().stats().pools_created,
+                1u);
+    }
+  }
+}
+
+TEST(ServerShard, StalledShardDoesNotBlockAnotherShardsProgress) {
+  const ts::Dataset exact = MakeExact(8, 16, 6);
+  const BindDatasetRequest bind_a = MakeBind("a", exact, 0);
+  const BindDatasetRequest bind_b = MakeBind("b", exact, 0);
+
+  ServerOptions options;
+  options.unix_socket_path = SocketPath("stall");
+  options.service = MakeServiceOptions(1);
+  auto server_or = Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).ValueOrDie();
+
+  Client::Options copts;
+  copts.unix_socket_path = options.unix_socket_path;
+  copts.token = 11;
+  auto setup_or = Client::Connect(copts);
+  ASSERT_TRUE(setup_or.ok());
+  ASSERT_TRUE(setup_or.ValueOrDie()->Bind(bind_a).ok());
+  ASSERT_TRUE(setup_or.ValueOrDie()->Bind(bind_b).ok());
+
+  // Stall shard "a"'s dispatcher with a shard-targeted delayed ping (the
+  // sync client blocks on the pong, so it runs on its own thread).
+  const std::uint64_t dispatched_before = server->shard_stats("a").dispatched;
+  std::thread staller([&] {
+    Client::Options sopts;
+    sopts.unix_socket_path = options.unix_socket_path;
+    sopts.token = 12;
+    auto client_or = Client::Connect(sopts);
+    ASSERT_TRUE(client_or.ok());
+    EXPECT_TRUE(client_or.ValueOrDie()->Ping(1500, 0, "a").ok());
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server->shard_stats("a").dispatched == dispatched_before) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stall ping never dispatched";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Server::ShardStats stalled = server->shard_stats("a");
+  EXPECT_EQ(stalled.completed, stalled.dispatched - 1);
+
+  // Shard "b" makes progress while "a" sleeps.
+  Client::Options bopts;
+  bopts.unix_socket_path = options.unix_socket_path;
+  bopts.token = 13;
+  auto b_or = Client::Connect(bopts);
+  ASSERT_TRUE(b_or.ok());
+  QueryRequest query = TenantQuery("b");
+  query.measure = WireMeasure::kEuclid;
+  for (int i = 0; i < 3; ++i) {
+    auto knn = b_or.ValueOrDie()->Knn(query);
+    ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  }
+  EXPECT_GE(server->shard_stats("b").completed, 3u);
+  // Shard "a" is still inside its stall: nothing new completed there.
+  EXPECT_EQ(server->shard_stats("a").completed, stalled.completed);
+
+  staller.join();
+  server->Stop();
+}
+
+TEST(ServerShard, GlobalAdmissionBudgetRejectsAcrossShards) {
+  const ts::Dataset exact = MakeExact(6, 12, 8);
+  const BindDatasetRequest bind_a = MakeBind("a", exact, 0);
+  const BindDatasetRequest bind_b = MakeBind("b", exact, 0);
+
+  ServerOptions options;
+  options.unix_socket_path = SocketPath("globaladm");
+  options.global_queue_depth = 1;
+  options.retry_after_ms = 7;
+  options.service = MakeServiceOptions(1);
+  auto server_or = Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).ValueOrDie();
+
+  Client::Options copts;
+  copts.unix_socket_path = options.unix_socket_path;
+  copts.token = 21;
+  auto setup_or = Client::Connect(copts);
+  ASSERT_TRUE(setup_or.ok());
+  ASSERT_TRUE(setup_or.ValueOrDie()->Bind(bind_a).ok());
+  ASSERT_TRUE(setup_or.ValueOrDie()->Bind(bind_b).ok());
+
+  // The binds above already count toward shard "a"'s admitted/dispatched
+  // totals, so every wait below is relative to these baselines.
+  const std::uint64_t admitted_before = server->shard_stats("a").admitted;
+  const std::uint64_t dispatched_before = server->shard_stats("a").dispatched;
+
+  // Occupy shard "a": one ping executing (stalling the dispatcher), one
+  // queued behind it holding the single global admission slot.
+  std::thread stall_a([&] {
+    Client::Options sopts;
+    sopts.unix_socket_path = options.unix_socket_path;
+    sopts.token = 22;
+    auto client_or = Client::Connect(sopts);
+    ASSERT_TRUE(client_or.ok());
+    EXPECT_TRUE(client_or.ValueOrDie()->Ping(1500, 1, "a").ok());
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server->shard_stats("a").dispatched < dispatched_before + 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stall ping never dispatched";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread queue_a([&] {
+    Client::Options sopts;
+    sopts.unix_socket_path = options.unix_socket_path;
+    sopts.token = 23;
+    auto client_or = Client::Connect(sopts);
+    ASSERT_TRUE(client_or.ok());
+    EXPECT_TRUE(client_or.ValueOrDie()->Ping(0, 2, "a").ok());
+  });
+  while (server->shard_stats("a").admitted < admitted_before + 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "second ping never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Shard "b" is completely idle, yet the global budget (1, held by the
+  // request queued on "a") rejects admission — with the retry hint.
+  Client::Options bopts;
+  bopts.unix_socket_path = options.unix_socket_path;
+  bopts.token = 24;
+  auto b_or = Client::Connect(bopts);
+  ASSERT_TRUE(b_or.ok());
+  auto rejected = b_or.ValueOrDie()->Ping(0, 3, "b");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(b_or.ValueOrDie()->last_error().code, WireError::kSaturated);
+  EXPECT_EQ(b_or.ValueOrDie()->last_error().retry_after_ms, 7u);
+  EXPECT_GE(server->shard_stats("b").rejected, 1u);
+
+  // Saturation is soft: once the stall drains, the same request succeeds.
+  stall_a.join();
+  queue_a.join();
+  auto retry = b_or.ValueOrDie()->Ping(0, 4, "b");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.ValueOrDie().echo, 4u);
+
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace uts::server

@@ -68,7 +68,8 @@ TEST(Frame, SocketRoundtripAndChecksumMismatch) {
 
   std::vector<std::uint8_t> payload = {1, 2, 3, 250, 251, 252};
   Frame sent = MakeFrame(static_cast<std::uint8_t>(MessageType::kPong), 7,
-                         payload);
+                         payload)
+                   .ValueOrDie();
   ASSERT_TRUE(WriteFrame(fds[0], sent).ok());
   Result<Frame> received = ReadFrame(fds[1]);
   ASSERT_TRUE(received.ok()) << received.status().ToString();
@@ -77,7 +78,8 @@ TEST(Frame, SocketRoundtripAndChecksumMismatch) {
 
   // Flip one payload byte on the wire: the reader must detect it.
   Frame bad = MakeFrame(static_cast<std::uint8_t>(MessageType::kPong), 8,
-                        payload);
+                        payload)
+                  .ValueOrDie();
   std::uint8_t header_buf[kFrameHeaderSize];
   EncodeFrameHeader(bad.header, header_buf);
   ASSERT_EQ(::send(fds[0], header_buf, sizeof(header_buf), 0),
@@ -89,6 +91,40 @@ TEST(Frame, SocketRoundtripAndChecksumMismatch) {
   EXPECT_FALSE(corrupt.ok());
 
   // A closed peer reads as a clean error, not a hang.
+  ::close(fds[0]);
+  EXPECT_FALSE(ReadFrame(fds[1]).ok());
+  ::close(fds[1]);
+}
+
+TEST(Frame, OversizePayloadIsRejectedBeforeTheWire) {
+  // Regression: MakeFrame used to cast payload.size() to the u32 header
+  // field unchecked — one byte past the cap truncated the size while the
+  // checksum covered the full buffer, desynchronizing the stream.
+  std::vector<std::uint8_t> oversize(FrameHeader::kMaxPayloadSize + 1, 0x5a);
+  Result<Frame> too_big = MakeFrame(
+      static_cast<std::uint8_t>(MessageType::kSweepResult), 1, oversize);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+
+  // Exactly at the cap is legal.
+  std::vector<std::uint8_t> at_cap(FrameHeader::kMaxPayloadSize, 0x5a);
+  EXPECT_TRUE(MakeFrame(static_cast<std::uint8_t>(MessageType::kSweepResult),
+                        1, std::move(at_cap))
+                  .ok());
+
+  // Defense in depth: a hand-built frame whose header lies about the
+  // payload size must be refused before any byte reaches the socket.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame lying = MakeFrame(static_cast<std::uint8_t>(MessageType::kPong), 2,
+                          {1, 2, 3})
+                    .ValueOrDie();
+  lying.header.payload_size = 2;  // Disagrees with payload.size() == 3.
+  Status refused = WriteFrame(fds[0], lying);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  // Nothing was sent: the peer sees a clean EOF after close, not a
+  // truncated header.
   ::close(fds[0]);
   EXPECT_FALSE(ReadFrame(fds[1]).ok());
   ::close(fds[1]);
@@ -268,6 +304,18 @@ TEST(WireMessages, QueryAndResponsesRoundtrip) {
   auto done2 = KnnSweepDoneResponse::Decode(done.Encode());
   ASSERT_TRUE(done2.ok());
   EXPECT_EQ(done2.ValueOrDie().num_items, 40u);
+}
+
+TEST(WireMessages, PingRoundtripCarriesShardTarget) {
+  PingRequest ping;
+  ping.delay_ms = 250;
+  ping.echo = 0xabcdef;
+  ping.dataset = "shard-a";
+  auto ping2 = PingRequest::Decode(ping.Encode());
+  ASSERT_TRUE(ping2.ok());
+  EXPECT_EQ(ping2.ValueOrDie().delay_ms, 250u);
+  EXPECT_EQ(ping2.ValueOrDie().echo, 0xabcdefu);
+  EXPECT_EQ(ping2.ValueOrDie().dataset, "shard-a");
 }
 
 TEST(WireMessages, DecodersRejectTrailingGarbageEnums) {

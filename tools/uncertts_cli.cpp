@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "checked_parse.hpp"
 #include "core/report.hpp"
 #include "datagen/registry.hpp"
 #include "distance/dtw.hpp"
@@ -78,11 +79,21 @@ class Args {
   }
 
   std::size_t GetSize(const std::string& key, std::size_t fallback) const {
-    return Has(key) ? std::strtoull(Get(key).c_str(), nullptr, 10) : fallback;
+    if (!Has(key)) return fallback;
+    std::size_t value = 0;
+    if (!tools::ParseSize(("--" + key).c_str(), Get(key).c_str(), &value)) {
+      std::exit(2);
+    }
+    return value;
   }
 
   double GetDouble(const std::string& key, double fallback) const {
-    return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
+    if (!Has(key)) return fallback;
+    double value = 0.0;
+    if (!tools::ParseDouble(("--" + key).c_str(), Get(key).c_str(), &value)) {
+      std::exit(2);
+    }
+    return value;
   }
 
   std::string Require(const std::string& key) const {

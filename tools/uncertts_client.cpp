@@ -4,7 +4,7 @@
 /// Subcommands (each takes the connection flags --socket or --host/--port,
 /// plus --token to name the resumable session):
 ///
-///   uncertts_client ping      [--delay-ms N] [--echo V]
+///   uncertts_client ping      [--delay-ms N] [--echo V] [--dataset NAME]
 ///   uncertts_client datasets
 ///   uncertts_client bind      --in data.ucr --name NAME [--error KIND]
 ///                             [--sigma X] [--mixed] [--seed S] [--samples N]
@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "checked_parse.hpp"
 #include "core/report.hpp"
 #include "io/ucr_io.hpp"
 #include "server/client.hpp"
@@ -63,11 +64,30 @@ class Args {
   }
 
   std::size_t GetSize(const std::string& key, std::size_t fallback) const {
-    return Has(key) ? std::strtoull(Get(key).c_str(), nullptr, 10) : fallback;
+    if (!Has(key)) return fallback;
+    std::size_t value = 0;
+    if (!tools::ParseSize(("--" + key).c_str(), Get(key).c_str(), &value)) {
+      std::exit(2);
+    }
+    return value;
   }
 
   double GetDouble(const std::string& key, double fallback) const {
-    return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
+    if (!Has(key)) return fallback;
+    double value = 0.0;
+    if (!tools::ParseDouble(("--" + key).c_str(), Get(key).c_str(), &value)) {
+      std::exit(2);
+    }
+    return value;
+  }
+
+  std::uint16_t GetPort(const std::string& key, std::uint16_t fallback) const {
+    if (!Has(key)) return fallback;
+    std::uint16_t value = 0;
+    if (!tools::ParsePort(("--" + key).c_str(), Get(key).c_str(), &value)) {
+      std::exit(2);
+    }
+    return value;
   }
 
   std::string Require(const std::string& key) const {
@@ -85,7 +105,8 @@ class Args {
 void PrintUsage() {
   std::printf(
       "uncertts_client — client for the uncertts query daemon\n\n"
-      "  uncertts_client ping      [--delay-ms N] [--echo V]\n"
+      "  uncertts_client ping      [--delay-ms N] [--echo V]"
+      " [--dataset NAME]\n"
       "  uncertts_client datasets\n"
       "  uncertts_client bind      --in data.ucr --name NAME\n"
       "                            [--error normal|uniform|exponential]\n"
@@ -187,7 +208,7 @@ int main(int argc, char** argv) {
   server::Client::Options options;
   if (args.Has("port")) {
     options.host = args.Get("host", "127.0.0.1");
-    options.port = static_cast<std::uint16_t>(args.GetSize("port", 0));
+    options.port = args.GetPort("port", 0);
   } else {
     options.unix_socket_path = args.Get("socket", "/tmp/uncertts.sock");
   }
@@ -200,7 +221,7 @@ int main(int argc, char** argv) {
   if (command == "ping") {
     auto pong = client->Ping(
         static_cast<std::uint32_t>(args.GetSize("delay-ms", 0)),
-        args.GetSize("echo", 0));
+        args.GetSize("echo", 0), args.Get("dataset", ""));
     if (!pong.ok()) return Fail(pong.status());
     std::printf("pong (echo=%llu)\n",
                 static_cast<unsigned long long>(pong.ValueOrDie().echo));

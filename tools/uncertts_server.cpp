@@ -2,10 +2,11 @@
 /// \brief `uncertts_server` — the long-running uncertain-similarity query
 /// daemon.
 ///
-/// Starts one server::Server (one EngineContext, one thread pool, one
-/// dispatcher) on a Unix-domain socket or a loopback TCP port, then waits
-/// for SIGINT/SIGTERM. Clients talk the length-prefixed frame protocol of
-/// docs/PROTOCOL.md; `uncertts_client` is the reference client.
+/// Starts one server::Server (one EngineContext + dispatcher per resident
+/// dataset, see docs/ARCHITECTURE.md §5) on a Unix-domain socket or a
+/// loopback TCP port, then waits for SIGINT/SIGTERM. Clients talk the
+/// length-prefixed frame protocol of docs/PROTOCOL.md; `uncertts_client` is
+/// the reference client.
 
 #include <csignal>
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "checked_parse.hpp"
 #include "server/server.hpp"
 
 using namespace uts;
@@ -23,20 +25,32 @@ void PrintUsage() {
   std::printf(
       "uncertts_server — uncertain time-series query daemon\n\n"
       "  uncertts_server [--socket PATH | --port N] [--threads N]\n"
-      "                  [--queue-depth N] [--retry-after-ms N]\n"
-      "                  [--max-backlog N] [--mc-samples N] [--force-scalar]\n\n"
+      "                  [--pool-policy per-shard|shared] [--queue-depth N]\n"
+      "                  [--global-queue-depth N] [--retry-after-ms N]\n"
+      "                  [--max-backlog N] [--send-timeout-ms N]\n"
+      "                  [--mc-samples N] [--force-scalar]\n\n"
       "  --socket PATH       listen on a Unix-domain socket (default)\n"
       "  --port N            listen on 127.0.0.1:N instead (0 = ephemeral;\n"
       "                      the bound port is printed on startup)\n"
-      "  --threads N         worker threads of the shared engine pool\n"
-      "                      (default 1; results are bit-identical at any\n"
-      "                      width)\n"
-      "  --queue-depth N     admission queue capacity; a full queue rejects\n"
-      "                      with a saturation error (default 64)\n"
+      "  --threads N         worker threads per engine pool (default 1;\n"
+      "                      results are bit-identical at any width)\n"
+      "  --pool-policy MODE  per-shard: every dataset shard owns a pool of\n"
+      "                      --threads workers; shared: one pool of that\n"
+      "                      width is lent to all shards (default per-shard;\n"
+      "                      results are identical either way)\n"
+      "  --queue-depth N     per-shard admission queue capacity; a full\n"
+      "                      queue rejects with a saturation error\n"
+      "                      (default 64)\n"
+      "  --global-queue-depth N  cross-shard cap on total queued requests\n"
+      "                      (default 256; 0 = no global cap)\n"
       "  --retry-after-ms N  backoff hint carried by saturation rejections\n"
       "                      (default 50)\n"
       "  --max-backlog N     per-session cap on buffered unacked response\n"
       "                      frames (default 4096)\n"
+      "  --send-timeout-ms N bound on each socket write; a peer that stops\n"
+      "                      reading stalls a dispatcher at most this long\n"
+      "                      before its frames buffer in the session backlog\n"
+      "                      (default 0 = blocking sends)\n"
       "  --mc-samples N      MUNICH Monte Carlo sample count (default 20000)\n"
       "  --force-scalar      pin the bit-exact scalar kernels instead of the\n"
       "                      runtime-dispatched SIMD level\n"
@@ -49,7 +63,8 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.unix_socket_path = "/tmp/uncertts.sock";
   bool tcp = false;
-  for (int i = 1; i < argc; ++i) {
+  bool parse_ok = true;
+  for (int i = 1; i < argc && parse_ok; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -65,19 +80,41 @@ int main(int argc, char** argv) {
       options.unix_socket_path = next();
       tcp = false;
     } else if (arg == "--port") {
-      options.tcp_port = static_cast<std::uint16_t>(std::atoi(next()));
+      parse_ok = tools::ParsePort("--port", next(), &options.tcp_port);
       tcp = true;
     } else if (arg == "--threads") {
-      options.service.threads = std::strtoull(next(), nullptr, 10);
+      parse_ok =
+          tools::ParseSize("--threads", next(), &options.service.threads);
+    } else if (arg == "--pool-policy") {
+      const std::string mode = next();
+      if (mode == "per-shard") {
+        options.pool_policy = server::PoolPolicy::kPerShard;
+      } else if (mode == "shared") {
+        options.pool_policy = server::PoolPolicy::kShared;
+      } else {
+        std::fprintf(stderr,
+                     "--pool-policy: expected per-shard or shared, got '%s'\n",
+                     mode.c_str());
+        parse_ok = false;
+      }
     } else if (arg == "--queue-depth") {
-      options.queue_depth = std::strtoull(next(), nullptr, 10);
+      parse_ok =
+          tools::ParseSize("--queue-depth", next(), &options.queue_depth);
+    } else if (arg == "--global-queue-depth") {
+      parse_ok = tools::ParseSize("--global-queue-depth", next(),
+                                  &options.global_queue_depth);
     } else if (arg == "--retry-after-ms") {
-      options.retry_after_ms =
-          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      parse_ok = tools::ParseU32("--retry-after-ms", next(),
+                                 &options.retry_after_ms);
     } else if (arg == "--max-backlog") {
-      options.max_backlog_frames = std::strtoull(next(), nullptr, 10);
+      parse_ok = tools::ParseSize("--max-backlog", next(),
+                                  &options.max_backlog_frames);
+    } else if (arg == "--send-timeout-ms") {
+      parse_ok = tools::ParseU32("--send-timeout-ms", next(),
+                                 &options.send_timeout_ms);
     } else if (arg == "--mc-samples") {
-      options.service.munich.mc_samples = std::strtoull(next(), nullptr, 10);
+      parse_ok = tools::ParseSize("--mc-samples", next(),
+                                  &options.service.munich.mc_samples);
     } else if (arg == "--force-scalar") {
       setenv("UNCERTTS_FORCE_SCALAR", "1", 1);
     } else {
@@ -85,6 +122,10 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+  if (!parse_ok) {
+    PrintUsage();
+    return 2;
   }
   if (tcp) {
     options.unix_socket_path.clear();

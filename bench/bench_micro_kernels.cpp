@@ -30,8 +30,10 @@
 #include "query/engine.hpp"
 #include "query/search.hpp"
 #include "query/uncertain_engine.hpp"
+#include "ts/buffer_pool.hpp"
 #include "ts/dataset.hpp"
 #include "ts/filters.hpp"
+#include "ts/store_view.hpp"
 #include "uncertain/perturb.hpp"
 #include "wavelet/haar.hpp"
 
@@ -291,6 +293,13 @@ ts::Dataset RandomDataset(std::size_t n_series, std::size_t length,
   return d;
 }
 
+// Packed() stores are resident, so their single block's pin is a plain
+// pointer copy and the returned RowBlock outlives the guard.
+ts::RowBlock Block(const ts::SoaStore& store) {
+  const ts::StoreView view(store);
+  return ts::PinOrAbort(view, 0).block();
+}
+
 // The seed's scan: vector-of-vectors storage, one std::function dispatch
 // and one scalar Euclidean (with sqrt) per candidate.
 void BM_ScanEuclideanCallbackAoS(benchmark::State& state) {
@@ -317,9 +326,10 @@ void BM_ScanEuclideanBatchSoA(benchmark::State& state) {
   const ts::Dataset d = RandomDataset(n, len, 100);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> out(n);
   for (auto _ : state) {
-    distance::SquaredEuclideanBatch(store.row(0), store, out);
+    distance::SquaredEuclideanBatch(block.row(0), store, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * len);
@@ -335,11 +345,12 @@ void BM_ScanEuclideanMultiQueryBatchSoA(benchmark::State& state) {
   const ts::Dataset d = RandomDataset(n, len, 100);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> out(distance::kQueryBlock * n);
   for (auto _ : state) {
-    distance::SquaredEuclideanMultiQueryBatch(store, 0,
-                                              distance::kQueryBlock, 0, n,
-                                              out, n);
+    distance::SquaredEuclideanMultiQueryBatch(block, 0,
+                                              distance::kQueryBlock, block,
+                                              0, n, out, n);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * distance::kQueryBlock * n *
@@ -355,14 +366,15 @@ void BM_ScanEuclideanEarlyAbandonBatchSoA(benchmark::State& state) {
   const ts::Dataset d = RandomDataset(n, len, 100);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> full(n);
-  distance::SquaredEuclideanBatch(store.row(0), store, full);
+  distance::SquaredEuclideanBatch(block.row(0), store, full);
   std::vector<double> sorted = full;
   std::sort(sorted.begin(), sorted.end());
   const double threshold_sq = sorted[n / 10];  // keep ~10% of candidates
   std::vector<double> out(n);
   for (auto _ : state) {
-    distance::SquaredEuclideanEarlyAbandonBatch(store.row(0), store,
+    distance::SquaredEuclideanEarlyAbandonBatch(block.row(0), store,
                                                 threshold_sq, out);
     benchmark::DoNotOptimize(out.data());
   }
@@ -392,9 +404,10 @@ void ScanEuclideanKernel(benchmark::State& state,
   const ts::Dataset d = RandomDataset(n, len, 100);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> out(n);
   for (auto _ : state) {
-    table.squared_euclidean_range(store.row(0), store, 0, n, out);
+    table.squared_euclidean_range(block.row(0), block, 0, n, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * len);
@@ -434,10 +447,11 @@ void MultiQueryKernel(benchmark::State& state,
   const ts::Dataset d = RandomDataset(n, len, 100);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> out(distance::kQueryBlock * n);
   for (auto _ : state) {
-    table.squared_euclidean_multi_query(store, 0, distance::kQueryBlock, 0, n,
-                                        out, n);
+    table.squared_euclidean_multi_query(block, 0, distance::kQueryBlock,
+                                        block, 0, n, out, n);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * distance::kQueryBlock * n *
@@ -464,11 +478,12 @@ void DustClosedFormKernel(benchmark::State& state,
   const ts::Dataset d = RandomDataset(n, len, 101);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   distance::DustLut lut;
   lut.scale = 1.0;  // values == nullptr => closed form, no table loads
   std::vector<double> out(n);
   for (auto _ : state) {
-    table.dust_range(store.row(0), store, lut, 0, n, out);
+    table.dust_range(block.row(0), block, lut, 0, n, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * len);
@@ -493,6 +508,7 @@ void DustLookupKernel(benchmark::State& state,
   const ts::Dataset d = RandomDataset(n, len, 102);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   const std::size_t cells = 2048;
   std::vector<double> values(cells);
   for (std::size_t i = 0; i < cells; ++i) {
@@ -505,7 +521,7 @@ void DustLookupKernel(benchmark::State& state,
   lut.step = lut.delta_max / static_cast<double>(cells - 1);
   std::vector<double> out(n);
   for (auto _ : state) {
-    table.dust_range(store.row(0), store, lut, 0, n, out);
+    table.dust_range(block.row(0), block, lut, 0, n, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * len);
@@ -530,9 +546,10 @@ void ProudMomentKernel(benchmark::State& state,
   const ts::Dataset d = RandomDataset(n, len, 103);
   const auto packed = d.Packed();
   const ts::SoaStore& store = *packed;
+  const ts::RowBlock block = Block(store);
   std::vector<double> mean(n), var(n);
   for (auto _ : state) {
-    table.proud_moment_range(store.row(0), store, 0.5, 0, n, mean, var);
+    table.proud_moment_range(block.row(0), block, 0.5, 0, n, mean, var);
     benchmark::DoNotOptimize(mean.data());
     benchmark::DoNotOptimize(var.data());
   }
@@ -597,6 +614,35 @@ void BM_GroundTruthKnnEngineThreads(benchmark::State& state) {
 BENCHMARK(BM_GroundTruthKnnEngineThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Storage-tier twin of the single-thread build above: the same dataset
+// with the SoA store split into 32-row (32 KiB) blocks and paged through a
+// ts::BufferPool whose budget keeps 2 of the 8 blocks resident, so every
+// sweep pins, evicts and re-faults blocks from the spill log. The
+// regression gate pairs this against BM_GroundTruthKnnEngineThreads/1 —
+// the paged/resident time ratio bounds the pool's pin+fault overhead
+// independent of machine speed — and holds a floor under the exported
+// faults_per_iter counter, so a run that silently stopped paging (budget
+// misapplied, store built resident) cannot pass as "cheap".
+void BM_GroundTruthKnnEnginePaged(benchmark::State& state) {
+  const ts::Dataset d = RandomDataset(256, 128, 200);
+  ts::BufferPool::Options pool_options;
+  pool_options.budget_bytes = std::size_t{64} << 10;
+  auto pool = ts::BufferPool::Create(pool_options).ValueOrDie();
+  query::EngineOptions options;
+  options.threads = 1;
+  options.buffer_pool = pool;
+  options.block_rows = 32;  // packed dataset is 256 KiB = 8 such blocks
+  const query::DistanceMatrixEngine engine(d, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.AllKNearestEuclidean(10));
+  }
+  state.SetItemsProcessed(state.iterations() * d.size() * d.size() * 128);
+  state.counters["faults_per_iter"] =
+      static_cast<double>(pool->stats().faults) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GroundTruthKnnEnginePaged)->Unit(benchmark::kMillisecond);
 
 // --- Index cascade: prune-before-score 10-NN on structured data --------------
 

@@ -4,35 +4,54 @@
 #include <cassert>
 #include <cmath>
 
+#include "ts/store_view.hpp"
+
 namespace uts::distance {
 
 namespace {
 
-/// Apply `row_kernel(row_pointer)` to rows [row_begin, row_end), streaming
-/// the store in row order. out[0] corresponds to row_begin.
+/// Apply `row_kernel(row_pointer)` to block-local rows [row_begin, row_end),
+/// streaming the block in row order. out[0] corresponds to row_begin.
 template <typename RowKernel>
-void ForEachRow(const ts::SoaStore& store, std::size_t row_begin,
+void ForEachRow(const ts::RowBlock& block, std::size_t row_begin,
                 std::size_t row_end, std::span<double> out,
                 const RowKernel& row_kernel) {
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
-  const std::size_t stride = store.stride();
-  const double* base = store.data();
+  const std::size_t stride = block.stride();
+  const double* base = block.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
     out[r - row_begin] = row_kernel(base + r * stride);
+  }
+}
+
+/// Run `body(block, local_begin, local_end, out_slice)` over every block of
+/// a resident store (exactly one non-empty block, pinned for free).
+template <typename Body>
+void ForEachResidentBlock(const ts::SoaStore& store, std::span<double> out,
+                          const Body& body) {
+  assert(!store.paged());
+  const ts::StoreView view(store);
+  for (std::size_t b = 0; b < view.num_blocks(); ++b) {
+    auto pinned = view.Pin(b);
+    assert(pinned.ok());  // resident pins cannot fail
+    const ts::StoreView::PinnedBlock& pin = pinned.ValueOrDie();
+    const std::size_t first = pin.first_row();
+    const std::size_t count = pin.block().rows();
+    body(pin.block(), 0, count, out.subspan(first, count));
   }
 }
 
 }  // namespace
 
 void SquaredEuclideanBatchRange(std::span<const double> query,
-                                const ts::SoaStore& store,
+                                const ts::RowBlock& block,
                                 std::size_t row_begin, std::size_t row_end,
                                 std::span<double> out) {
-  assert(query.size() == store.stride());
+  assert(query.size() == block.stride());
   const std::size_t n = query.size();
   const double* q = query.data();
-  ForEachRow(store, row_begin, row_end, out, [q, n](const double* row) {
+  ForEachRow(block, row_begin, row_end, out, [q, n](const double* row) {
     double sum = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
       const double d = q[t] - row[t];
@@ -42,67 +61,32 @@ void SquaredEuclideanBatchRange(std::span<const double> query,
   });
 }
 
-void SquaredEuclideanBatch(std::span<const double> query,
-                           const ts::SoaStore& store, std::span<double> out) {
-  SquaredEuclideanBatchRange(query, store, 0, store.rows(), out);
-}
-
 void EuclideanBatchRange(std::span<const double> query,
-                         const ts::SoaStore& store, std::size_t row_begin,
+                         const ts::RowBlock& block, std::size_t row_begin,
                          std::size_t row_end, std::span<double> out) {
-  SquaredEuclideanBatchRange(query, store, row_begin, row_end, out);
+  SquaredEuclideanBatchRange(query, block, row_begin, row_end, out);
   for (double& v : out) v = std::sqrt(v);
 }
 
-void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
-                    std::span<double> out) {
-  EuclideanBatchRange(query, store, 0, store.rows(), out);
-}
-
-void LpBatch(std::span<const double> query, const ts::SoaStore& store,
-             double p, std::span<double> out) {
-  assert(query.size() == store.stride());
-  assert(out.size() == store.rows());
-  assert(p >= 1.0);
-  const std::size_t n = query.size();
-  const double* q = query.data();
-  if (p == 2.0) {
-    EuclideanBatch(query, store, out);
-    return;
-  }
-  if (p == 1.0) {
-    ForEachRow(store, 0, store.rows(), out, [q, n](const double* row) {
-      double sum = 0.0;
-      for (std::size_t t = 0; t < n; ++t) sum += std::fabs(q[t] - row[t]);
-      return sum;
-    });
-    return;
-  }
-  ForEachRow(store, 0, store.rows(), out, [q, n, p](const double* row) {
-    double sum = 0.0;
-    for (std::size_t t = 0; t < n; ++t) {
-      sum += std::pow(std::fabs(q[t] - row[t]), p);
-    }
-    return std::pow(sum, 1.0 / p);
-  });
-}
-
-void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
+void SquaredEuclideanMultiQueryBatch(const ts::RowBlock& queries,
                                      std::size_t query_begin,
                                      std::size_t query_end,
+                                     const ts::RowBlock& candidates,
                                      std::size_t row_begin,
                                      std::size_t row_end,
                                      std::span<double> out,
                                      std::size_t out_stride) {
-  assert(query_begin <= query_end && query_end <= store.rows());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query_begin <= query_end && query_end <= queries.rows());
+  assert(row_begin <= row_end && row_end <= candidates.rows());
+  assert(queries.stride() == candidates.stride());
   const std::size_t rows = row_end - row_begin;
   assert(out_stride >= rows);
   assert(query_begin == query_end ||
          out.size() >= (query_end - query_begin - 1) * out_stride + rows);
   (void)rows;
-  const std::size_t stride = store.stride();
-  const double* base = store.data();
+  const std::size_t stride = candidates.stride();
+  const double* qbase = queries.data();
+  const double* base = candidates.data();
 
   // Candidate tiles outer, query blocks inner: one tile of rows is fetched
   // from memory once and replayed against every query block while it is
@@ -114,7 +98,7 @@ void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
     const std::size_t tile_end = std::min(tile + tile_rows, row_end);
     std::size_t q = query_begin;
     for (; q + kQueryBlock <= query_end; q += kQueryBlock) {
-      const double* q0 = base + q * stride;
+      const double* q0 = qbase + q * stride;
       const double* q1 = q0 + stride;
       const double* q2 = q1 + stride;
       const double* q3 = q2 + stride;
@@ -144,23 +128,23 @@ void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
     }
     for (; q < query_end; ++q) {
       SquaredEuclideanBatchRange(
-          store.row(q), store, tile, tile_end,
+          queries.row(q), candidates, tile, tile_end,
           out.subspan((q - query_begin) * out_stride + (tile - row_begin),
                       tile_end - tile));
     }
   }
 }
 
-void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
+void DustBatchRange(std::span<const double> query, const ts::RowBlock& block,
                     const DustLut& lut, std::size_t row_begin,
                     std::size_t row_end, std::span<double> out) {
-  assert(query.size() == store.stride());
+  assert(query.size() == block.stride());
   const std::size_t n = query.size();
   const double* q = query.data();
   if (lut.values == nullptr) {
     // Normal-error closed form: dust(Δ) = |Δ| · scale, no table loads.
     const double scale = lut.scale;
-    ForEachRow(store, row_begin, row_end, out, [q, n, scale](const double* row) {
+    ForEachRow(block, row_begin, row_end, out, [q, n, scale](const double* row) {
       double sum = 0.0;
       for (std::size_t t = 0; t < n; ++t) {
         const double d = std::fabs(q[t] - row[t]) * scale;
@@ -170,7 +154,7 @@ void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
     });
     return;
   }
-  ForEachRow(store, row_begin, row_end, out, [q, n, &lut](const double* row) {
+  ForEachRow(block, row_begin, row_end, out, [q, n, &lut](const double* row) {
     double sum = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
       const double d = lut.Eval(q[t] - row[t]);
@@ -181,21 +165,21 @@ void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
 }
 
 void DustClassedBatchRange(std::span<const double> query,
-                           const ts::SoaStore& store,
+                           const ts::RowBlock& block,
                            std::span<const DustLut* const> query_luts,
                            std::span<const std::uint16_t> class_ids,
                            std::size_t row_begin, std::size_t row_end,
                            std::span<double> out) {
-  assert(query.size() == store.stride());
-  assert(query_luts.size() == store.stride());
-  assert(class_ids.size() == store.rows() * store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(query_luts.size() == block.stride());
+  assert(class_ids.size() == block.rows() * block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
   const std::size_t n = query.size();
   const double* q = query.data();
   const DustLut* const* luts = query_luts.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
-    const double* row = store.data() + r * n;
+    const double* row = block.data() + r * n;
     const std::uint16_t* ids = class_ids.data() + r * n;
     double sum = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
@@ -207,18 +191,18 @@ void DustClassedBatchRange(std::span<const double> query,
 }
 
 void ProudMomentBatchRange(std::span<const double> query,
-                           const ts::SoaStore& store, double v,
+                           const ts::RowBlock& block, double v,
                            std::size_t row_begin, std::size_t row_end,
                            std::span<double> mean_out,
                            std::span<double> var_out) {
-  assert(query.size() == store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(mean_out.size() == row_end - row_begin);
   assert(var_out.size() == row_end - row_begin);
   const std::size_t n = query.size();
   const double* q = query.data();
-  const std::size_t stride = store.stride();
-  const double* base = store.data();
+  const std::size_t stride = block.stride();
+  const double* base = block.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
     const double* row = base + r * stride;
     double mean_sq = 0.0;
@@ -237,15 +221,17 @@ void ProudMomentBatchRange(std::span<const double> query,
 void ProudGeneralMomentBatchRange(
     std::span<const double> query_obs, std::span<const double> query_m2,
     std::span<const double> query_m3, std::span<const double> query_m4,
-    const ts::SoaStore& store, const ts::SoaStore& m2_store,
-    const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+    const ts::RowBlock& block, const ts::RowBlock& m2_block,
+    const ts::RowBlock& m3_block, const ts::RowBlock& m4_block,
     std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
     std::span<double> var_out) {
   const std::size_t n = query_obs.size();
-  assert(n == store.stride() && n == m2_store.stride() &&
-         n == m3_store.stride() && n == m4_store.stride());
+  assert(n == block.stride() && n == m2_block.stride() &&
+         n == m3_block.stride() && n == m4_block.stride());
   assert(query_m2.size() == n && query_m3.size() == n && query_m4.size() == n);
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(row_begin <= row_end && row_end <= block.rows());
+  assert(row_end <= m2_block.rows() && row_end <= m3_block.rows() &&
+         row_end <= m4_block.rows());
   assert(mean_out.size() == row_end - row_begin);
   assert(var_out.size() == row_end - row_begin);
   const double* qo = query_obs.data();
@@ -253,10 +239,10 @@ void ProudGeneralMomentBatchRange(
   const double* q3 = query_m3.data();
   const double* q4 = query_m4.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
-    const double* ro = store.data() + r * n;
-    const double* r2 = m2_store.data() + r * n;
-    const double* r3 = m3_store.data() + r * n;
-    const double* r4 = m4_store.data() + r * n;
+    const double* ro = block.data() + r * n;
+    const double* r2 = m2_block.data() + r * n;
+    const double* r3 = m3_block.data() + r * n;
+    const double* r4 = m4_block.data() + r * n;
     double mean_sq = 0.0;
     double var_sq = 0.0;
     // Mirrors Proud::DistanceStatsGeneral term by term (the query plays the
@@ -278,15 +264,15 @@ void ProudGeneralMomentBatchRange(
 }
 
 void SquaredEuclideanEarlyAbandonBatchRange(std::span<const double> query,
-                                            const ts::SoaStore& store,
+                                            const ts::RowBlock& block,
                                             double threshold_sq,
                                             std::size_t row_begin,
                                             std::size_t row_end,
                                             std::span<double> out) {
-  assert(query.size() == store.stride());
+  assert(query.size() == block.stride());
   const std::size_t n = query.size();
   const double* q = query.data();
-  ForEachRow(store, row_begin, row_end, out,
+  ForEachRow(block, row_begin, row_end, out,
              [q, n, threshold_sq](const double* row) {
                double sum = 0.0;
                for (std::size_t t = 0; t < n; ++t) {
@@ -298,12 +284,78 @@ void SquaredEuclideanEarlyAbandonBatchRange(std::span<const double> query,
              });
 }
 
+void SquaredEuclideanBatch(std::span<const double> query,
+                           const ts::SoaStore& store, std::span<double> out) {
+  assert(out.size() == store.rows());
+  ForEachResidentBlock(
+      store, out,
+      [&query](const ts::RowBlock& block, std::size_t begin, std::size_t end,
+               std::span<double> slice) {
+        SquaredEuclideanBatchRange(query, block, begin, end, slice);
+      });
+}
+
+void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
+                    std::span<double> out) {
+  assert(out.size() == store.rows());
+  ForEachResidentBlock(
+      store, out,
+      [&query](const ts::RowBlock& block, std::size_t begin, std::size_t end,
+               std::span<double> slice) {
+        EuclideanBatchRange(query, block, begin, end, slice);
+      });
+}
+
+void LpBatch(std::span<const double> query, const ts::SoaStore& store,
+             double p, std::span<double> out) {
+  assert(query.size() == store.stride());
+  assert(out.size() == store.rows());
+  assert(p >= 1.0);
+  const std::size_t n = query.size();
+  const double* q = query.data();
+  if (p == 2.0) {
+    EuclideanBatch(query, store, out);
+    return;
+  }
+  if (p == 1.0) {
+    ForEachResidentBlock(
+        store, out,
+        [q, n](const ts::RowBlock& block, std::size_t begin, std::size_t end,
+               std::span<double> slice) {
+          ForEachRow(block, begin, end, slice, [q, n](const double* row) {
+            double sum = 0.0;
+            for (std::size_t t = 0; t < n; ++t) sum += std::fabs(q[t] - row[t]);
+            return sum;
+          });
+        });
+    return;
+  }
+  ForEachResidentBlock(
+      store, out,
+      [q, n, p](const ts::RowBlock& block, std::size_t begin, std::size_t end,
+                std::span<double> slice) {
+        ForEachRow(block, begin, end, slice, [q, n, p](const double* row) {
+          double sum = 0.0;
+          for (std::size_t t = 0; t < n; ++t) {
+            sum += std::pow(std::fabs(q[t] - row[t]), p);
+          }
+          return std::pow(sum, 1.0 / p);
+        });
+      });
+}
+
 void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
                                        const ts::SoaStore& store,
                                        double threshold_sq,
                                        std::span<double> out) {
-  SquaredEuclideanEarlyAbandonBatchRange(query, store, threshold_sq, 0,
-                                         store.rows(), out);
+  assert(out.size() == store.rows());
+  ForEachResidentBlock(
+      store, out,
+      [&query, threshold_sq](const ts::RowBlock& block, std::size_t begin,
+                             std::size_t end, std::span<double> slice) {
+        SquaredEuclideanEarlyAbandonBatchRange(query, block, threshold_sq,
+                                               begin, end, slice);
+      });
 }
 
 }  // namespace uts::distance

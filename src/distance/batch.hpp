@@ -1,16 +1,23 @@
 /// \file batch.hpp
-/// \brief Blocked batch distance kernels over a contiguous SoA store.
+/// \brief Blocked batch distance kernels over pinned SoA row blocks.
 ///
-/// One query is compared against every row of a `ts::SoaStore` in a single
-/// streaming pass. Per pair, values are accumulated in exactly the same
-/// order as the scalar kernels in lp.hpp (one accumulator, ascending
-/// timestamp), so each batch result is bit-identical to calling the
-/// corresponding scalar kernel row by row (see the per-kernel docs) — that
-/// identity is what the parallel query engine's determinism guarantee
-/// rests on. The speedup
-/// comes purely from the layout (no per-series pointer chasing, no
-/// per-candidate `std::function` dispatch) and from deferring the `sqrt`
-/// until a caller actually needs a metric value.
+/// One query is compared against a contiguous run of candidate rows in a
+/// single streaming pass. The kernels never see a store: they take a
+/// `ts::RowBlock` — one pinned block handed out by `ts::StoreView` — with
+/// *block-local* row ranges, so the same code serves fully-resident stores
+/// (one block covering every row) and pool-paged larger-than-RAM stores.
+/// Per pair, values are accumulated in exactly the same order as the scalar
+/// kernels in lp.hpp (one accumulator, ascending timestamp), so each batch
+/// result is bit-identical to calling the corresponding scalar kernel row
+/// by row (see the per-kernel docs) — that identity is what the parallel
+/// query engine's determinism guarantee rests on. The speedup comes purely
+/// from the layout (no per-series pointer chasing, no per-candidate
+/// `std::function` dispatch) and from deferring the `sqrt` until a caller
+/// actually needs a metric value.
+///
+/// The whole-store convenience wrappers at the bottom keep the historical
+/// `ts::SoaStore` signatures for tests and benchmarks; they pin each block
+/// through a StoreView and require a resident store.
 
 #ifndef UTS_DISTANCE_BATCH_HPP_
 #define UTS_DISTANCE_BATCH_HPP_
@@ -20,70 +27,46 @@
 #include <cstdint>
 #include <span>
 
+#include "ts/row_block.hpp"
 #include "ts/soa_store.hpp"
 
 namespace uts::distance {
 
-/// \brief out[i] = squared Euclidean distance from `query` to row i.
-/// Preconditions: query.size() == store.stride(), out.size() == store.rows().
-void SquaredEuclideanBatch(std::span<const double> query,
-                           const ts::SoaStore& store, std::span<double> out);
+/// \brief Queries per block of the multi-query kernel; re-exported from the
+/// storage tier's geometry (ts/row_block.hpp), which blocks stores so query
+/// blocks never straddle a storage block.
+inline constexpr std::size_t kQueryBlock = ts::kQueryBlock;
 
-/// \brief Row-range variant: out[i - row_begin] covers rows
-/// [row_begin, row_end). This is the unit the parallel engine hands to one
-/// worker chunk. Precondition: out.size() == row_end - row_begin.
+/// \brief Cache-block size of the multi-query kernels' candidate tiling, in
+/// bytes; re-exported from ts/row_block.hpp (see there for the sizing
+/// rationale and the bitwise-invariance argument).
+inline constexpr std::size_t kCandidateTileBytes = ts::kCandidateTileBytes;
+
+/// \brief Candidate rows per tile for a given row stride; re-exported from
+/// ts/row_block.hpp.
+inline constexpr std::size_t CandidateTileRows(std::size_t stride) {
+  return ts::CandidateTileRows(stride);
+}
+
+/// \brief out[i - row_begin] = squared Euclidean distance from `query` to
+/// block row i, for block-local rows [row_begin, row_end). This is the unit
+/// the parallel engine hands to one worker chunk. Preconditions:
+/// query.size() == block.stride(), out.size() == row_end - row_begin.
 void SquaredEuclideanBatchRange(std::span<const double> query,
-                                const ts::SoaStore& store,
+                                const ts::RowBlock& block,
                                 std::size_t row_begin, std::size_t row_end,
                                 std::span<double> out);
 
-/// \brief out[i] = Euclidean distance from `query` to row i (sqrt applied).
-void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
-                    std::span<double> out);
-
-/// \brief Row-range variant of EuclideanBatch.
+/// \brief Row-range Euclidean variant (sqrt applied).
 void EuclideanBatchRange(std::span<const double> query,
-                         const ts::SoaStore& store, std::size_t row_begin,
+                         const ts::RowBlock& block, std::size_t row_begin,
                          std::size_t row_end, std::span<double> out);
 
-/// \brief out[i] = Minkowski distance with exponent p >= 1 from `query` to
-/// row i. p = 1 and p = 2 take the Manhattan / Euclidean fast paths and
-/// are bit-identical to those scalar kernels (not to `Minkowski(a, b, p)`,
-/// whose pow-based accumulation may differ in the last ulp); other p match
-/// `Minkowski` exactly.
-void LpBatch(std::span<const double> query, const ts::SoaStore& store,
-             double p, std::span<double> out);
-
-/// \brief Queries per block of the multi-query kernel: independent
-/// accumulator chains that overlap the FP-add latency a single strictly
-/// ordered per-pair sum cannot hide.
-inline constexpr std::size_t kQueryBlock = 4;
-
-/// \brief Cache-block size of the multi-query kernels' candidate tiling, in
-/// bytes. The kernels walk candidate rows in tiles of
-/// `kCandidateTileBytes / (stride * sizeof(double))` rows and replay every
-/// query block against one resident tile before streaming the next, so each
-/// candidate row is fetched from memory once per *tile pass* instead of once
-/// per query block. Sized to half the 2 MiB L2 recorded in the benchmark
-/// context (BENCH_uncertain_baseline.json): the tile plus the query block
-/// and output slices stay L2-resident with room for prefetch streams.
-/// Tiling only reorders which (query, candidate) pair is evaluated when —
-/// each pair's accumulation is still one pass in ascending timestamp order,
-/// so results are unchanged bit for bit.
-inline constexpr std::size_t kCandidateTileBytes = std::size_t{1} << 20;
-
-/// \brief Candidate rows per tile for a given row stride (>= kQueryBlock so
-/// a tile is never smaller than one query block's worth of work).
-inline constexpr std::size_t CandidateTileRows(std::size_t stride) {
-  const std::size_t bytes_per_row = stride * sizeof(double);
-  if (bytes_per_row == 0) return kQueryBlock;
-  const std::size_t rows = kCandidateTileBytes / bytes_per_row;
-  return rows < kQueryBlock ? kQueryBlock : rows;
-}
-
-/// \brief All-pairs building block: squared Euclidean distances from
-/// queries [query_begin, query_end) (rows of the same store) to candidate
-/// rows [row_begin, row_end).
+/// \brief All-pairs building block: squared Euclidean distances from query
+/// rows [query_begin, query_end) of the pinned block `queries` to candidate
+/// rows [row_begin, row_end) of the pinned block `candidates` (both ranges
+/// block-local; the blocks may be the same pin or pins of different blocks
+/// of one store).
 /// out[(q - query_begin) * out_stride + (r - row_begin)] is the distance of
 /// pair (q, r); `out_stride` is the pitch between consecutive query rows of
 /// `out` (pass row_end - row_begin for a dense block, or a full matrix
@@ -91,9 +74,10 @@ inline constexpr std::size_t CandidateTileRows(std::size_t stride) {
 /// per kQueryBlock queries, and every pair's sum still accumulates in
 /// ascending timestamp order with one accumulator — bit-identical to
 /// SquaredEuclidean(row(q), row(r)).
-void SquaredEuclideanMultiQueryBatch(const ts::SoaStore& store,
+void SquaredEuclideanMultiQueryBatch(const ts::RowBlock& queries,
                                      std::size_t query_begin,
                                      std::size_t query_end,
+                                     const ts::RowBlock& candidates,
                                      std::size_t row_begin,
                                      std::size_t row_end,
                                      std::span<double> out,
@@ -135,18 +119,20 @@ struct DustLut {
 /// measures::Dust::Distance exactly, so results are bit-identical to the
 /// scalar path. The closed-form case needs no table loads at all — this is
 /// the hot path for the paper's constant-σ normal-error experiments.
-void DustBatchRange(std::span<const double> query, const ts::SoaStore& store,
+void DustBatchRange(std::span<const double> query, const ts::RowBlock& block,
                     const DustLut& lut, std::size_t row_begin,
                     std::size_t row_end, std::span<double> out);
 
-/// \brief DUST 1-vs-all sweep with per-point error classes. Candidate r's
-/// error class at timestamp t is `class_ids[r * store.stride() + t]`;
+/// \brief DUST 1-vs-all sweep with per-point error classes. `class_ids` is
+/// the block-local slice of the class matrix: candidate r's error class at
+/// timestamp t is `class_ids[r * block.stride() + t]` with r block-local
+/// (the caller subspans the full matrix at the block's first row).
 /// `query_luts[t]` points at the K-entry row of the pair-table matrix
 /// selected by the query's own class at t, so the table of the point pair is
 /// `query_luts[t][class_ids[...]]`. Same accumulation order as the scalar
 /// measure (bit-identical results).
 void DustClassedBatchRange(std::span<const double> query,
-                           const ts::SoaStore& store,
+                           const ts::RowBlock& block,
                            std::span<const DustLut* const> query_luts,
                            std::span<const std::uint16_t> class_ids,
                            std::size_t row_begin, std::size_t row_end,
@@ -159,46 +145,70 @@ void DustClassedBatchRange(std::span<const double> query,
 ///   var_out[r - row_begin]  = Σ_t (2v² + 4 (q[t] - row[t])² v)
 /// Results are bit-identical to calling the scalar DistanceStats per pair.
 void ProudMomentBatchRange(std::span<const double> query,
-                           const ts::SoaStore& store, double v,
+                           const ts::RowBlock& block, double v,
                            std::size_t row_begin, std::size_t row_end,
                            std::span<double> mean_out,
                            std::span<double> var_out);
 
 /// \brief PROUD general moment sweep over precomputed per-series central
-/// moment columns (the "moment prefixes": m2/m3/m4 share the layout of
-/// `store`). Accumulates exactly like measures::Proud::DistanceStatsGeneral
+/// moment columns (the "moment prefixes": the m2/m3/m4 blocks share the
+/// observation block's geometry — same block index of stores with identical
+/// blocking). Accumulates exactly like measures::Proud::DistanceStatsGeneral
 /// — bit-identical — but reads the precomputed columns instead of paying
 /// six virtual CentralMoment calls per point pair.
 void ProudGeneralMomentBatchRange(
     std::span<const double> query_obs, std::span<const double> query_m2,
     std::span<const double> query_m3, std::span<const double> query_m4,
-    const ts::SoaStore& store, const ts::SoaStore& m2_store,
-    const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+    const ts::RowBlock& block, const ts::RowBlock& m2_block,
+    const ts::RowBlock& m3_block, const ts::RowBlock& m4_block,
     std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
     std::span<double> var_out);
 
-/// \brief Early-abandoning batch: out[i] is the exact squared distance when
-/// it is <= threshold_sq, otherwise the first running sum that exceeded
-/// threshold_sq (a value > threshold_sq). Because partial sums of squares
-/// are nondecreasing, any decision of the form `out[i] <= t` with
-/// t <= threshold_sq is exact. Not yet wired into the engine's query paths
-/// (they report metric values, which an abandoned sum cannot provide);
-/// available for squared-threshold pruning and tracked by the
-/// microbenchmarks.
-void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
-                                       const ts::SoaStore& store,
-                                       double threshold_sq,
-                                       std::span<double> out);
-
-/// \brief Row-range variant of SquaredEuclideanEarlyAbandonBatch (the unit
-/// the dispatch layer and the parallel engine hand to one worker chunk).
-/// Precondition: out.size() == row_end - row_begin.
+/// \brief Early-abandoning range kernel: out[r - row_begin] is the exact
+/// squared distance when it is <= threshold_sq, otherwise the first running
+/// sum that exceeded threshold_sq (a value > threshold_sq). Because partial
+/// sums of squares are nondecreasing, any decision of the form
+/// `out[i] <= t` with t <= threshold_sq is exact. This is the cascade's
+/// stage-2 filter and the unit the dispatch layer hands to one worker chunk.
 void SquaredEuclideanEarlyAbandonBatchRange(std::span<const double> query,
-                                            const ts::SoaStore& store,
+                                            const ts::RowBlock& block,
                                             double threshold_sq,
                                             std::size_t row_begin,
                                             std::size_t row_end,
                                             std::span<double> out);
+
+// ---------------------------------------------------------------------------
+// Whole-store convenience wrappers (tests, benchmarks, scalar fallbacks).
+// They pin blocks through a ts::StoreView internally and require a
+// *resident* store — engine code paths use the RowBlock kernels above with
+// pins they manage themselves.
+// ---------------------------------------------------------------------------
+
+/// \brief out[i] = squared Euclidean distance from `query` to row i.
+/// Preconditions: resident store, query.size() == store.stride(),
+/// out.size() == store.rows().
+void SquaredEuclideanBatch(std::span<const double> query,
+                           const ts::SoaStore& store, std::span<double> out);
+
+/// \brief out[i] = Euclidean distance from `query` to row i (sqrt applied).
+/// Precondition: resident store.
+void EuclideanBatch(std::span<const double> query, const ts::SoaStore& store,
+                    std::span<double> out);
+
+/// \brief out[i] = Minkowski distance with exponent p >= 1 from `query` to
+/// row i. p = 1 and p = 2 take the Manhattan / Euclidean fast paths and
+/// are bit-identical to those scalar kernels (not to `Minkowski(a, b, p)`,
+/// whose pow-based accumulation may differ in the last ulp); other p match
+/// `Minkowski` exactly. Precondition: resident store.
+void LpBatch(std::span<const double> query, const ts::SoaStore& store,
+             double p, std::span<double> out);
+
+/// \brief Whole-store early-abandoning sweep (see the range kernel for the
+/// output contract). Precondition: resident store.
+void SquaredEuclideanEarlyAbandonBatch(std::span<const double> query,
+                                       const ts::SoaStore& store,
+                                       double threshold_sq,
+                                       std::span<double> out);
 
 }  // namespace uts::distance
 

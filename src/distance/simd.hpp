@@ -1,5 +1,5 @@
 /// \file simd.hpp
-/// \brief Runtime-dispatched SIMD distance kernels over the SoA store.
+/// \brief Runtime-dispatched SIMD distance kernels over pinned row blocks.
 ///
 /// The evaluation sweeps (MUNICH/PROUD/DUST, k-NN ground truth) are dense
 /// 1-vs-all passes through the kernels of batch.hpp. Those scalar kernels
@@ -78,7 +78,7 @@
 #include <span>
 
 #include "distance/batch.hpp"
-#include "ts/soa_store.hpp"
+#include "ts/row_block.hpp"
 
 namespace uts::distance {
 
@@ -103,41 +103,43 @@ enum class SimdMode {
 
 /// \brief Per-kernel function-pointer table. All entries are non-null and
 /// callable with exactly the contracts of the batch.hpp functions they
-/// mirror; `level` records which implementation family filled them.
+/// mirror (pinned `ts::RowBlock`s, block-local row ranges); `level` records
+/// which implementation family filled them.
 struct KernelDispatch {
   SimdLevel level = SimdLevel::kScalar;
 
   void (*squared_euclidean_range)(std::span<const double> query,
-                                  const ts::SoaStore& store,
+                                  const ts::RowBlock& block,
                                   std::size_t row_begin, std::size_t row_end,
                                   std::span<double> out) = nullptr;
 
-  void (*squared_euclidean_multi_query)(const ts::SoaStore& store,
+  void (*squared_euclidean_multi_query)(const ts::RowBlock& queries,
                                         std::size_t query_begin,
                                         std::size_t query_end,
+                                        const ts::RowBlock& candidates,
                                         std::size_t row_begin,
                                         std::size_t row_end,
                                         std::span<double> out,
                                         std::size_t out_stride) = nullptr;
 
   void (*squared_euclidean_early_abandon_range)(
-      std::span<const double> query, const ts::SoaStore& store,
+      std::span<const double> query, const ts::RowBlock& block,
       double threshold_sq, std::size_t row_begin, std::size_t row_end,
       std::span<double> out) = nullptr;
 
-  void (*dust_range)(std::span<const double> query, const ts::SoaStore& store,
+  void (*dust_range)(std::span<const double> query, const ts::RowBlock& block,
                      const DustLut& lut, std::size_t row_begin,
                      std::size_t row_end, std::span<double> out) = nullptr;
 
   void (*dust_classed_range)(std::span<const double> query,
-                             const ts::SoaStore& store,
+                             const ts::RowBlock& block,
                              std::span<const DustLut* const> query_luts,
                              std::span<const std::uint16_t> class_ids,
                              std::size_t row_begin, std::size_t row_end,
                              std::span<double> out) = nullptr;
 
   void (*proud_moment_range)(std::span<const double> query,
-                             const ts::SoaStore& store, double v,
+                             const ts::RowBlock& block, double v,
                              std::size_t row_begin, std::size_t row_end,
                              std::span<double> mean_out,
                              std::span<double> var_out) = nullptr;
@@ -145,8 +147,8 @@ struct KernelDispatch {
   void (*proud_general_moment_range)(
       std::span<const double> query_obs, std::span<const double> query_m2,
       std::span<const double> query_m3, std::span<const double> query_m4,
-      const ts::SoaStore& store, const ts::SoaStore& m2_store,
-      const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+      const ts::RowBlock& block, const ts::RowBlock& m2_block,
+      const ts::RowBlock& m3_block, const ts::RowBlock& m4_block,
       std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
       std::span<double> var_out) = nullptr;
 };

@@ -81,37 +81,40 @@ inline double SquaredRowAvx2(const double* q, const double* row,
 }
 
 void SquaredEuclideanRangeAvx2(std::span<const double> query,
-                               const ts::SoaStore& store,
+                               const ts::RowBlock& block,
                                std::size_t row_begin, std::size_t row_end,
                                std::span<double> out) {
-  assert(query.size() == store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
   const std::size_t n = query.size();
-  const std::size_t stride = store.stride();
+  const std::size_t stride = block.stride();
   const double* q = query.data();
-  const double* base = store.data();
+  const double* base = block.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
     out[r - row_begin] = SquaredRowAvx2(q, base + r * stride, n);
   }
 }
 
-void SquaredEuclideanMultiQueryAvx2(const ts::SoaStore& store,
+void SquaredEuclideanMultiQueryAvx2(const ts::RowBlock& queries,
                                     std::size_t query_begin,
                                     std::size_t query_end,
+                                    const ts::RowBlock& candidates,
                                     std::size_t row_begin,
                                     std::size_t row_end,
                                     std::span<double> out,
                                     std::size_t out_stride) {
-  assert(query_begin <= query_end && query_end <= store.rows());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query_begin <= query_end && query_end <= queries.rows());
+  assert(row_begin <= row_end && row_end <= candidates.rows());
+  assert(queries.stride() == candidates.stride());
   const std::size_t rows = row_end - row_begin;
   assert(out_stride >= rows);
   assert(query_begin == query_end ||
          out.size() >= (query_end - query_begin - 1) * out_stride + rows);
   (void)rows;
-  const std::size_t stride = store.stride();
-  const double* base = store.data();
+  const std::size_t stride = candidates.stride();
+  const double* qbase = queries.data();
+  const double* base = candidates.data();
 
   // Same cache-blocked tiling as the scalar kernel: candidate tiles outer,
   // query blocks inner, each tile streamed from memory once per tile pass.
@@ -120,7 +123,7 @@ void SquaredEuclideanMultiQueryAvx2(const ts::SoaStore& store,
     const std::size_t tile_end = std::min(tile + tile_rows, row_end);
     std::size_t q = query_begin;
     for (; q + kQueryBlock <= query_end; q += kQueryBlock) {
-      const double* q0 = base + q * stride;
+      const double* q0 = qbase + q * stride;
       const double* q1 = q0 + stride;
       const double* q2 = q1 + stride;
       const double* q3 = q2 + stride;
@@ -167,7 +170,7 @@ void SquaredEuclideanMultiQueryAvx2(const ts::SoaStore& store,
     }
     for (; q < query_end; ++q) {
       SquaredEuclideanRangeAvx2(
-          store.row(q), store, tile, tile_end,
+          queries.row(q), candidates, tile, tile_end,
           out.subspan((q - query_begin) * out_stride + (tile - row_begin),
                       tile_end - tile));
     }
@@ -175,18 +178,18 @@ void SquaredEuclideanMultiQueryAvx2(const ts::SoaStore& store,
 }
 
 void SquaredEuclideanEarlyAbandonRangeAvx2(std::span<const double> query,
-                                           const ts::SoaStore& store,
+                                           const ts::RowBlock& block,
                                            double threshold_sq,
                                            std::size_t row_begin,
                                            std::size_t row_end,
                                            std::span<double> out) {
-  assert(query.size() == store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
   const std::size_t n = query.size();
-  const std::size_t stride = store.stride();
+  const std::size_t stride = block.stride();
   const double* q = query.data();
-  const double* base = store.data();
+  const double* base = block.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
     const double* row = base + r * stride;
     // The running sum is checked once per kAbandonTile elements: partial
@@ -317,7 +320,7 @@ inline double DustRowAvx2(const double* q, const double* row, std::size_t n,
   return sum;
 }
 
-void DustRangeAvx2(std::span<const double> query, const ts::SoaStore& store,
+void DustRangeAvx2(std::span<const double> query, const ts::RowBlock& block,
                    const DustLut& lut, std::size_t row_begin,
                    std::size_t row_end, std::span<double> out) {
   // Closed form: dust(Δ) = |Δ|·scale is two cheap ops per element, so the
@@ -327,31 +330,31 @@ void DustRangeAvx2(std::span<const double> query, const ts::SoaStore& store,
   // fastest bitwise-identical implementation and trivially exact. Table
   // lookups are expensive enough that the lane evaluator wins (~1.3x).
   if (lut.values == nullptr) {
-    DustBatchRange(query, store, lut, row_begin, row_end, out);
+    DustBatchRange(query, block, lut, row_begin, row_end, out);
     return;
   }
-  assert(query.size() == store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
   const std::size_t n = query.size();
-  const std::size_t stride = store.stride();
+  const std::size_t stride = block.stride();
   const double* q = query.data();
-  const double* base = store.data();
+  const double* base = block.data();
   for (std::size_t r = row_begin; r < row_end; ++r) {
     out[r - row_begin] = std::sqrt(DustRowAvx2(q, base + r * stride, n, lut));
   }
 }
 
 void DustClassedRangeAvx2(std::span<const double> query,
-                          const ts::SoaStore& store,
+                          const ts::RowBlock& block,
                           std::span<const DustLut* const> query_luts,
                           std::span<const std::uint16_t> class_ids,
                           std::size_t row_begin, std::size_t row_end,
                           std::span<double> out) {
-  assert(query.size() == store.stride());
-  assert(query_luts.size() == store.stride());
-  assert(class_ids.size() == store.rows() * store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(query_luts.size() == block.stride());
+  assert(class_ids.size() == block.rows() * block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(out.size() == row_end - row_begin);
   const std::size_t n = query.size();
   const double* q = query.data();
@@ -362,7 +365,7 @@ void DustClassedRangeAvx2(std::span<const double> query,
   constexpr std::size_t kMinVectorRun = 8;
   double d2[kDustChunk];
   for (std::size_t r = row_begin; r < row_end; ++r) {
-    const double* row = store.data() + r * n;
+    const double* row = block.data() + r * n;
     const std::uint16_t* ids = class_ids.data() + r * n;
     double sum = 0.0;
     std::size_t t = 0;
@@ -400,18 +403,18 @@ void DustClassedRangeAvx2(std::span<const double> query,
 // --- PROUD -------------------------------------------------------------------
 
 void ProudMomentRangeAvx2(std::span<const double> query,
-                          const ts::SoaStore& store, double v,
+                          const ts::RowBlock& block, double v,
                           std::size_t row_begin, std::size_t row_end,
                           std::span<double> mean_out,
                           std::span<double> var_out) {
-  assert(query.size() == store.stride());
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(query.size() == block.stride());
+  assert(row_begin <= row_end && row_end <= block.rows());
   assert(mean_out.size() == row_end - row_begin);
   assert(var_out.size() == row_end - row_begin);
   const std::size_t n = query.size();
-  const std::size_t stride = store.stride();
+  const std::size_t stride = block.stride();
   const double* q = query.data();
-  const double* base = store.data();
+  const double* base = block.data();
   const __m256d vv = _mm256_set1_pd(v);
   const __m256d v4 = _mm256_set1_pd(4.0 * v);
   const __m256d v2sq = _mm256_set1_pd(2.0 * v * v);
@@ -457,15 +460,17 @@ void ProudMomentRangeAvx2(std::span<const double> query,
 void ProudGeneralMomentRangeAvx2(
     std::span<const double> query_obs, std::span<const double> query_m2,
     std::span<const double> query_m3, std::span<const double> query_m4,
-    const ts::SoaStore& store, const ts::SoaStore& m2_store,
-    const ts::SoaStore& m3_store, const ts::SoaStore& m4_store,
+    const ts::RowBlock& block, const ts::RowBlock& m2_block,
+    const ts::RowBlock& m3_block, const ts::RowBlock& m4_block,
     std::size_t row_begin, std::size_t row_end, std::span<double> mean_out,
     std::span<double> var_out) {
   const std::size_t n = query_obs.size();
-  assert(n == store.stride() && n == m2_store.stride() &&
-         n == m3_store.stride() && n == m4_store.stride());
+  assert(n == block.stride() && n == m2_block.stride() &&
+         n == m3_block.stride() && n == m4_block.stride());
   assert(query_m2.size() == n && query_m3.size() == n && query_m4.size() == n);
-  assert(row_begin <= row_end && row_end <= store.rows());
+  assert(row_begin <= row_end && row_end <= block.rows());
+  assert(row_end <= m2_block.rows() && row_end <= m3_block.rows() &&
+         row_end <= m4_block.rows());
   assert(mean_out.size() == row_end - row_begin);
   assert(var_out.size() == row_end - row_begin);
   const double* qo = query_obs.data();
@@ -475,10 +480,10 @@ void ProudGeneralMomentRangeAvx2(
   const __m256d six = _mm256_set1_pd(6.0);
   const __m256d four = _mm256_set1_pd(4.0);
   for (std::size_t r = row_begin; r < row_end; ++r) {
-    const double* ro = store.data() + r * n;
-    const double* r2 = m2_store.data() + r * n;
-    const double* r3 = m3_store.data() + r * n;
-    const double* r4 = m4_store.data() + r * n;
+    const double* ro = block.data() + r * n;
+    const double* r2 = m2_block.data() + r * n;
+    const double* r3 = m3_block.data() + r * n;
+    const double* r4 = m4_block.data() + r * n;
     __m256d mean_acc = _mm256_setzero_pd();
     __m256d var_acc = _mm256_setzero_pd();
     std::size_t t = 0;

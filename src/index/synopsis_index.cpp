@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "ts/store_view.hpp"
 #include "wavelet/haar.hpp"
 
 namespace uts::index {
@@ -17,14 +18,23 @@ SynopsisIndex::SynopsisIndex(const ts::SoaStore& store,
   k_ = std::clamp<std::size_t>(coefficients, 1, padded);
   coefficients_.resize(rows_ * k_);
   norms_.resize(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const std::span<const double> row = store.row(r);
-    const std::vector<double> coeffs = wavelet::HaarTransformPadded(row);
-    std::copy(coeffs.begin(), coeffs.begin() + static_cast<long>(k_),
-              coefficients_.begin() + static_cast<long>(r * k_));
-    double sum_sq = 0.0;
-    for (double v : row) sum_sq += v * v;
-    norms_[r] = std::sqrt(sum_sq);
+  // One pinned block at a time: the synopsis pack itself stays resident
+  // (rows_·k_ doubles, tiny next to the data) but the source rows stream
+  // through the paging tier like every other consumer.
+  const ts::StoreView view(store);
+  for (std::size_t b = 0; b < view.num_blocks(); ++b) {
+    const auto pin = ts::PinOrAbort(view, b);
+    const std::size_t first = pin.first_row();
+    for (std::size_t i = 0; i < pin.block().rows(); ++i) {
+      const std::size_t r = first + i;
+      const std::span<const double> row = pin.block().row(i);
+      const std::vector<double> coeffs = wavelet::HaarTransformPadded(row);
+      std::copy(coeffs.begin(), coeffs.begin() + static_cast<long>(k_),
+                coefficients_.begin() + static_cast<long>(r * k_));
+      double sum_sq = 0.0;
+      for (double v : row) sum_sq += v * v;
+      norms_[r] = std::sqrt(sum_sq);
+    }
   }
 }
 

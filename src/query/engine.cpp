@@ -60,9 +60,27 @@ DistanceMatrixEngine::DistanceMatrixEngine(const ts::Dataset& dataset,
                                            EngineOptions options)
     : dataset_(&dataset),
       options_(options),
-      dispatch_(&distance::ResolveDispatch(options.simd)),
-      store_(dataset.Packed()) {
+      dispatch_(&distance::ResolveDispatch(options.simd)) {
   if (options_.grain == 0) options_.grain = 1;
+  if (options_.buffer_pool != nullptr && dataset.size() > 0 &&
+      dataset[0].size() > 0 && dataset.HasUniformLength()) {
+    // Storage-tier mode: pack straight from the dataset into pool-paged
+    // blocks (one block buffer live at a time) instead of the dataset's
+    // resident snapshot. Falls back to the resident mirror if the spill
+    // log cannot be written — results are identical either way.
+    auto paged = ts::SoaStore::FromRows(
+        dataset.size(), dataset[0].size(),
+        [&dataset](std::size_t r, std::span<double> out) {
+          const auto& values = dataset[r].values();
+          std::copy(values.begin(), values.end(), out.begin());
+        },
+        options_.buffer_pool, options_.block_rows);
+    if (paged.ok()) {
+      store_ = std::make_shared<const ts::SoaStore>(
+          std::move(paged).ValueOrDie());
+    }
+  }
+  if (store_ == nullptr) store_ = dataset.Packed();
   if (options_.index.enabled && store_ != nullptr && store_->rows() > 0 &&
       store_->stride() > 0) {
     synopsis_index_ = std::make_unique<index::SynopsisIndex>(
@@ -109,6 +127,15 @@ std::vector<std::size_t> CollectMatches(std::span<const double> values,
     if (keep(values[i])) matches.push_back(i);
   }
   return matches;
+}
+
+/// Euclidean distance over the common prefix of two (possibly ragged)
+/// series. Only the un-batched fallback paths can see mixed lengths; the
+/// prefix keeps them deterministic instead of tripping the equal-size
+/// precondition of the raw kernel (an out-of-bounds read with asserts off).
+double PrefixEuclidean(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  return distance::Euclidean(a.first(n), b.first(n));
 }
 
 }  // namespace
@@ -192,13 +219,18 @@ void ChargeFullScan(index::SearchCost* cost, std::size_t eligible) {
 
 index::ExactScorer DistanceMatrixEngine::EuclideanCascadeScorer(
     std::span<const double> query, index::SearchCost* cost) const {
+  // `query` must stay pinned by the caller for the scorer's lifetime; the
+  // candidate row's block is pinned per call (free for resident stores).
   return [this, query, cost](std::size_t row, double tau) {
+    const ts::StoreView view(*store_);
+    const auto pin = ts::PinOrAbort(view, view.block_of(row));
+    const std::size_t local = row - pin.first_row();
     double value = 0.0;
     const std::span<double> slot(&value, 1);
     if (std::isfinite(tau)) {
       const double threshold_sq = tau * tau * (1.0 + kAbandonSlack);
       dispatch_->squared_euclidean_early_abandon_range(
-          query, *store_, threshold_sq, row, row + 1, slot);
+          query, pin.block(), threshold_sq, local, local + 1, slot);
       if (value > threshold_sq) {
         if (cost != nullptr) ++cost->abandoned_early;
         return std::numeric_limits<double>::infinity();
@@ -207,14 +239,17 @@ index::ExactScorer DistanceMatrixEngine::EuclideanCascadeScorer(
     // Final value always comes from the same per-row-deterministic kernel
     // the full scan uses (the abandon kernel's completed sums accumulate in
     // a different order under AVX2 and are *not* bitwise comparable).
-    dispatch_->squared_euclidean_range(query, *store_, row, row + 1, slot);
+    dispatch_->squared_euclidean_range(query, pin.block(), local, local + 1,
+                                       slot);
     return std::sqrt(value);
   };
 }
 
 std::vector<Neighbor> DistanceMatrixEngine::IndexedKNearestEuclidean(
     std::size_t query_index, std::size_t k, index::SearchCost* cost) const {
-  const std::span<const double> query = store_->row(query_index);
+  const ts::StoreView view(*store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query_index);
+  const std::span<const double> query = query_pin.row();
   std::vector<double> bounds(store_->rows(), 0.0);
   synopsis_index_->EuclideanLowerBounds(synopsis_index_->Synopsize(query),
                                         bounds);
@@ -233,18 +268,27 @@ std::vector<Neighbor> DistanceMatrixEngine::KNearestEuclidean(
   if (store_ == nullptr) {
     const ts::TimeSeries& query = (*dataset_)[query_index];
     return KNearest(n, query_index, k, [&](std::size_t i) {
-      return distance::Euclidean(query.values(), (*dataset_)[i].values());
+      return PrefixEuclidean(query.values(), (*dataset_)[i].values());
     });
   }
-  const std::span<const double> query = store_->row(query_index);
+  const ts::StoreView view(*store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query_index);
+  const std::span<const double> query = query_pin.row();
   std::vector<double> distances(n, 0.0);
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   exec::ParallelFor(
-      pool_, n, options_.grain,
-      [&](std::size_t begin, std::size_t end) {
-        const std::span<double> slot =
-            std::span<double>(distances).subspan(begin, end - begin);
-        dispatch_->squared_euclidean_range(query, *store_, begin, end, slot);
-        for (double& v : slot) v = std::sqrt(v);
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          const std::span<double> slot = std::span<double>(distances).subspan(
+              chunk.begin, chunk.end - chunk.begin);
+          dispatch_->squared_euclidean_range(query, pin.block(),
+                                             chunk.begin - pin.first_row(),
+                                             chunk.end - pin.first_row(), slot);
+          for (double& v : slot) v = std::sqrt(v);
+        }
       });
   return detail::SelectKNearest(distances, query_index, k);
 }
@@ -285,15 +329,38 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
   // d(q,c)² is bitwise d(c,q)² — compute the upper triangle only and
   // mirror the lower. Halves the distance work of the ground-truth build.
   constexpr std::size_t kMaxMatrixEntries = std::size_t{1} << 24;  // 128 MiB
+  const ts::StoreView view(*store_);
   if (queries == n && n * n <= kMaxMatrixEntries) {
     std::vector<double> matrix(n * n, 0.0);
-    // Phase 1: rows of the upper trapezoid, per query block.
+    // Phase 1: rows of the upper trapezoid, per query chunk. Block rows are
+    // a multiple of kQueryBlock, so each query chunk sits inside one block;
+    // the candidate span [chunk.begin, n) is walked block by block. Each
+    // (q,c) pair is still one ordered accumulation chain, so the block cuts
+    // never change a result bit.
+    const auto query_chunks = ts::PartitionRows(view, distance::kQueryBlock);
     exec::ParallelFor(
-        pool_, n, /*grain=*/distance::kQueryBlock,
-        [&](std::size_t begin, std::size_t end) {
-          dispatch_->squared_euclidean_multi_query(
-              *store_, begin, end, begin, n,
-              std::span<double>(matrix).subspan(begin * n + begin), n);
+        pool_, query_chunks.size(), /*grain=*/1,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (std::size_t qc = chunk_begin; qc < chunk_end; ++qc) {
+            const ts::RowChunk& chunk = query_chunks[qc];
+            const auto query_pin = ts::PinOrAbort(view, chunk.block);
+            const std::size_t query_first = query_pin.first_row();
+            for (std::size_t cb = chunk.block; cb < view.num_blocks(); ++cb) {
+              const auto cand_pin = ts::PinOrAbort(view, cb);
+              const std::size_t cand_first = cand_pin.first_row();
+              const std::size_t cand_begin =
+                  std::max(chunk.begin, cand_first);
+              const std::size_t cand_end =
+                  cand_first + view.block_row_count(cb);
+              dispatch_->squared_euclidean_multi_query(
+                  query_pin.block(), chunk.begin - query_first,
+                  chunk.end - query_first, cand_pin.block(),
+                  cand_begin - cand_first, cand_end - cand_first,
+                  std::span<double>(matrix).subspan(chunk.begin * n +
+                                                    cand_begin),
+                  n);
+            }
+          }
         });
     // Phase 2: mirror the lower triangle (ParallelFor is a barrier, so the
     // sources are complete).
@@ -322,20 +389,35 @@ std::vector<std::vector<Neighbor>> DistanceMatrixEngine::AllKNearestEuclidean(
   }
 
   // Streaming fallback (query prefix, or matrix too large): parallelize
-  // over query blocks; the multi-query kernel loads each candidate row once
+  // over query chunks; the multi-query kernel loads each candidate row once
   // per kQueryBlock queries, and each chunk writes only its own out[q]
-  // slots.
+  // slots. Candidates are swept block by block into the chunk's buffer.
+  const auto query_chunks =
+      ts::PartitionRowRange(view, 0, queries, distance::kQueryBlock);
   exec::ParallelFor(
-      pool_, queries, /*grain=*/distance::kQueryBlock,
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<double> block((end - begin) * n, 0.0);
-        dispatch_->squared_euclidean_multi_query(*store_, begin, end, 0, n,
-                                                 block, n);
-        for (double& v : block) v = std::sqrt(v);
-        for (std::size_t q = begin; q < end; ++q) {
-          out[q] = detail::SelectKNearest(
-              std::span<const double>(block).subspan((q - begin) * n, n), q,
-              k);
+      pool_, query_chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t qc = chunk_begin; qc < chunk_end; ++qc) {
+          const ts::RowChunk& chunk = query_chunks[qc];
+          const auto query_pin = ts::PinOrAbort(view, chunk.block);
+          const std::size_t query_first = query_pin.first_row();
+          std::vector<double> block((chunk.end - chunk.begin) * n, 0.0);
+          for (std::size_t cb = 0; cb < view.num_blocks(); ++cb) {
+            const auto cand_pin = ts::PinOrAbort(view, cb);
+            const std::size_t cand_first = cand_pin.first_row();
+            dispatch_->squared_euclidean_multi_query(
+                query_pin.block(), chunk.begin - query_first,
+                chunk.end - query_first, cand_pin.block(), 0,
+                view.block_row_count(cb),
+                std::span<double>(block).subspan(cand_first), n);
+          }
+          for (double& v : block) v = std::sqrt(v);
+          for (std::size_t q = chunk.begin; q < chunk.end; ++q) {
+            out[q] = detail::SelectKNearest(
+                std::span<const double>(block).subspan((q - chunk.begin) * n,
+                                                       n),
+                q, k);
+          }
         }
       });
   return out;
@@ -346,7 +428,9 @@ std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
   const std::size_t n = dataset_->size();
   assert(query_index < n);
   if (synopsis_index_ != nullptr) {
-    const std::span<const double> query = store_->row(query_index);
+    const ts::StoreView view(*store_);
+    const auto query_pin = ts::PinRowOrAbort(view, query_index);
+    const std::span<const double> query = query_pin.row();
     std::vector<double> bounds(store_->rows(), 0.0);
     synopsis_index_->EuclideanLowerBounds(synopsis_index_->Synopsize(query),
                                           bounds);
@@ -358,18 +442,27 @@ std::vector<std::size_t> DistanceMatrixEngine::RangeSearchEuclidean(
   if (store_ == nullptr) {
     const ts::TimeSeries& query = (*dataset_)[query_index];
     return RangeSearch(n, query_index, epsilon, [&](std::size_t i) {
-      return distance::Euclidean(query.values(), (*dataset_)[i].values());
+      return PrefixEuclidean(query.values(), (*dataset_)[i].values());
     });
   }
-  const std::span<const double> query = store_->row(query_index);
+  const ts::StoreView view(*store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query_index);
+  const std::span<const double> query = query_pin.row();
   std::vector<double> distances(n, 0.0);
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   exec::ParallelFor(
-      pool_, n, options_.grain,
-      [&](std::size_t begin, std::size_t end) {
-        const std::span<double> slot =
-            std::span<double>(distances).subspan(begin, end - begin);
-        dispatch_->squared_euclidean_range(query, *store_, begin, end, slot);
-        for (double& v : slot) v = std::sqrt(v);
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          const std::span<double> slot = std::span<double>(distances).subspan(
+              chunk.begin, chunk.end - chunk.begin);
+          dispatch_->squared_euclidean_range(query, pin.block(),
+                                             chunk.begin - pin.first_row(),
+                                             chunk.end - pin.first_row(), slot);
+          for (double& v : slot) v = std::sqrt(v);
+        }
       });
   return CollectMatches(distances, query_index,
                         [epsilon](double d) { return d <= epsilon; });
@@ -380,16 +473,18 @@ std::vector<MotifPair> DistanceMatrixEngine::TopKMotifsEuclidean(
   const std::size_t n = dataset_->size();
   if (store_ == nullptr) {
     return TopKMotifs(n, k, [&](std::size_t a, std::size_t b) {
-      return distance::Euclidean((*dataset_)[a].values(),
-                                 (*dataset_)[b].values());
+      return PrefixEuclidean((*dataset_)[a].values(),
+                             (*dataset_)[b].values());
     });
   }
   // Streams rows of the SoA store through the generic chunked heap/merge;
   // each pair is ranked by its final metric value, exactly like the
-  // sequential reference.
-  return TopKMotifs(n, k, [this](std::size_t a, std::size_t b) {
-    return std::sqrt(
-        distance::SquaredEuclidean(store_->row(a), store_->row(b)));
+  // sequential reference. Row pins are taken per pair (free when resident).
+  const ts::StoreView view(*store_);
+  return TopKMotifs(n, k, [view](std::size_t a, std::size_t b) {
+    const auto pin_a = ts::PinRowOrAbort(view, a);
+    const auto pin_b = ts::PinRowOrAbort(view, b);
+    return std::sqrt(distance::SquaredEuclidean(pin_a.row(), pin_b.row()));
   });
 }
 

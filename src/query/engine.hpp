@@ -35,40 +35,20 @@
 #include "distance/simd.hpp"
 #include "exec/thread_pool.hpp"
 #include "index/cascade.hpp"
+#include "query/exec_options.hpp"
 #include "query/search.hpp"
 #include "ts/dataset.hpp"
+#include "ts/store_view.hpp"
 
 namespace uts::query {
 
-/// \brief Execution configuration of a DistanceMatrixEngine.
-struct EngineOptions {
-  /// Worker threads; 1 = run inline on the caller (sequential reference
-  /// path), 0 = std::thread::hardware_concurrency().
-  std::size_t threads = 1;
-
+/// \brief Execution configuration of a DistanceMatrixEngine. The shared
+/// execution fields (`threads`, `simd`, `shared_pool`, `index`,
+/// `buffer_pool`, `block_rows`) live in the inherited query::ExecOptions —
+/// their names and meanings are unchanged.
+struct EngineOptions : ExecOptions {
   /// Candidate rows per parallel chunk of a single query's scan.
   std::size_t grain = 256;
-
-  /// Kernel selection for the batched Euclidean paths: kAuto resolves the
-  /// widest compiled-in SIMD level the CPU supports (subject to the
-  /// UNCERTTS_FORCE_SCALAR environment override), kForceScalar pins the
-  /// bit-exact scalar reference kernels. See distance/simd.hpp for the
-  /// per-kernel numeric policy; the resolved level is queryable via
-  /// simd_level().
-  distance::SimdMode simd = distance::SimdMode::kAuto;
-
-  /// Borrowed executor: when non-null the engine schedules on this pool
-  /// instead of constructing a private one, and `threads` is ignored for
-  /// pool sizing. The pool must outlive the engine. This is how
-  /// query::EngineContext gives every engine of a run one shared pool.
-  exec::ThreadPool* shared_pool = nullptr;
-
-  /// Prune-before-score index cascade (default off). When enabled (and the
-  /// dataset is batched), KNearestEuclidean / AllKNearestEuclidean /
-  /// RangeSearchEuclidean route through a Haar-synopsis lower-bound filter
-  /// + early-abandon stage + exact re-scoring; results are bitwise
-  /// identical to the unindexed per-query scan. See index/cascade.hpp.
-  index::IndexOptions index;
 };
 
 /// \brief Batched parallel k-NN / RQ / PRQ / motif execution over one

@@ -130,6 +130,27 @@ exec::ThreadPool* EngineContext::pool() {
   return pool_.get();
 }
 
+std::shared_ptr<ts::BufferPool> EngineContext::buffer_pool() {
+  if (options_.buffer_pool != nullptr) return options_.buffer_pool;
+  if (options_.memory_budget_bytes == 0 || buffer_pool_failed_) {
+    return owned_buffer_pool_;  // null unless already created
+  }
+  if (owned_buffer_pool_ == nullptr) {
+    ts::BufferPool::Options pool_options;
+    pool_options.budget_bytes = options_.memory_budget_bytes;
+    pool_options.spill_dir = options_.spill_dir;
+    auto pool = ts::BufferPool::Create(pool_options);
+    if (!pool.ok()) {
+      // Unwritable spill dir: remember, stay resident (results identical).
+      buffer_pool_failed_ = true;
+      return nullptr;
+    }
+    owned_buffer_pool_ = std::move(pool).ValueOrDie();
+    ++stats_.buffer_pools_created;
+  }
+  return owned_buffer_pool_;
+}
+
 Status EngineContext::BindData(
     uncertain::UncertainDataset pdf,
     std::optional<uncertain::MultiSampleDataset> samples, std::uint64_t seed,
@@ -252,6 +273,8 @@ const DistanceMatrixEngine& EngineContext::Certain(const ts::Dataset& exact,
     options.grain = options_.certain_grain;
   }
   options.index = options_.index;
+  options.buffer_pool = buffer_pool();
+  options.block_rows = options_.block_rows;
   certain_ = std::make_unique<DistanceMatrixEngine>(exact, options);
   certain_dataset_ = &exact;
   certain_fingerprint_ = fingerprint;
@@ -269,6 +292,8 @@ UncertainEngine* EngineContext::EnsureUncertain() {
   options.simd = options_.simd;
   if (options_.uncertain_grain != 0) options.grain = options_.uncertain_grain;
   options.index = options_.index;
+  options.buffer_pool = buffer_pool();
+  options.block_rows = options_.block_rows;
   options.seed = seed_;
   options.proud_sigma = proud_sigma_;
   if (dust_cache_ != nullptr) options.dust = dust_cache_->options();

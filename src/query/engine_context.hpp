@@ -60,12 +60,14 @@
 
 namespace uts::query {
 
-/// \brief Execution configuration of an EngineContext.
-struct EngineContextOptions {
-  /// Worker threads every engine of the run shares; 1 = run inline on the
-  /// caller (no pool at all), 0 = std::thread::hardware_concurrency().
-  std::size_t threads = 1;
-
+/// \brief Execution configuration of an EngineContext. The shared
+/// execution fields (`threads`, `simd`, `shared_pool`, `index`,
+/// `buffer_pool`, `block_rows`) live in the inherited query::ExecOptions —
+/// their names and meanings are unchanged; `shared_pool` here is the
+/// server's `--pool-policy=shared` mode (many contexts, one pool;
+/// `pools_created` stays 0, `threads` still controls partitioning so
+/// results stay bit-identical to an owned pool of the same width).
+struct EngineContextOptions : ExecOptions {
   /// Candidate rows per parallel chunk of the certain-distance sweeps
   /// (DistanceMatrixEngine); 0 = that engine's default.
   std::size_t certain_grain = 0;
@@ -74,23 +76,18 @@ struct EngineContextOptions {
   /// (UncertainEngine); 0 = that engine's default.
   std::size_t uncertain_grain = 0;
 
-  /// Kernel selection every engine of the run shares (see
-  /// distance/simd.hpp): kAuto resolves the widest compiled-in SIMD level
-  /// the CPU supports, kForceScalar pins the scalar reference kernels.
-  distance::SimdMode simd = distance::SimdMode::kAuto;
+  /// Memory budget of the run's storage tier, in bytes. 0 (default) =
+  /// fully-resident stores, exactly the classic behavior. Non-zero makes
+  /// the context create a ts::BufferPool with this budget and build every
+  /// engine store (values, PROUD moment columns, MUNICH interval columns)
+  /// as paged blocks under it — datasets larger than the budget page
+  /// through the pool's spill log with results bitwise identical to the
+  /// resident run. Ignored when `buffer_pool` is set explicitly.
+  std::size_t memory_budget_bytes = 0;
 
-  /// Prune-before-score index cascade every engine of the run shares
-  /// (default off); results are bitwise identical either way. See
-  /// index/synopsis_index.hpp.
-  index::IndexOptions index;
-
-  /// Borrowed executor lent to this context instead of an owned pool (the
-  /// server's `--pool-policy=shared` mode: many contexts, one pool). When
-  /// set, `pool()` returns it — `threads` still controls partitioning, so
-  /// results stay bit-identical to an owned pool of the same width — and
-  /// the context never constructs a pool of its own (`pools_created` stays
-  /// 0). The pool must outlive the context. Null = own the pool (default).
-  exec::ThreadPool* shared_pool = nullptr;
+  /// Spill directory of the context-created buffer pool (empty = $TMPDIR,
+  /// else /tmp). Only consulted when `memory_budget_bytes` > 0.
+  std::string spill_dir;
 };
 
 /// \brief Owns the shared execution resources of one evaluation run: the
@@ -125,6 +122,8 @@ class EngineContext {
                                        ///< replaced an entry.
     std::size_t resident_activations = 0;  ///< ActivateResident calls that
                                            ///< went through BindData.
+    std::size_t buffer_pools_created = 0;  ///< Context-owned ts::BufferPool
+                                           ///< constructions (at most 1).
   };
 
   /// Create a context; no pool or engine is built until first use.
@@ -142,6 +141,14 @@ class EngineContext {
   /// The shared executor, created lazily on first request; null when
   /// `threads() == 1` (all engines then run inline).
   exec::ThreadPool* pool();
+
+  /// The storage-tier buffer pool every engine of this context pages its
+  /// stores through: the explicit `ExecOptions::buffer_pool` when set, a
+  /// lazily created pool when `memory_budget_bytes > 0`, null otherwise
+  /// (fully-resident stores). When pool creation fails (unwritable spill
+  /// dir) the context falls back to resident stores — results are identical
+  /// either way.
+  std::shared_ptr<ts::BufferPool> buffer_pool();
 
   /// \name Run data
   /// \{
@@ -285,6 +292,12 @@ class EngineContext {
   EngineContextOptions options_;
   std::size_t threads_ = 1;
   std::unique_ptr<exec::ThreadPool> pool_;
+
+  /// Context-created storage-tier pool (memory_budget_bytes > 0). Engines
+  /// and their stores hold it by shared_ptr, so destruction order is safe:
+  /// a store drops its pages before releasing its pool reference.
+  std::shared_ptr<ts::BufferPool> owned_buffer_pool_;
+  bool buffer_pool_failed_ = false;  ///< Create failed; stay resident.
 
   // Bound run data (owned) + its content fingerprint.
   bool bound_ = false;

@@ -129,7 +129,11 @@ Result<std::unique_ptr<UncertainEngine>> UncertainEngine::Create(
     }
   }
   engine->num_classes_ = engine->class_dists_.size();
-  engine->store_ = ts::SoaStore(std::move(values), len);
+  auto store = ts::SoaStore::FromPacked(std::move(values), len,
+                                        engine->options_.buffer_pool,
+                                        engine->options_.block_rows);
+  if (!store.ok()) return store.status();
+  engine->store_ = std::move(store).ValueOrDie();
   if (engine->options_.index.enabled) {
     engine->synopsis_index_ = std::make_unique<index::SynopsisIndex>(
         engine->store_, engine->options_.index.synopsis_coefficients);
@@ -148,17 +152,29 @@ Status UncertainEngine::BuildProudMomentColumns() {
     m3_of_class.push_back(dist->CentralMoment(3));
     m4_of_class.push_back(dist->CentralMoment(4));
   }
-  const std::size_t total = size() * length();
-  std::vector<double> m2(total), m3(total), m4(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    const std::uint16_t c = class_ids_[i];
-    m2[i] = m2_of_class[c];
-    m3[i] = m3_of_class[c];
-    m4[i] = m4_of_class[c];
-  }
-  m2_store_ = ts::SoaStore(std::move(m2), length());
-  m3_store_ = ts::SoaStore(std::move(m3), length());
-  m4_store_ = ts::SoaStore(std::move(m4), length());
+  // Each column streams through FromRows one block at a time, so paged
+  // engines never materialize a full n×len moment column; its blocking is a
+  // pure function of (stride, block_rows), so the moment stores share the
+  // observation store's block geometry.
+  const std::size_t len = length();
+  const auto build = [&](const std::vector<double>& of_class) {
+    return ts::SoaStore::FromRows(
+        size(), len,
+        [&](std::size_t r, std::span<double> out) {
+          const std::uint16_t* ids = class_ids_.data() + r * len;
+          for (std::size_t t = 0; t < len; ++t) out[t] = of_class[ids[t]];
+        },
+        options_.buffer_pool, options_.block_rows);
+  };
+  auto m2 = build(m2_of_class);
+  if (!m2.ok()) return m2.status();
+  auto m3 = build(m3_of_class);
+  if (!m3.ok()) return m3.status();
+  auto m4 = build(m4_of_class);
+  if (!m4.ok()) return m4.status();
+  m2_store_ = std::move(m2).ValueOrDie();
+  m3_store_ = std::move(m3).ValueOrDie();
+  m4_store_ = std::move(m4).ValueOrDie();
   proud_moments_ready_ = true;
   return Status::OK();
 }
@@ -207,29 +223,49 @@ Result<std::vector<double>> UncertainEngine::DustDistances(
   const std::size_t n = size();
   const std::size_t len = length();
   std::vector<double> distances(n, 0.0);
-  const std::span<const double> qrow = store_.row(query);
+  const ts::StoreView view(store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
+  const std::span<const double> qrow = query_pin.row();
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   if (num_classes_ == 1) {
     const distance::DustLut& lut = PairLut(0, 0);
-    exec::ParallelFor(pool_, n, options_.grain,
-                      [&](std::size_t begin, std::size_t end) {
-                        dispatch_->dust_range(
-                            qrow, store_, lut, begin, end,
-                            std::span<double>(distances)
-                                .subspan(begin, end - begin));
-                      });
+    exec::ParallelFor(
+        pool_, chunks.size(), /*grain=*/1,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+            const ts::RowChunk& chunk = chunks[c];
+            const auto pin = ts::PinOrAbort(view, chunk.block);
+            dispatch_->dust_range(qrow, pin.block(), lut,
+                                  chunk.begin - pin.first_row(),
+                                  chunk.end - pin.first_row(),
+                                  std::span<double>(distances)
+                                      .subspan(chunk.begin,
+                                               chunk.end - chunk.begin));
+          }
+        });
     return distances;
   }
   std::vector<const distance::DustLut*> qluts(len);
   for (std::size_t t = 0; t < len; ++t) {
     qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
   }
-  exec::ParallelFor(pool_, n, options_.grain,
-                    [&](std::size_t begin, std::size_t end) {
-                      dispatch_->dust_classed_range(
-                          qrow, store_, qluts, class_ids_, begin, end,
-                          std::span<double>(distances)
-                              .subspan(begin, end - begin));
-                    });
+  exec::ParallelFor(
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          const std::span<const std::uint16_t> block_ids =
+              std::span<const std::uint16_t>(class_ids_)
+                  .subspan(pin.first_row() * len);
+          dispatch_->dust_classed_range(qrow, pin.block(), qluts, block_ids,
+                                        chunk.begin - pin.first_row(),
+                                        chunk.end - pin.first_row(),
+                                        std::span<double>(distances)
+                                            .subspan(chunk.begin,
+                                                     chunk.end - chunk.begin));
+        }
+      });
   return distances;
 }
 
@@ -240,8 +276,11 @@ Result<double> UncertainEngine::DustDistance(std::size_t query,
     return Status::InvalidArgument(
         "DUST tables not built; call BuildDustTables first");
   }
-  const std::span<const double> q = store_.row(query);
-  const std::span<const double> c = store_.row(candidate);
+  const ts::StoreView view(store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
+  const auto cand_pin = ts::PinRowOrAbort(view, candidate);
+  const std::span<const double> q = query_pin.row();
+  const std::span<const double> c = cand_pin.row();
   double sum = 0.0;
   for (std::size_t t = 0; t < q.size(); ++t) {
     const double d =
@@ -267,32 +306,44 @@ std::vector<double> UncertainEngine::DustCascadeLowerBounds(
   // Stage-1 bounds: Haar-synopsis Euclidean lower bounds on the observation
   // rows, mapped through the table minorant into the DUST metric.
   std::vector<double> bounds(size(), 0.0);
+  const ts::StoreView view(store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
   synopsis_index_->EuclideanLowerBounds(
-      synopsis_index_->Synopsize(store_.row(query)), bounds);
+      synopsis_index_->Synopsize(query_pin.row()), bounds);
   for (double& b : bounds) b = dust_bound_(b);
   return bounds;
 }
 
 index::ExactScorer UncertainEngine::DustCascadeScorer(
-    std::size_t query, const std::vector<const distance::DustLut*>& qluts)
-    const {
+    std::span<const double> qrow,
+    const std::vector<const distance::DustLut*>& qluts) const {
   // Exact stage-2 scorer: the same per-row-deterministic dispatch kernels
   // the full sweep runs, on single-row ranges — bitwise identical values.
-  // DUST has no early-abandon kernel, so `tau` is unused.
-  const std::span<const double> qrow = store_.row(query);
+  // DUST has no early-abandon kernel, so `tau` is unused. `qrow` must stay
+  // pinned by the caller for the scorer's lifetime; the candidate row's
+  // block is pinned per call (free for resident stores).
   if (num_classes_ == 1) {
     const distance::DustLut& lut = PairLut(0, 0);
     return [this, qrow, &lut](std::size_t row, double /*tau*/) {
+      const ts::StoreView view(store_);
+      const auto pin = ts::PinOrAbort(view, view.block_of(row));
+      const std::size_t local = row - pin.first_row();
       double value = 0.0;
-      dispatch_->dust_range(qrow, store_, lut, row, row + 1,
+      dispatch_->dust_range(qrow, pin.block(), lut, local, local + 1,
                             std::span<double>(&value, 1));
       return value;
     };
   }
   return [this, qrow, &qluts](std::size_t row, double /*tau*/) {
+    const ts::StoreView view(store_);
+    const auto pin = ts::PinOrAbort(view, view.block_of(row));
+    const std::size_t local = row - pin.first_row();
+    const std::span<const std::uint16_t> block_ids =
+        std::span<const std::uint16_t>(class_ids_)
+            .subspan(pin.first_row() * store_.stride());
     double value = 0.0;
-    dispatch_->dust_classed_range(qrow, store_, qluts, class_ids_, row,
-                                  row + 1, std::span<double>(&value, 1));
+    dispatch_->dust_classed_range(qrow, pin.block(), qluts, block_ids, local,
+                                  local + 1, std::span<double>(&value, 1));
     return value;
   };
 }
@@ -308,8 +359,10 @@ Result<std::vector<Neighbor>> UncertainEngine::KNearestDust(
         qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
       }
     }
-    return index::CascadeKNearest(bounds, query, k,
-                                  DustCascadeScorer(query, qluts), cost);
+    const ts::StoreView view(store_);
+    const auto query_pin = ts::PinRowOrAbort(view, query);
+    return index::CascadeKNearest(
+        bounds, query, k, DustCascadeScorer(query_pin.row(), qluts), cost);
   }
   auto distances = DustDistances(query);
   if (!distances.ok()) return distances.status();
@@ -328,8 +381,11 @@ Result<std::vector<std::size_t>> UncertainEngine::RangeSearchDust(
         qluts[t] = &dust_luts_[class_id(query, t) * num_classes_];
       }
     }
-    return index::CascadeRangeSearch(bounds, query, epsilon,
-                                     DustCascadeScorer(query, qluts), cost);
+    const ts::StoreView view(store_);
+    const auto query_pin = ts::PinRowOrAbort(view, query);
+    return index::CascadeRangeSearch(
+        bounds, query, epsilon, DustCascadeScorer(query_pin.row(), qluts),
+        cost);
   }
   auto distances = DustDistances(query);
   if (!distances.ok()) return distances.status();
@@ -350,17 +406,27 @@ std::vector<double> UncertainEngine::ProudMatchProbabilities(
   assert(query < size());
   const std::size_t n = size();
   std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
-  const std::span<const double> qrow = store_.row(query);
+  const ts::StoreView view(store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
+  const std::span<const double> qrow = query_pin.row();
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   exec::ParallelFor(
-      pool_, n, options_.grain,
-      [&](std::size_t begin, std::size_t end) {
-        dispatch_->proud_moment_range(
-            qrow, store_, proud_v_, begin, end,
-            std::span<double>(mean).subspan(begin, end - begin),
-            std::span<double>(var).subspan(begin, end - begin));
-        for (std::size_t i = begin; i < end; ++i) {
-          probs[i] = measures::Proud::ProbabilityFromStats(
-              {mean[i], var[i]}, epsilon);
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          dispatch_->proud_moment_range(
+              qrow, pin.block(), proud_v_, chunk.begin - pin.first_row(),
+              chunk.end - pin.first_row(),
+              std::span<double>(mean).subspan(chunk.begin,
+                                              chunk.end - chunk.begin),
+              std::span<double>(var).subspan(chunk.begin,
+                                             chunk.end - chunk.begin));
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            probs[i] = measures::Proud::ProbabilityFromStats(
+                {mean[i], var[i]}, epsilon);
+          }
         }
       });
   return probs;
@@ -372,19 +438,29 @@ std::vector<std::size_t> UncertainEngine::ProbabilisticRangeSearchProud(
   const std::size_t n = size();
   std::vector<double> mean(n, 0.0), var(n, 0.0);
   std::vector<std::uint8_t> matched(n, 0);
-  const std::span<const double> qrow = store_.row(query);
+  const ts::StoreView view(store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
+  const std::span<const double> qrow = query_pin.row();
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   exec::ParallelFor(
-      pool_, n, options_.grain,
-      [&](std::size_t begin, std::size_t end) {
-        dispatch_->proud_moment_range(
-            qrow, store_, proud_v_, begin, end,
-            std::span<double>(mean).subspan(begin, end - begin),
-            std::span<double>(var).subspan(begin, end - begin));
-        for (std::size_t i = begin; i < end; ++i) {
-          matched[i] = measures::Proud::DecideFromStats({mean[i], var[i]},
-                                                        epsilon, tau)
-                           ? 1
-                           : 0;
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          dispatch_->proud_moment_range(
+              qrow, pin.block(), proud_v_, chunk.begin - pin.first_row(),
+              chunk.end - pin.first_row(),
+              std::span<double>(mean).subspan(chunk.begin,
+                                              chunk.end - chunk.begin),
+              std::span<double>(var).subspan(chunk.begin,
+                                             chunk.end - chunk.begin));
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            matched[i] = measures::Proud::DecideFromStats({mean[i], var[i]},
+                                                          epsilon, tau)
+                             ? 1
+                             : 0;
+          }
         }
       });
   std::vector<std::size_t> matches;
@@ -411,17 +487,39 @@ Result<std::vector<double>> UncertainEngine::ProudGeneralMatchProbabilities(
   }
   const std::size_t n = size();
   std::vector<double> mean(n, 0.0), var(n, 0.0), probs(n, 0.0);
+  // The moment columns share the observation store's block geometry (same
+  // stride, same block_rows), so one chunk maps to the same block index in
+  // all four stores.
+  assert(m2_store_.block_rows() == store_.block_rows());
+  const ts::StoreView view(store_);
+  const ts::StoreView m2_view(m2_store_), m3_view(m3_store_),
+      m4_view(m4_store_);
+  const auto query_pin = ts::PinRowOrAbort(view, query);
+  const auto q2_pin = ts::PinRowOrAbort(m2_view, query);
+  const auto q3_pin = ts::PinRowOrAbort(m3_view, query);
+  const auto q4_pin = ts::PinRowOrAbort(m4_view, query);
+  const auto chunks = ts::PartitionRows(view, options_.grain);
   exec::ParallelFor(
-      pool_, n, options_.grain,
-      [&](std::size_t begin, std::size_t end) {
-        dispatch_->proud_general_moment_range(
-            store_.row(query), m2_store_.row(query), m3_store_.row(query),
-            m4_store_.row(query), store_, m2_store_, m3_store_, m4_store_,
-            begin, end, std::span<double>(mean).subspan(begin, end - begin),
-            std::span<double>(var).subspan(begin, end - begin));
-        for (std::size_t i = begin; i < end; ++i) {
-          probs[i] = measures::Proud::ProbabilityFromStats(
-              {mean[i], var[i]}, epsilon);
+      pool_, chunks.size(), /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          const ts::RowChunk& chunk = chunks[c];
+          const auto pin = ts::PinOrAbort(view, chunk.block);
+          const auto m2_pin = ts::PinOrAbort(m2_view, chunk.block);
+          const auto m3_pin = ts::PinOrAbort(m3_view, chunk.block);
+          const auto m4_pin = ts::PinOrAbort(m4_view, chunk.block);
+          dispatch_->proud_general_moment_range(
+              query_pin.row(), q2_pin.row(), q3_pin.row(), q4_pin.row(),
+              pin.block(), m2_pin.block(), m3_pin.block(), m4_pin.block(),
+              chunk.begin - pin.first_row(), chunk.end - pin.first_row(),
+              std::span<double>(mean).subspan(chunk.begin,
+                                              chunk.end - chunk.begin),
+              std::span<double>(var).subspan(chunk.begin,
+                                             chunk.end - chunk.begin));
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            probs[i] = measures::Proud::ProbabilityFromStats(
+                {mean[i], var[i]}, epsilon);
+          }
         }
       });
   return probs;
@@ -451,8 +549,16 @@ Status UncertainEngine::AttachSamples(
       std::tie(lo[s * len + t], hi[s * len + t]) = series.BoundingInterval(t);
     }
   }
-  sample_lo_ = ts::SoaStore(std::move(lo), len);
-  sample_hi_ = ts::SoaStore(std::move(hi), len);
+  auto lo_store = ts::SoaStore::FromPacked(std::move(lo), len,
+                                           options_.buffer_pool,
+                                           options_.block_rows);
+  if (!lo_store.ok()) return lo_store.status();
+  auto hi_store = ts::SoaStore::FromPacked(std::move(hi), len,
+                                           options_.buffer_pool,
+                                           options_.block_rows);
+  if (!hi_store.ok()) return hi_store.status();
+  sample_lo_ = std::move(lo_store).ValueOrDie();
+  sample_hi_ = std::move(hi_store).ValueOrDie();
   samples_ = &samples;
   return Status::OK();
 }
@@ -473,10 +579,14 @@ Result<double> UncertainEngine::MunichPairProbability(std::size_t qi,
   const uncertain::MultiSampleSeries& y = (*samples_)[ci];
   measures::MunichOptions options = options_.munich;
   if (options.use_bounds_filter) {
+    const ts::StoreView lo_view(sample_lo_), hi_view(sample_hi_);
+    const auto qlo = ts::PinRowOrAbort(lo_view, qi);
+    const auto qhi = ts::PinRowOrAbort(hi_view, qi);
+    const auto clo = ts::PinRowOrAbort(lo_view, ci);
+    const auto chi = ts::PinRowOrAbort(hi_view, ci);
     const measures::DistanceBounds bounds =
         measures::Munich::EuclideanBoundsFromIntervals(
-            sample_lo_.row(qi), sample_hi_.row(qi), sample_lo_.row(ci),
-            sample_hi_.row(ci));
+            qlo.row(), qhi.row(), clo.row(), chi.row());
     if (bounds.upper <= epsilon) return 1.0;
     if (bounds.lower > epsilon) return 0.0;
     // The filter did not decide; hand the estimator a filter-free matcher

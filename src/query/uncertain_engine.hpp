@@ -58,18 +58,24 @@
 #include "measures/dust.hpp"
 #include "measures/munich.hpp"
 #include "measures/proud.hpp"
+#include "query/exec_options.hpp"
 #include "query/search.hpp"
 #include "ts/soa_store.hpp"
+#include "ts/store_view.hpp"
 #include "uncertain/uncertain_series.hpp"
 
 namespace uts::query {
 
-/// \brief Execution + measure configuration of an UncertainEngine.
-struct UncertainEngineOptions {
-  /// Worker threads; 1 = run inline on the caller (sequential reference
-  /// path), 0 = std::thread::hardware_concurrency().
-  std::size_t threads = 1;
-
+/// \brief Execution + measure configuration of an UncertainEngine. The
+/// shared execution fields (`threads`, `simd`, `shared_pool`, `index`,
+/// `buffer_pool`, `block_rows`) live in the inherited query::ExecOptions —
+/// their names and meanings are unchanged. Engine-specific notes: DUST
+/// results are bitwise identical at every SIMD level, PROUD sweeps are
+/// within the pinned tolerance of distance/simd.hpp, MUNICH never touches
+/// the dispatch; the index cascade routes only the DUST k-NN / range paths
+/// (PROUD/MUNICH match probabilities are not provably monotone in the
+/// observation distance).
+struct UncertainEngineOptions : ExecOptions {
   /// Candidate rows per parallel chunk of a single query's sweep. Smaller
   /// than DistanceMatrixEngine's default because MUNICH estimators cost
   /// orders of magnitude more per candidate than a Euclidean row.
@@ -88,30 +94,6 @@ struct UncertainEngineOptions {
   /// Base seed of the MUNICH Monte Carlo pair streams; the same value used
   /// with the scalar API reproduces engine results bit-exactly.
   std::uint64_t seed = 0x5eed;
-
-  /// Kernel selection for the DUST and PROUD sweeps: kAuto resolves the
-  /// widest compiled-in SIMD level the CPU supports (subject to the
-  /// UNCERTTS_FORCE_SCALAR environment override), kForceScalar pins the
-  /// scalar reference kernels. DUST results are bitwise identical either
-  /// way; PROUD sweeps are within the pinned tolerance of distance/simd.hpp.
-  /// MUNICH never touches the dispatch (its cost is the Monte Carlo
-  /// estimator, not a batch kernel).
-  distance::SimdMode simd = distance::SimdMode::kAuto;
-
-  /// Borrowed executor: when non-null the engine schedules on this pool
-  /// instead of constructing a private one, and `threads` is ignored for
-  /// pool sizing. The pool must outlive the engine. This is how
-  /// query::EngineContext gives every engine of a run one shared pool.
-  exec::ThreadPool* shared_pool = nullptr;
-
-  /// Prune-before-score index cascade over the observation rows (default
-  /// off). When enabled, the DUST k-NN / range paths prune with Haar
-  /// Euclidean lower bounds mapped through a minorant of the DUST tables
-  /// (see index::DustLowerBoundMap); results stay bitwise identical. The
-  /// probabilistic paths (PROUD, MUNICH) are never index-routed — their
-  /// match probabilities are not provably monotone in the observation
-  /// distance.
-  index::IndexOptions index;
 };
 
 /// \brief Batched parallel MUNICH / PROUD / DUST query execution over one
@@ -307,10 +289,11 @@ class UncertainEngine {
   std::vector<double> DustCascadeLowerBounds(std::size_t query) const;
 
   /// Exact single-row DUST scorer (same dispatch kernels as the full
-  /// sweep). `qluts` must outlive the scorer and, for multi-class data,
+  /// sweep). `qrow` must stay pinned by the caller for the scorer's
+  /// lifetime; `qluts` must outlive the scorer and, for multi-class data,
   /// hold the query's per-timestamp lut rows; unused when single-class.
   index::ExactScorer DustCascadeScorer(
-      std::size_t query,
+      std::span<const double> qrow,
       const std::vector<const distance::DustLut*>& qluts) const;
 
   UncertainEngineOptions options_;

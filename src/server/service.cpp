@@ -56,6 +56,8 @@ Service::Service(ServiceOptions options)
         context_options.simd = options.simd;
         context_options.index = options.index;
         context_options.shared_pool = options.shared_pool;
+        context_options.memory_budget_bytes = options.memory_budget_bytes;
+        context_options.spill_dir = options.spill_dir;
         return context_options;
       }()) {}
 

@@ -56,6 +56,16 @@ struct ServiceOptions {
   /// lends one pool to every shard's service. Must be at least `threads`
   /// wide and outlive the service. Null = the context owns its pool.
   exec::ThreadPool* shared_pool = nullptr;
+
+  /// Storage-tier budget handed through to the context
+  /// (EngineContextOptions::memory_budget_bytes). 0 = fully-resident
+  /// stores; non-zero pages every bound dataset's stores through a
+  /// per-shard ts::BufferPool with responses bitwise identical either way.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Spill directory of the shard's buffer pool
+  /// (EngineContextOptions::spill_dir); empty = $TMPDIR, else /tmp.
+  std::string spill_dir;
 };
 
 /// \brief The dataset a request payload addresses, used to route it to the

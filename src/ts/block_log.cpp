@@ -1,0 +1,105 @@
+#include "ts/block_log.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace uts::ts {
+
+namespace {
+
+std::string ResolveSpillDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir != nullptr && tmpdir[0] != '\0') return tmpdir;
+  return "/tmp";
+}
+
+}  // namespace
+
+Result<BlockLog> BlockLog::Open(const std::string& dir) {
+  std::string path = ResolveSpillDir(dir) + "/uncertts-spill-XXXXXX";
+  // mkstemp wants a mutable template; the vector inside std::string is one.
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IOError("cannot create spill file in '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // Unlink immediately: the kernel keeps the inode alive for this fd, and a
+  // crash can never leave a stale spill file behind.
+  ::unlink(path.c_str());
+  BlockLog log;
+  log.fd_ = fd;
+  return log;
+}
+
+BlockLog::~BlockLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+BlockLog::BlockLog(BlockLog&& other) noexcept
+    : fd_(other.fd_), end_(other.end_) {
+  other.fd_ = -1;
+  other.end_ = 0;
+}
+
+BlockLog& BlockLog::operator=(BlockLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    end_ = other.end_;
+    other.fd_ = -1;
+    other.end_ = 0;
+  }
+  return *this;
+}
+
+Result<std::uint64_t> BlockLog::Append(const void* data, std::size_t size) {
+  if (fd_ < 0) return Status::IOError("spill log is not open");
+  const std::uint64_t offset = end_;
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
+  std::uint64_t at = offset;
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("spill write failed: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    at += static_cast<std::uint64_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  end_ = offset + size;
+  return offset;
+}
+
+Status BlockLog::ReadAt(std::uint64_t offset, void* data,
+                        std::size_t size) const {
+  if (fd_ < 0) return Status::IOError("spill log is not open");
+  char* p = static_cast<char*>(data);
+  std::size_t left = size;
+  std::uint64_t at = offset;
+  while (left > 0) {
+    const ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("spill read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption("spill read past the end of the log");
+    }
+    p += n;
+    at += static_cast<std::uint64_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace uts::ts

@@ -1,0 +1,63 @@
+/// \file block_log.hpp
+/// \brief Append-only on-disk log of spilled storage blocks.
+///
+/// The buffer pool's backing store: every block admitted to a
+/// `ts::BufferPool` is written here once, at admission time, and re-read by
+/// offset whenever a fault brings an evicted block back. Append-only by
+/// design — a block's bytes are immutable after the write, so a refault
+/// always reproduces exactly the bytes that were evicted and paged results
+/// stay bitwise identical to the resident path (docs/ARCHITECTURE.md §7).
+///
+/// The log lives in an unlinked temporary file (created with mkstemp, then
+/// unlinked), so crashed processes leak no spill files and the space is
+/// reclaimed the moment the log is destroyed.
+///
+/// Thread-safety: none. The owning BufferPool serializes all access under
+/// its mutex.
+
+#ifndef UTS_TS_BLOCK_LOG_HPP_
+#define UTS_TS_BLOCK_LOG_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace uts::ts {
+
+/// \brief Append-only spill file handing out stable (offset, size) block
+/// addresses.
+class BlockLog {
+ public:
+  /// Create the unlinked spill file in `dir` (empty = $TMPDIR, else /tmp).
+  static Result<BlockLog> Open(const std::string& dir);
+
+  BlockLog() = default;
+  ~BlockLog();
+
+  BlockLog(BlockLog&& other) noexcept;
+  BlockLog& operator=(BlockLog&& other) noexcept;
+  BlockLog(const BlockLog&) = delete;
+  BlockLog& operator=(const BlockLog&) = delete;
+
+  /// True iff the spill file is open.
+  bool open() const { return fd_ >= 0; }
+
+  /// Append `size` bytes; returns the stable offset the block lives at.
+  Result<std::uint64_t> Append(const void* data, std::size_t size);
+
+  /// Read `size` bytes from `offset` (a value returned by Append).
+  Status ReadAt(std::uint64_t offset, void* data, std::size_t size) const;
+
+  /// Total bytes appended so far.
+  std::uint64_t size_bytes() const { return end_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t end_ = 0;
+};
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_BLOCK_LOG_HPP_

@@ -30,7 +30,12 @@ std::shared_ptr<const SoaStore> Dataset::Packed() const {
   for (const auto& s : series_) {
     values.insert(values.end(), s.begin(), s.end());
   }
-  packed_ = std::make_shared<SoaStore>(std::move(values), stride);
+  auto store = SoaStore::FromPacked(std::move(values), stride);
+  if (!store.ok()) {
+    packed_unpackable_ = true;
+    return nullptr;
+  }
+  packed_ = std::make_shared<const SoaStore>(std::move(store).ValueOrDie());
   return packed_;
 }
 

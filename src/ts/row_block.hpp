@@ -1,0 +1,106 @@
+/// \file row_block.hpp
+/// \brief One pinned, contiguous block of SoA rows — the only shape the
+/// distance kernels accept.
+///
+/// The storage tier (ts::SoaStore + ts::BufferPool) splits a collection
+/// into fixed-size column blocks so larger-than-RAM datasets can page; the
+/// kernels of distance/batch.hpp and distance/simd.hpp never see a store,
+/// only a `RowBlock`: a borrowed (data, stride, rows) triple that is
+/// guaranteed contiguous and resident for as long as the caller holds the
+/// pin that produced it (ts::StoreView::Pin). Row indices passed alongside
+/// a block are always *block-local*.
+///
+/// The block geometry below is shared by the packer and the kernels: blocks
+/// are a whole number of candidate tiles (kCandidateTileBytes) and a
+/// multiple of the multi-query block (kQueryBlock), so the engines'
+/// block-clipped ParallelFor partitions tile exactly like the resident
+/// path. Geometry is a pure function of the stride — never of the memory
+/// budget or thread count — which is one leg of the bitwise-determinism
+/// contract (docs/ARCHITECTURE.md §3, §7).
+
+#ifndef UTS_TS_ROW_BLOCK_HPP_
+#define UTS_TS_ROW_BLOCK_HPP_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace uts::ts {
+
+/// \brief Queries per block of the multi-query distance kernel: independent
+/// accumulator chains that overlap the FP-add latency a single strictly
+/// ordered per-pair sum cannot hide.
+inline constexpr std::size_t kQueryBlock = 4;
+
+/// \brief Cache-block size of the multi-query kernels' candidate tiling, in
+/// bytes. The kernels walk candidate rows in tiles of
+/// `kCandidateTileBytes / (stride * sizeof(double))` rows and replay every
+/// query block against one resident tile before streaming the next, so each
+/// candidate row is fetched from memory once per *tile pass* instead of once
+/// per query block. Sized to half the 2 MiB L2 recorded in the benchmark
+/// context (BENCH_uncertain_baseline.json): the tile plus the query block
+/// and output slices stay L2-resident with room for prefetch streams.
+/// Tiling only reorders which (query, candidate) pair is evaluated when —
+/// each pair's accumulation is still one pass in ascending timestamp order,
+/// so results are unchanged bit for bit.
+inline constexpr std::size_t kCandidateTileBytes = std::size_t{1} << 20;
+
+/// \brief Candidate rows per tile for a given row stride (>= kQueryBlock so
+/// a tile is never smaller than one query block's worth of work).
+inline constexpr std::size_t CandidateTileRows(std::size_t stride) {
+  const std::size_t bytes_per_row = stride * sizeof(double);
+  if (bytes_per_row == 0) return kQueryBlock;
+  const std::size_t rows = kCandidateTileBytes / bytes_per_row;
+  return rows < kQueryBlock ? kQueryBlock : rows;
+}
+
+/// \brief Rows per paged storage block for a given stride: four candidate
+/// tiles (~4 MiB), rounded up to a multiple of kQueryBlock so a grain-
+/// kQueryBlock query chunk never straddles a block boundary. A pure
+/// function of the stride alone — identical however the store is paged —
+/// so block-clipped partitions depend only on the data shape.
+inline constexpr std::size_t DefaultBlockRows(std::size_t stride) {
+  std::size_t rows = 4 * CandidateTileRows(stride);
+  const std::size_t rem = rows % kQueryBlock;
+  if (rem != 0) rows += kQueryBlock - rem;
+  return rows;
+}
+
+/// \brief Borrowed view of one contiguous run of SoA rows. Mirrors the row
+/// accessors of the old resident store so kernels are written identically;
+/// validity is the caller's pin (see file comment).
+class RowBlock {
+ public:
+  RowBlock() = default;
+
+  /// View over `rows` rows of length `stride` starting at `data`.
+  RowBlock(const double* data, std::size_t stride, std::size_t rows)
+      : data_(data), stride_(stride), rows_(rows) {}
+
+  /// Number of rows in the block.
+  std::size_t rows() const { return rows_; }
+
+  /// Length of every row (elements between consecutive rows).
+  std::size_t stride() const { return stride_; }
+
+  /// True iff the block holds no rows.
+  bool empty() const { return rows_ == 0; }
+
+  /// Base pointer (row i starts at data() + i * stride()).
+  const double* data() const { return data_; }
+
+  /// Row view of block-local row i; precondition i < rows().
+  std::span<const double> row(std::size_t i) const {
+    assert(i < rows_);
+    return {data_ + i * stride_, stride_};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t stride_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace uts::ts
+
+#endif  // UTS_TS_ROW_BLOCK_HPP_

@@ -12,6 +12,7 @@
 #include "distance/lp.hpp"
 #include "prob/rng.hpp"
 #include "ts/soa_store.hpp"
+#include "ts/store_view.hpp"
 
 namespace uts::distance {
 namespace {
@@ -258,7 +259,22 @@ ts::SoaStore RandomStore(std::size_t rows, std::size_t stride,
     const auto row = RandomSeries(stride, seed + r);
     values.insert(values.end(), row.begin(), row.end());
   }
-  return ts::SoaStore(std::move(values), stride);
+  return ts::SoaStore::FromPacked(std::move(values), stride).ValueOrDie();
+}
+
+// Row values through the pinned view API (the only row access consumers
+// have); copied out so the pin does not have to outlive the comparison.
+std::vector<double> RowCopy(const ts::SoaStore& store, std::size_t i) {
+  const ts::StoreView view(store);
+  const auto pin = ts::PinRowOrAbort(view, i);
+  return {pin.row().begin(), pin.row().end()};
+}
+
+// Resident stores expose exactly one block whose pin is a pointer copy into
+// store-owned storage, so the returned RowBlock outlives the pin guard.
+ts::RowBlock Block(const ts::SoaStore& store) {
+  const ts::StoreView view(store);
+  return ts::PinOrAbort(view, 0).block();
 }
 
 TEST(BatchKernelTest, BitIdenticalToScalarKernelsRowByRow) {
@@ -269,23 +285,23 @@ TEST(BatchKernelTest, BitIdenticalToScalarKernelsRowByRow) {
 
   SquaredEuclideanBatch(query, store, out);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], SquaredEuclidean(query, store.row(i))) << i;
+    EXPECT_EQ(out[i], SquaredEuclidean(query, RowCopy(store, i))) << i;
   }
   EuclideanBatch(query, store, out);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], Euclidean(query, store.row(i))) << i;
+    EXPECT_EQ(out[i], Euclidean(query, RowCopy(store, i))) << i;
   }
   LpBatch(query, store, 1.0, out);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], Manhattan(query, store.row(i))) << i;
+    EXPECT_EQ(out[i], Manhattan(query, RowCopy(store, i))) << i;
   }
   LpBatch(query, store, 2.0, out);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], Euclidean(query, store.row(i))) << i;
+    EXPECT_EQ(out[i], Euclidean(query, RowCopy(store, i))) << i;
   }
   LpBatch(query, store, 3.0, out);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(out[i], Minkowski(query, store.row(i), 3.0)) << i;
+    EXPECT_EQ(out[i], Minkowski(query, RowCopy(store, i), 3.0)) << i;
   }
 }
 
@@ -297,7 +313,7 @@ TEST(BatchKernelTest, RangeVariantCoversArbitrarySubranges) {
   for (auto [begin, end] : {std::pair<std::size_t, std::size_t>{0, 40},
                             {7, 40}, {0, 9}, {13, 14}, {20, 20}}) {
     std::vector<double> part(end - begin, -1.0);
-    SquaredEuclideanBatchRange(query, store, begin, end, part);
+    SquaredEuclideanBatchRange(query, Block(store), begin, end, part);
     for (std::size_t i = begin; i < end; ++i) {
       EXPECT_EQ(part[i - begin], full[i]) << begin << ":" << end;
     }
@@ -326,11 +342,12 @@ TEST(BatchKernelTest, MultiQueryBitIdenticalIncludingRemainderTail) {
   // 7 queries: one full 4-query block plus a 3-query scalar tail.
   const ts::SoaStore store = RandomStore(23, 19, 800);
   std::vector<double> out(7 * 23);
-  SquaredEuclideanMultiQueryBatch(store, 2, 9, 0, 23, out, 23);
+  const ts::RowBlock block = Block(store);
+  SquaredEuclideanMultiQueryBatch(block, 2, 9, block, 0, 23, out, 23);
   for (std::size_t q = 2; q < 9; ++q) {
     for (std::size_t r = 0; r < 23; ++r) {
       EXPECT_EQ(out[(q - 2) * 23 + r],
-                SquaredEuclidean(store.row(q), store.row(r)))
+                SquaredEuclidean(RowCopy(store, q), RowCopy(store, r)))
           << q << "," << r;
     }
   }

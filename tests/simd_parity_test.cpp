@@ -36,6 +36,7 @@
 #include "query/uncertain_engine.hpp"
 #include "ts/dataset.hpp"
 #include "ts/soa_store.hpp"
+#include "ts/store_view.hpp"
 #include "uncertain/uncertain_series.hpp"
 
 namespace uts::distance {
@@ -67,7 +68,15 @@ ts::SoaStore RandomStore(std::size_t rows, std::size_t len,
   prob::Rng rng(seed);
   std::vector<double> values(rows * len);
   for (double& v : values) v = rng.Gaussian();
-  return ts::SoaStore(std::move(values), len);
+  return ts::SoaStore::FromPacked(std::move(values), len).ValueOrDie();
+}
+
+/// The single block of a resident test store, in the shape the kernels
+/// accept. Resident pins are pointer copies into the store's own storage,
+/// so the returned RowBlock outlives the pin guard.
+ts::RowBlock Block(const ts::SoaStore& store) {
+  const ts::StoreView view(store);
+  return ts::PinOrAbort(view, 0).block();
 }
 
 std::vector<double> RandomQuery(std::size_t len, std::uint64_t seed) {
@@ -84,16 +93,17 @@ TEST(SimdKernelParityTest, SquaredEuclideanRangeWithinTolerance) {
   const KernelDispatch& simd = ResolveDispatch(SimdMode::kAuto);
   for (std::size_t len : kLengths) {
     const ts::SoaStore store = RandomStore(37, len, 0xe1 + len);
+    const ts::RowBlock block = Block(store);
     const std::vector<double> query = RandomQuery(len, 0x90 + len);
     std::vector<double> want(store.rows()), got(store.rows());
-    SquaredEuclideanBatchRange(query, store, 0, store.rows(), want);
-    simd.squared_euclidean_range(query, store, 0, store.rows(), got);
+    SquaredEuclideanBatchRange(query, block, 0, store.rows(), want);
+    simd.squared_euclidean_range(query, block, 0, store.rows(), got);
     for (std::size_t i = 0; i < got.size(); ++i) {
       ExpectRelNear(got[i], want[i], "sq-euclid", i);
     }
     // Sub-range calls must agree with the full sweep (chunk invariance).
     std::vector<double> part(5);
-    simd.squared_euclidean_range(query, store, 7, 12, part);
+    simd.squared_euclidean_range(query, block, 7, 12, part);
     for (std::size_t i = 0; i < part.size(); ++i) {
       EXPECT_EQ(part[i], got[7 + i]) << "len=" << len;
     }
@@ -107,9 +117,12 @@ TEST(SimdKernelParityTest, MultiQueryWithinToleranceIncludingRemainder) {
     // 23 queries: 5 full blocks of kQueryBlock plus a 3-query remainder.
     const std::size_t rows = 23;
     const ts::SoaStore store = RandomStore(rows, len, 0x3c + len);
+    const ts::RowBlock block = Block(store);
     std::vector<double> want(rows * rows), got(rows * rows);
-    SquaredEuclideanMultiQueryBatch(store, 0, rows, 0, rows, want, rows);
-    simd.squared_euclidean_multi_query(store, 0, rows, 0, rows, got, rows);
+    SquaredEuclideanMultiQueryBatch(block, 0, rows, block, 0, rows, want,
+                                    rows);
+    simd.squared_euclidean_multi_query(block, 0, rows, block, 0, rows, got,
+                                       rows);
     for (std::size_t i = 0; i < got.size(); ++i) {
       ExpectRelNear(got[i], want[i], "multi-query", i);
     }
@@ -134,11 +147,13 @@ TEST(SimdKernelParityTest, EarlyAbandonDecisionsAgreeAtTileBoundaries) {
       values.push_back(static_cast<double>(rng.Next() % 5));
     }
   }
-  const ts::SoaStore store(std::move(values), len);
+  const ts::SoaStore store =
+      ts::SoaStore::FromPacked(std::move(values), len).ValueOrDie();
+  const ts::RowBlock block = Block(store);
   const std::vector<double> query(len, 0.0);
 
   std::vector<double> full(rows);
-  SquaredEuclideanBatchRange(query, store, 0, rows, full);
+  SquaredEuclideanBatchRange(query, block, 0, rows, full);
 
   // Thresholds: exact partial sums of row 0 at the first and second tile
   // boundaries (the adversarial spots: the scalar path crosses mid-tile,
@@ -146,7 +161,7 @@ TEST(SimdKernelParityTest, EarlyAbandonDecisionsAgreeAtTileBoundaries) {
   // extremes that abandon nothing / everything.
   double boundary1 = 0.0, boundary2 = 0.0, mid = 0.0;
   {
-    const std::span<const double> row = store.row(0);
+    const std::span<const double> row = block.row(0);
     for (std::size_t t = 0; t < kAbandonTile; ++t) boundary1 += row[t] * row[t];
     boundary2 = boundary1;
     for (std::size_t t = kAbandonTile; t < 2 * kAbandonTile; ++t) {
@@ -162,9 +177,9 @@ TEST(SimdKernelParityTest, EarlyAbandonDecisionsAgreeAtTileBoundaries) {
 
   for (double threshold_sq : thresholds) {
     std::vector<double> scalar_out(rows), simd_out(rows);
-    SquaredEuclideanEarlyAbandonBatchRange(query, store, threshold_sq, 0,
+    SquaredEuclideanEarlyAbandonBatchRange(query, block, threshold_sq, 0,
                                            rows, scalar_out);
-    simd.squared_euclidean_early_abandon_range(query, store, threshold_sq, 0,
+    simd.squared_euclidean_early_abandon_range(query, block, threshold_sq, 0,
                                                rows, simd_out);
     for (std::size_t i = 0; i < rows; ++i) {
       // The abandon decision must agree between the paths...
@@ -195,10 +210,11 @@ TEST(SimdKernelParityTest, DustClosedFormBitwise) {
   lut.scale = 1.0 / std::sqrt(2.0 * (0.25 + 0.49));
   for (std::size_t len : kLengths) {
     const ts::SoaStore store = RandomStore(19, len, 0xd0 + len);
+    const ts::RowBlock block = Block(store);
     const std::vector<double> query = RandomQuery(len, 0xd1 + len);
     std::vector<double> want(store.rows()), got(store.rows());
-    DustBatchRange(query, store, lut, 0, store.rows(), want);
-    simd.dust_range(query, store, lut, 0, store.rows(), got);
+    DustBatchRange(query, block, lut, 0, store.rows(), want);
+    simd.dust_range(query, block, lut, 0, store.rows(), got);
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i], want[i]) << "len=" << len << " row " << i;
     }
@@ -250,11 +266,13 @@ TEST(SimdKernelParityTest, DustLookupTableBitwise) {
           values[i] = 4.0 - 0.5 * lut.view.step;
       }
     }
-    const ts::SoaStore store(std::move(values), len);
+    const ts::SoaStore store =
+        ts::SoaStore::FromPacked(std::move(values), len).ValueOrDie();
+    const ts::RowBlock block = Block(store);
     const std::vector<double> query(len, 0.0);
     std::vector<double> want(store.rows()), got(store.rows());
-    DustBatchRange(query, store, lut.view, 0, store.rows(), want);
-    simd.dust_range(query, store, lut.view, 0, store.rows(), got);
+    DustBatchRange(query, block, lut.view, 0, store.rows(), want);
+    simd.dust_range(query, block, lut.view, 0, store.rows(), got);
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i], want[i]) << "len=" << len << " row " << i;
     }
@@ -274,6 +292,7 @@ TEST(SimdKernelParityTest, DustClassedBitwiseAcrossRunShapes) {
   for (std::size_t len : {std::size_t{8}, std::size_t{64}, std::size_t{75}}) {
     const std::size_t rows = 9;
     const ts::SoaStore store = RandomStore(rows, len, 0xc1a + len);
+    const ts::RowBlock block = Block(store);
     const std::vector<double> query = RandomQuery(len, 0xc1b + len);
 
     // Query-side lut rows: constant for the first half of the timestamps,
@@ -297,8 +316,8 @@ TEST(SimdKernelParityTest, DustClassedBitwiseAcrossRunShapes) {
       }
     }
     std::vector<double> want(rows), got(rows);
-    DustClassedBatchRange(query, store, qluts, ids, 0, rows, want);
-    simd.dust_classed_range(query, store, qluts, ids, 0, rows, got);
+    DustClassedBatchRange(query, block, qluts, ids, 0, rows, want);
+    simd.dust_classed_range(query, block, qluts, ids, 0, rows, got);
     for (std::size_t i = 0; i < rows; ++i) {
       EXPECT_EQ(got[i], want[i]) << "len=" << len << " row " << i;
     }
@@ -313,12 +332,13 @@ TEST(SimdKernelParityTest, ProudMomentWithinTolerance) {
   const double v = 2.0 * 0.5 * 0.5;
   for (std::size_t len : kLengths) {
     const ts::SoaStore store = RandomStore(21, len, 0x9d + len);
+    const ts::RowBlock block = Block(store);
     const std::vector<double> query = RandomQuery(len, 0x9e + len);
     std::vector<double> want_mean(store.rows()), want_var(store.rows());
     std::vector<double> got_mean(store.rows()), got_var(store.rows());
-    ProudMomentBatchRange(query, store, v, 0, store.rows(), want_mean,
+    ProudMomentBatchRange(query, block, v, 0, store.rows(), want_mean,
                           want_var);
-    simd.proud_moment_range(query, store, v, 0, store.rows(), got_mean,
+    simd.proud_moment_range(query, block, v, 0, store.rows(), got_mean,
                             got_var);
     for (std::size_t i = 0; i < store.rows(); ++i) {
       ExpectRelNear(got_mean[i], want_mean[i], "proud-mean", i);
@@ -342,17 +362,22 @@ TEST(SimdKernelParityTest, ProudGeneralMomentWithinTolerance) {
       m3v[i] = 0.3 * rng.Gaussian() * s * s * s;
       m4v[i] = 3.0 * s * s * s * s;
     }
-    const ts::SoaStore m2(std::move(m2v), len);
-    const ts::SoaStore m3(std::move(m3v), len);
-    const ts::SoaStore m4(std::move(m4v), len);
+    const ts::SoaStore m2 =
+        ts::SoaStore::FromPacked(std::move(m2v), len).ValueOrDie();
+    const ts::SoaStore m3 =
+        ts::SoaStore::FromPacked(std::move(m3v), len).ValueOrDie();
+    const ts::SoaStore m4 =
+        ts::SoaStore::FromPacked(std::move(m4v), len).ValueOrDie();
+    const ts::RowBlock obs_b = Block(obs), m2_b = Block(m2), m3_b = Block(m3),
+                       m4_b = Block(m4);
     std::vector<double> want_mean(rows), want_var(rows), got_mean(rows),
         got_var(rows);
-    ProudGeneralMomentBatchRange(obs.row(0), m2.row(0), m3.row(0), m4.row(0),
-                                 obs, m2, m3, m4, 0, rows, want_mean,
-                                 want_var);
-    simd.proud_general_moment_range(obs.row(0), m2.row(0), m3.row(0),
-                                    m4.row(0), obs, m2, m3, m4, 0, rows,
-                                    got_mean, got_var);
+    ProudGeneralMomentBatchRange(obs_b.row(0), m2_b.row(0), m3_b.row(0),
+                                 m4_b.row(0), obs_b, m2_b, m3_b, m4_b, 0,
+                                 rows, want_mean, want_var);
+    simd.proud_general_moment_range(obs_b.row(0), m2_b.row(0), m3_b.row(0),
+                                    m4_b.row(0), obs_b, m2_b, m3_b, m4_b, 0,
+                                    rows, got_mean, got_var);
     for (std::size_t i = 0; i < rows; ++i) {
       ExpectRelNear(got_mean[i], want_mean[i], "proud-gen-mean", i);
       ExpectRelNear(got_var[i], want_var[i], "proud-gen-var", i);

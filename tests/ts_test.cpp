@@ -241,7 +241,7 @@ TEST(DatasetTest, PackedCacheLifecycle) {
   ASSERT_NE(p1, nullptr);
   EXPECT_EQ(p1->rows(), 2u);
   EXPECT_EQ(p1->stride(), 2u);
-  EXPECT_EQ(p1->row(1)[0], 3.0);
+  EXPECT_EQ(p1->resident_row(1)[0], 3.0);
   // Same snapshot until mutation.
   EXPECT_EQ(d.Packed(), p1);
 

@@ -52,6 +52,18 @@ PAIRS = [
      "BM_GroundTruthKnnSeedPath"),
     ("indexed walk 10-NN vs scan", "BM_GroundTruthKnnEngineWalkIndexed",
      "BM_GroundTruthKnnEngineWalk"),
+    ("paged 10-NN vs resident", "BM_GroundTruthKnnEnginePaged",
+     "BM_GroundTruthKnnEngineThreads/1/real_time"),
+]
+
+# (label, benchmark, minimum faults_per_iter). Enforced on the *current*
+# run: the paged twin's buffer pool must actually fault blocks back from
+# the spill log every sweep. With a 64 KiB budget over a 256 KiB dataset
+# the clock sweep re-faults most of the 8 blocks per pass; a value below
+# the floor means the budget stopped being applied (store silently built
+# resident) and the paged/resident ratio above is measuring nothing.
+FAULT_FLOORS = [
+    ("paged 10-NN actually pages", "BM_GroundTruthKnnEnginePaged", 4.0),
 ]
 
 # (label, benchmark, minimum pruned_fraction). Enforced on the *current*
@@ -81,6 +93,7 @@ def load_report(path):
     times = {}
     fractions = {}
     pruned = {}
+    faults = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -92,7 +105,9 @@ def load_report(path):
             fractions[bench["name"]] = float(bench["peak_fraction"])
         if "pruned_fraction" in bench:
             pruned[bench["name"]] = float(bench["pruned_fraction"])
-    return report.get("context", {}), times, fractions, pruned
+        if "faults_per_iter" in bench:
+            faults[bench["name"]] = float(bench["faults_per_iter"])
+    return report.get("context", {}), times, fractions, pruned, faults
 
 
 def main():
@@ -105,8 +120,9 @@ def main():
                              "bandwidth counters (default 0.25)")
     args = parser.parse_args()
 
-    base_ctx, baseline, base_frac, _ = load_report(args.baseline)
-    cur_ctx, current, cur_frac, cur_pruned = load_report(args.current)
+    base_ctx, baseline, base_frac, _, _ = load_report(args.baseline)
+    cur_ctx, current, cur_frac, cur_pruned, cur_faults = load_report(
+        args.current)
 
     failures = []
 
@@ -165,6 +181,26 @@ def main():
                 f"{label}: pruned_fraction {fraction:.3f} below the "
                 f"{floor:.2f} floor — the synopsis index is disabled or no "
                 f"longer pruning")
+
+    # -- Paged-store fault floor (current run). ------------------------------
+    for label, bench, floor in FAULT_FLOORS:
+        if bench not in current:
+            failures.append(f"{label}: missing in current run: ['{bench}']")
+            continue
+        if bench not in cur_faults:
+            failures.append(
+                f"{label}: {bench} no longer reports a faults_per_iter "
+                f"counter")
+            continue
+        rate = cur_faults[bench]
+        verdict = "ok" if rate >= floor else "FAIL"
+        print(f"{label}: faults_per_iter {rate:.1f} "
+              f"(floor {floor:.1f}) {verdict}")
+        if rate < floor:
+            failures.append(
+                f"{label}: faults_per_iter {rate:.1f} below the {floor:.1f} "
+                f"floor — the buffer pool stopped paging, so the "
+                f"paged/resident ratio is not measuring the storage tier")
 
     # -- SIMD speedup floor (current run). -----------------------------------
     simd_level = cur_ctx.get("uts_simd_level", "<missing>")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fence the storage tier: no raw SoaStore row access outside its owners.
+
+``ts::SoaStore`` keeps three resident-only escape hatches —
+``resident_row()``, ``resident_values()``, ``resident_data()`` — for the
+two layers that legitimately sit below the paging tier:
+
+* ``src/ts/``        — the store, the buffer pool and the view itself;
+* ``src/distance/``  — the resident-only whole-store batch wrappers.
+
+Every other consumer (engines, index, server, tools, benches) must go
+through ``ts::StoreView`` pins so it works identically for paged stores.
+This script greps the fenced trees for the escape-hatch tokens and fails
+on any hit, so a new call site cannot silently reintroduce a
+resident-only assumption. Tests are exempt: they pin the escape hatch's
+own contract.
+
+Usage:
+    tools/check_store_raw_access.py [--root .]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+TOKENS = re.compile(r"\bresident_(?:row|values|data)\s*\(")
+
+# Directories whose sources must stay on the pinned StoreView API.
+FENCED = ["src/query", "src/index", "src/server", "src/io", "src/measures",
+          "src/uncertain", "src/core", "src/datagen", "src/exec",
+          "src/prob", "src/wavelet", "bench", "tools"]
+
+SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+
+    violations = []
+    for fence in FENCED:
+        base = root / fence
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(errors="replace").splitlines(), 1):
+                if TOKENS.search(line):
+                    violations.append(
+                        f"{path.relative_to(root)}:{lineno}: {line.strip()}")
+
+    if violations:
+        print("FAIL raw SoaStore access outside src/ts + src/distance "
+              "(use ts::StoreView pins):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("OK   no raw SoaStore row access outside the storage tier")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

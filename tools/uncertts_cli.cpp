@@ -44,6 +44,7 @@
 #include "prob/distribution.hpp"
 #include "query/engine.hpp"
 #include "query/search.hpp"
+#include "ts/buffer_pool.hpp"
 #include "ts/filters.hpp"
 #include "ts/normalize.hpp"
 #include "uncertain/perturb.hpp"
@@ -267,21 +268,38 @@ int CmdMatch(const Args& args) {
   std::vector<query::Neighbor> neighbors;
   bool report_cost = false;
   index::SearchCost cost;
-  if (measure == "euclid" && args.Has("index")) {
-    // Prune-before-score cascade: identical results, fewer rows scored.
+  const std::size_t budget_mb = args.GetSize("memory-budget-mb", 0);
+  if (measure == "euclid" && (args.Has("index") || budget_mb > 0)) {
+    // Engine path: prune-before-score cascade and/or the paged storage
+    // tier. Results are identical to the plain scan either way.
     query::EngineOptions eopts;
-    eopts.index.enabled = true;
+    eopts.index.enabled = args.Has("index");
     eopts.index.synopsis_coefficients = args.GetSize("coefficients", 16);
+    if (budget_mb > 0) {
+      ts::BufferPool::Options popts;
+      popts.budget_bytes = budget_mb << 20;
+      auto pool = ts::BufferPool::Create(popts);
+      if (pool.ok()) {
+        eopts.buffer_pool = std::move(pool).ValueOrDie();
+      } else {
+        std::fprintf(stderr, "--memory-budget-mb: %s; running resident\n",
+                     pool.status().ToString().c_str());
+      }
+    }
     const query::DistanceMatrixEngine engine(dataset, eopts);
-    if (!engine.index_enabled()) {
+    if (args.Has("index") && !engine.index_enabled()) {
       std::fprintf(stderr,
                    "--index needs uniform-length series; running unindexed\n");
     }
     neighbors = engine.KNearestEuclidean(query, k, &cost);
-    report_cost = true;
+    report_cost = args.Has("index");
   } else {
     if (args.Has("index")) {
       std::fprintf(stderr, "--index only applies to --measure euclid\n");
+    }
+    if (budget_mb > 0) {
+      std::fprintf(stderr,
+                   "--memory-budget-mb only applies to --measure euclid\n");
     }
     neighbors = query::KNearest(dataset.size(), query, k, distance_to);
   }
@@ -339,6 +357,9 @@ void PrintUsage() {
       "                    [--index [--coefficients K]]  (euclid only:\n"
       "                    prune-before-score cascade, identical results;\n"
       "                    reports candidates touched vs pruned)\n"
+      "                    [--memory-budget-mb N]  (euclid only: page the\n"
+      "                    SoA store through an N-MiB buffer pool; results\n"
+      "                    are bitwise identical to the resident run)\n"
       "  uncertts motifs   --in data.ucr --k N\n"
       "  uncertts --help   this text\n\n"
       "Any command also accepts --force-scalar: pin the bit-exact scalar\n"

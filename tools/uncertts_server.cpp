@@ -28,7 +28,8 @@ void PrintUsage() {
       "                  [--pool-policy per-shard|shared] [--queue-depth N]\n"
       "                  [--global-queue-depth N] [--retry-after-ms N]\n"
       "                  [--max-backlog N] [--send-timeout-ms N]\n"
-      "                  [--mc-samples N] [--force-scalar]\n\n"
+      "                  [--mc-samples N] [--memory-budget-mb N]\n"
+      "                  [--force-scalar]\n\n"
       "  --socket PATH       listen on a Unix-domain socket (default)\n"
       "  --port N            listen on 127.0.0.1:N instead (0 = ephemeral;\n"
       "                      the bound port is printed on startup)\n"
@@ -52,6 +53,10 @@ void PrintUsage() {
       "                      before its frames buffer in the session backlog\n"
       "                      (default 0 = blocking sends)\n"
       "  --mc-samples N      MUNICH Monte Carlo sample count (default 20000)\n"
+      "  --memory-budget-mb N  per-shard storage-tier budget in MiB; bound\n"
+      "                      datasets larger than it page through a spill\n"
+      "                      log with responses bitwise identical to the\n"
+      "                      resident run (default 0 = fully resident)\n"
       "  --force-scalar      pin the bit-exact scalar kernels instead of the\n"
       "                      runtime-dispatched SIMD level\n"
       "  --help              this text\n");
@@ -115,6 +120,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--mc-samples") {
       parse_ok = tools::ParseSize("--mc-samples", next(),
                                   &options.service.munich.mc_samples);
+    } else if (arg == "--memory-budget-mb") {
+      std::size_t mb = 0;
+      parse_ok = tools::ParseSize("--memory-budget-mb", next(), &mb);
+      options.service.memory_budget_bytes = mb << 20;
     } else if (arg == "--force-scalar") {
       setenv("UNCERTTS_FORCE_SCALAR", "1", 1);
     } else {
